@@ -1,0 +1,35 @@
+// Figure 5: varying the dispersion factor d in [0, 1]. 20% of nodes are
+// destinations, each aggregating 20 sources drawn from 1-4 hops away with
+// hop-distance mass proportional to d^(h-1). Flood is omitted, as in the
+// paper's figure.
+
+#include "harness.h"
+
+int main() {
+  using namespace m2m;
+  Topology topology = MakeGreatDuckIslandLike();
+  Table table(
+      {"dispersion_d", "optimal_mJ", "multicast_mJ", "aggregation_mJ"});
+  for (int step = 0; step <= 10; step += 2) {
+    double d = step / 10.0;
+    WorkloadSpec spec;
+    spec.destination_count = topology.node_count() / 5;  // 20%.
+    spec.sources_per_destination = 20;
+    spec.dispersion = d;
+    spec.max_hops = 4;
+    spec.kind = AggregateKind::kWeightedAverage;
+    spec.seed = 3000 + step;
+    Workload workload = GenerateWorkload(topology, spec);
+    bench::AlgorithmEnergies energies = bench::MeasureAlgorithms(
+        topology, workload, /*include_flood=*/false);
+    table.AddRow({Table::Num(d, 1), Table::Num(energies.optimal_mj),
+                  Table::Num(energies.multicast_mj),
+                  Table::Num(energies.aggregation_mj)});
+  }
+  bench::EmitTable(
+      "Figure 5 — varying the dispersion factor",
+      "GDI-like 68-node network, 20% destinations, 20 sources each from 1-4 "
+      "hops, weighted average",
+      table);
+  return 0;
+}

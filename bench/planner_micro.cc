@@ -1,0 +1,167 @@
+// Microbenchmarks for the optimizer itself: single-edge vertex-cover
+// solves, full plan construction, incremental update vs rebuild, path
+// system and compilation costs.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+
+namespace {
+
+using namespace m2m;
+
+// Synthetic single-edge instance: u sources x v destinations, ~40% density.
+BipartiteInstance SyntheticInstance(int u, int v, uint64_t seed) {
+  Rng rng(seed);
+  BipartiteInstance instance;
+  for (int i = 0; i < u; ++i) {
+    instance.sources.push_back(
+        CoverVertex{i, PerturbedWeight(kRawUnitBytes, i, false, seed)});
+  }
+  for (int j = 0; j < v; ++j) {
+    instance.destinations.push_back(
+        CoverVertex{1000 + j, PerturbedWeight(8, 1000 + j, true, seed)});
+  }
+  for (int i = 0; i < u; ++i) {
+    for (int j = 0; j < v; ++j) {
+      if (rng.Bernoulli(0.4)) instance.edges.emplace_back(i, j);
+    }
+  }
+  if (instance.edges.empty()) instance.edges.emplace_back(0, 0);
+  return instance;
+}
+
+void BM_SingleEdgeCover(benchmark::State& state) {
+  BipartiteInstance instance =
+      SyntheticInstance(state.range(0), state.range(0), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMinWeightVertexCover(instance));
+  }
+}
+BENCHMARK(BM_SingleEdgeCover)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+struct PlanFixture {
+  PlanFixture() : topology(MakeGreatDuckIslandLike()), paths(topology) {
+    WorkloadSpec spec;
+    spec.destination_count = 14;
+    spec.sources_per_destination = 20;
+    spec.dispersion = 0.9;
+    spec.seed = 42;
+    workload = GenerateWorkload(topology, spec);
+    forest = std::make_shared<const MulticastForest>(paths, workload.tasks);
+  }
+  Topology topology;
+  PathSystem paths;
+  Workload workload;
+  std::shared_ptr<const MulticastForest> forest;
+};
+
+PlanFixture& Fixture() {
+  static PlanFixture* fixture = new PlanFixture();
+  return *fixture;
+}
+
+void BM_PathSystemConstruction(benchmark::State& state) {
+  Topology topology = MakeGreatDuckIslandLike();
+  for (auto _ : state) {
+    PathSystem paths(topology);
+    benchmark::DoNotOptimize(paths.HopDistance(0, 1));
+  }
+}
+BENCHMARK(BM_PathSystemConstruction);
+
+void BM_MulticastForestConstruction(benchmark::State& state) {
+  PlanFixture& fx = Fixture();
+  for (auto _ : state) {
+    MulticastForest forest(fx.paths, fx.workload.tasks);
+    benchmark::DoNotOptimize(forest.edges().size());
+  }
+}
+BENCHMARK(BM_MulticastForestConstruction);
+
+void BM_BuildFullPlan(benchmark::State& state) {
+  PlanFixture& fx = Fixture();
+  for (auto _ : state) {
+    GlobalPlan plan = BuildPlan(fx.forest, fx.workload.functions, {});
+    benchmark::DoNotOptimize(plan.TotalPayloadBytes());
+  }
+}
+BENCHMARK(BM_BuildFullPlan);
+
+void BM_IncrementalUpdateAddSource(benchmark::State& state) {
+  PlanFixture& fx = Fixture();
+  GlobalPlan plan = BuildPlan(fx.forest, fx.workload.functions, {});
+  NodeId d = fx.workload.tasks[0].destination;
+  NodeId fresh = kInvalidNode;
+  for (NodeId n = 0; n < fx.topology.node_count(); ++n) {
+    const auto& sources = fx.workload.tasks[0].sources;
+    if (n != d &&
+        std::find(sources.begin(), sources.end(), n) == sources.end()) {
+      fresh = n;
+      break;
+    }
+  }
+  Workload updated = WithSourceAdded(fx.workload, fresh, d, 1.0);
+  auto updated_forest =
+      std::make_shared<const MulticastForest>(fx.paths, updated.tasks);
+  for (auto _ : state) {
+    UpdateStats stats;
+    GlobalPlan incremental =
+        UpdatePlan(plan, updated_forest, updated.functions, &stats);
+    benchmark::DoNotOptimize(incremental.TotalPayloadBytes());
+  }
+}
+BENCHMARK(BM_IncrementalUpdateAddSource);
+
+void BM_RebuildAfterAddSource(benchmark::State& state) {
+  PlanFixture& fx = Fixture();
+  NodeId d = fx.workload.tasks[0].destination;
+  NodeId fresh = kInvalidNode;
+  for (NodeId n = 0; n < fx.topology.node_count(); ++n) {
+    const auto& sources = fx.workload.tasks[0].sources;
+    if (n != d &&
+        std::find(sources.begin(), sources.end(), n) == sources.end()) {
+      fresh = n;
+      break;
+    }
+  }
+  Workload updated = WithSourceAdded(fx.workload, fresh, d, 1.0);
+  auto updated_forest =
+      std::make_shared<const MulticastForest>(fx.paths, updated.tasks);
+  for (auto _ : state) {
+    GlobalPlan full = BuildPlan(updated_forest, updated.functions, {});
+    benchmark::DoNotOptimize(full.TotalPayloadBytes());
+  }
+}
+BENCHMARK(BM_RebuildAfterAddSource);
+
+void BM_CompilePlan(benchmark::State& state) {
+  PlanFixture& fx = Fixture();
+  GlobalPlan plan = BuildPlan(fx.forest, fx.workload.functions, {});
+  for (auto _ : state) {
+    CompiledPlan compiled =
+        CompiledPlan::Compile(plan, fx.workload.functions);
+    benchmark::DoNotOptimize(compiled.node_count());
+  }
+}
+BENCHMARK(BM_CompilePlan);
+
+void BM_ExecuteRound(benchmark::State& state) {
+  PlanFixture& fx = Fixture();
+  GlobalPlan plan = BuildPlan(fx.forest, fx.workload.functions, {});
+  CompiledPlan compiled = CompiledPlan::Compile(plan, fx.workload.functions);
+  PlanExecutor executor(std::make_shared<CompiledPlan>(compiled),
+                        fx.workload.functions, EnergyModel{});
+  ReadingGenerator readings(fx.topology.node_count(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        executor.RunRound(readings.values()).energy_mj);
+  }
+}
+BENCHMARK(BM_ExecuteRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// Command-line explorer: build any topology/workload/strategy combination,
+// plan it, run rounds, and optionally dump Graphviz/JSON artifacts.
+//
+//   ./m2m_explorer --topology=gdi --destinations=14 --sources=20
+//       --dispersion=0.9 --strategy=optimal --rounds=3 --dump-plan-dot
+//
+// Run with --help for the full flag list.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/m2m.h"
+#include "export/dot.h"
+
+namespace {
+
+using namespace m2m;
+
+Topology MakeTopology(const std::string& kind, int nodes, uint64_t seed) {
+  if (kind == "gdi") return MakeGreatDuckIslandLike(seed);
+  if (kind == "grid") {
+    int side = 1;
+    while ((side + 1) * (side + 1) <= nodes) ++side;
+    return MakeGrid(side, side, 40.0, kDefaultRadioRangeM);
+  }
+  if (kind == "uniform") {
+    double area_side = std::sqrt(nodes / (68.0 / (106.0 * 203.0)));
+    return MakeUniformRandom(nodes, Area{area_side, area_side},
+                             kDefaultRadioRangeM, seed);
+  }
+  if (kind == "clustered") {
+    double area_side = std::sqrt(nodes / (68.0 / (106.0 * 203.0)));
+    return MakeClustered(nodes, std::max(2, nodes / 12),
+                         Area{area_side, area_side}, 20.0,
+                         kDefaultRadioRangeM, seed);
+  }
+  std::fprintf(stderr, "unknown --topology '%s' (gdi|grid|uniform|clustered)\n",
+               kind.c_str());
+  std::exit(2);
+}
+
+PlanStrategy ParseStrategy(const std::string& name) {
+  if (name == "optimal") return PlanStrategy::kOptimal;
+  if (name == "multicast") return PlanStrategy::kMulticastOnly;
+  if (name == "aggregation") return PlanStrategy::kAggregationOnly;
+  std::fprintf(stderr,
+               "unknown --strategy '%s' (optimal|multicast|aggregation)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+AggregateKind ParseKind(const std::string& name) {
+  for (AggregateKind kind :
+       {AggregateKind::kWeightedSum, AggregateKind::kWeightedAverage,
+        AggregateKind::kWeightedStdDev, AggregateKind::kMin,
+        AggregateKind::kMax, AggregateKind::kCount,
+        AggregateKind::kCountAbove, AggregateKind::kArgMax}) {
+    if (ToString(kind) == name) return kind;
+  }
+  std::fprintf(stderr, "unknown --function '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  std::string topology_kind =
+      flags.GetString("topology", "gdi", "gdi | grid | uniform | clustered");
+  int nodes = static_cast<int>(
+      flags.GetInt("nodes", 68, "node count (non-gdi topologies)"));
+  int destinations = static_cast<int>(
+      flags.GetInt("destinations", 14, "number of aggregation functions"));
+  int sources = static_cast<int>(
+      flags.GetInt("sources", 20, "sources per destination"));
+  double dispersion =
+      flags.GetDouble("dispersion", 0.9, "dispersion factor d in [0,1]");
+  std::string strategy_name = flags.GetString(
+      "strategy", "optimal", "optimal | multicast | aggregation");
+  std::string function_name = flags.GetString(
+      "function", "weighted_average",
+      "weighted_sum | weighted_average | weighted_stddev | min | max | "
+      "count | count_above | argmax");
+  int rounds =
+      static_cast<int>(flags.GetInt("rounds", 3, "rounds to execute"));
+  double suppress_p = flags.GetDouble(
+      "suppress-p", -1.0,
+      "if >= 0, run suppressed rounds with this change probability");
+  uint64_t seed = static_cast<uint64_t>(
+      flags.GetInt("seed", 1, "seed for topology/workload/readings"));
+  bool use_broadcast = flags.GetBool(
+      "broadcast", false, "share raw units via local broadcast");
+  bool dump_topology = flags.GetBool(
+      "dump-topology-dot", false, "print the topology as Graphviz");
+  bool dump_plan_dot =
+      flags.GetBool("dump-plan-dot", false, "print the plan as Graphviz");
+  bool dump_plan_json =
+      flags.GetBool("dump-plan-json", false, "print the plan as JSON");
+  bool dump_workload_json = flags.GetBool(
+      "dump-workload-json", false, "print the workload as JSON");
+
+  if (flags.help_requested()) {
+    std::fputs(flags.Usage("many-to-many aggregation explorer").c_str(),
+               stdout);
+    return 0;
+  }
+  for (const std::string& unknown : flags.UnconsumedFlags()) {
+    std::fprintf(stderr, "unknown flag --%s (try --help)\n",
+                 unknown.c_str());
+    return 2;
+  }
+
+  Topology topology = MakeTopology(topology_kind, nodes, seed);
+  WorkloadSpec spec;
+  spec.destination_count = destinations;
+  spec.sources_per_destination = sources;
+  spec.dispersion = dispersion;
+  spec.kind = ParseKind(function_name);
+  spec.seed = seed;
+  Workload workload = GenerateWorkload(topology, spec);
+  SystemOptions options;
+  options.planner.strategy = ParseStrategy(strategy_name);
+  System system(topology, workload, options);
+
+  std::printf(
+      "topology=%s nodes=%d links=%d | workload: %d x %d (%s, d=%.2f) | "
+      "strategy=%s\nplan: %zu edges, %lld units, %lld payload bytes, "
+      "consistent=%s\n",
+      topology_kind.c_str(), topology.node_count(), topology.link_count(),
+      destinations, sources, function_name.c_str(), dispersion,
+      strategy_name.c_str(), system.forest().edges().size(),
+      static_cast<long long>(system.plan().TotalUnits()),
+      static_cast<long long>(system.plan().TotalPayloadBytes()),
+      ValidatePlanConsistency(system.plan()) ? "yes" : "NO");
+
+  PlanExecutor executor = system.MakeExecutor();
+  ReadingGenerator readings(topology.node_count(), seed + 1);
+  Table table({"round", "mode", "energy_mJ", "messages", "units"});
+  if (suppress_p >= 0.0) executor.InitializeState(readings.values());
+  for (int r = 0; r < rounds; ++r) {
+    RoundResult result;
+    std::string mode;
+    if (suppress_p >= 0.0) {
+      std::vector<bool> changed = readings.Advance(suppress_p);
+      result = executor.RunSuppressedRound(readings.values(), changed,
+                                           OverridePolicy::kConservative);
+      mode = "suppressed";
+    } else {
+      readings.Advance(1.0);
+      TransmissionOptions tx;
+      tx.use_broadcast = use_broadcast;
+      result = executor.RunRound(readings.values(), tx);
+      mode = use_broadcast ? "full+broadcast" : "full";
+    }
+    table.AddRow({std::to_string(r), mode, Table::Num(result.energy_mj),
+                  std::to_string(result.messages),
+                  std::to_string(result.units)});
+  }
+  table.Print(std::cout);
+
+  if (dump_topology) std::cout << "\n" << TopologyToDot(topology);
+  if (dump_plan_dot) std::cout << "\n" << PlanToDot(system.plan(), topology);
+  if (dump_plan_json) std::cout << "\n" << PlanToJson(system.plan());
+  if (dump_workload_json) std::cout << "\n" << WorkloadToJson(workload);
+  return 0;
+}

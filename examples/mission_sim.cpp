@@ -1,0 +1,69 @@
+// A full mission: 200 rounds of in-network control on the GDI-like network
+// with drifting readings (temporal suppression + conservative override),
+// occasional node death/deployment (incremental re-planning + plan
+// dissemination), and sampled transient link failures. This is the
+// integration layer a real deployment would run.
+//
+//   ./mission_sim
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/m2m.h"
+
+int main() {
+  using namespace m2m;
+  Topology topology = MakeGreatDuckIslandLike();
+  WorkloadSpec spec;
+  spec.destination_count = 14;
+  spec.sources_per_destination = 15;
+  spec.dispersion = 0.9;
+  spec.kind = AggregateKind::kWeightedAverage;
+  spec.seed = 77;
+  Workload workload = GenerateWorkload(topology, spec);
+
+  DeploymentOptions options;
+  options.change_probability = 0.15;
+  options.use_suppression = true;
+  options.override_policy = OverridePolicy::kConservative;
+  options.workload_churn_probability = 0.03;  // A change every ~33 rounds.
+  options.sample_link_failures = true;
+  options.seed = 78;
+
+  Deployment deployment(topology, workload, {}, options);
+  std::printf("mission: %d nodes, %zu control functions, suppression on, "
+              "churn p=%.2f\n\n",
+              topology.node_count(), workload.tasks.size(),
+              options.workload_churn_probability);
+
+  Table timeline({"rounds", "mean_round_mJ", "mean_msgs", "plan_changes",
+                  "dissemination_mJ", "delivery_pct"});
+  const int kPhases = 5;
+  const int kRoundsPerPhase = 40;
+  for (int phase = 0; phase < kPhases; ++phase) {
+    deployment.Run(kRoundsPerPhase);
+    const DeploymentReport& report = deployment.report();
+    timeline.AddRow(
+        {std::to_string(report.rounds),
+         Table::Num(report.round_energy_mj.mean()),
+         Table::Num(report.round_messages.mean(), 1),
+         std::to_string(report.workload_changes),
+         Table::Num(report.dissemination_energy_mj),
+         Table::Num(report.contribution_delivery_pct.mean(), 1)});
+  }
+  timeline.Print(std::cout);
+
+  const DeploymentReport& report = deployment.report();
+  std::printf(
+      "\nafter %d rounds: %lld workload changes re-optimized %lld edges "
+      "(%lld reused), re-disseminated %lld node images for %.1f mJ total;\n"
+      "every control signal across all rounds verified against direct "
+      "evaluation.\n",
+      report.rounds, static_cast<long long>(report.workload_changes),
+      static_cast<long long>(report.edges_reoptimized),
+      static_cast<long long>(report.edges_reused),
+      static_cast<long long>(report.nodes_redisseminated),
+      report.dissemination_energy_mj);
+  return 0;
+}

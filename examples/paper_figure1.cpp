@@ -1,0 +1,99 @@
+// The paper's worked example, end to end: Figure 1(C)'s network — sources
+// a, b, c, d feeding destinations k, l, m through relays i and j — and the
+// single-edge optimization of edge i->j that Figure 2 reduces to weighted
+// bipartite vertex cover. The optimal plan transmits raw v_a plus partial
+// records for k and l across i->j: three message units, exactly the plan
+// drawn in the paper.
+//
+//   ./paper_figure1
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/m2m.h"
+
+int main() {
+  using namespace m2m;
+
+  // Geometry engineered so every source reaches the relays as in Figure
+  // 1(C): a,b,c,d -- i -- j -- k,l,m (radio range 50 m).
+  //            0:a      1:b      2:c       3:d      4:i     5:j
+  //            6:k      7:l      8:m
+  std::vector<Point> positions = {
+      {-35, 30}, {-46, 0}, {-35, -30}, {0, -46},  // a b c d
+      {0, 0},    {45, 0},                          // i j
+      {85, 20},  {85, -20}, {45, 45},              // k l m
+  };
+  Topology topology(positions, 50.0);
+  const NodeId a = 0, b = 1, c = 2, d = 3, i = 4, j = 5, k = 6, l = 7,
+               m = 8;
+
+  // The aggregation functions of Figure 1(C): k aggregates a,b,c,d; l
+  // aggregates a,b,c; m needs only a. Weighted averages give partial
+  // records (8 B with tag) that outweigh raw values (6 B), the asymmetry
+  // the example turns on.
+  Workload workload;
+  auto add_task = [&](NodeId destination, std::vector<NodeId> sources) {
+    FunctionSpec spec;
+    spec.kind = AggregateKind::kWeightedAverage;
+    for (NodeId s : sources) {
+      spec.weights.emplace_back(s, 1.0 + 0.1 * destination + 0.01 * s);
+    }
+    workload.tasks.push_back(Task{destination, std::move(sources)});
+    workload.specs.push_back(std::move(spec));
+  };
+  add_task(k, {a, b, c, d});
+  add_task(l, {a, b, c});
+  add_task(m, {a});
+  workload.RebuildFunctions();
+
+  System system(topology, workload);
+
+  // Locate edge i -> j and print its single-edge instance (paper Figure 2).
+  int edge_ij = system.forest().EdgeIndexOf(DirectedEdge{i, j});
+  if (edge_ij < 0) {
+    std::fprintf(stderr, "unexpected routing: edge i->j not in forest\n");
+    return 1;
+  }
+  const ForestEdge& edge = system.forest().edges()[edge_ij];
+  std::printf("single-edge instance at i->j (paper Figure 2):\n");
+  Table relation({"source", "feeds_k", "feeds_l", "feeds_m"});
+  const char* names = "abcdijklm";
+  for (NodeId s : {a, b, c, d}) {
+    auto feeds = [&](NodeId dest) {
+      for (const SourceDestPair& pair : edge.pairs) {
+        if (pair.source == s && pair.destination == dest) return "1";
+      }
+      return ".";
+    };
+    relation.AddRow({std::string(1, names[s]), feeds(k), feeds(l),
+                     feeds(m)});
+  }
+  relation.Print(std::cout);
+
+  const EdgePlan& plan = system.plan().plan_for(edge_ij);
+  std::printf("\noptimal cover at i->j: raw = {");
+  for (NodeId s : plan.raw_sources) std::printf(" %c", names[s]);
+  std::printf(" }, aggregate = {");
+  for (NodeId dest : plan.agg_destinations) {
+    std::printf(" %c", names[dest]);
+  }
+  std::printf(" } -> %d message units, %lld payload bytes\n",
+              plan.unit_count(),
+              static_cast<long long>(plan.payload_bytes));
+
+  bool matches_paper = plan.raw_sources == std::vector<NodeId>{a} &&
+                       plan.agg_destinations == std::vector<NodeId>{k, l};
+  std::printf("matches the paper's plan (raw a + aggregates for k, l): %s\n",
+              matches_paper ? "yes" : "NO");
+
+  // Execute a round and show the three control signals arriving.
+  ReadingGenerator readings(topology.node_count(), 2007);
+  RoundResult round = system.MakeExecutor().RunRound(readings.values());
+  std::printf("\nround energy %.3f mJ; control signals: k=%.3f l=%.3f "
+              "m=%.3f (all verified against direct evaluation)\n",
+              round.energy_mj, round.destination_values.at(k),
+              round.destination_values.at(l), round.destination_values.at(m));
+  return matches_paper ? 0 : 1;
+}

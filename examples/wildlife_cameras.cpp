@@ -1,0 +1,104 @@
+// Wildlife-habitat camera control (the paper's second motivating scenario).
+//
+// A habitat is instrumented with many cheap motion/vibration sensors and a
+// few expensive camera nodes. Because cameras shoot from a distance, their
+// control inputs come from sensors many hops away (high dispersion). Each
+// camera's trigger signal is a weighted sum of motion readings; when it
+// crosses a threshold the camera wakes up and shoots.
+//
+// The example compares the optimal many-to-many plan against pure multicast
+// and pure in-network aggregation for this dispersed workload, then runs an
+// activity burst to show cameras reacting.
+//
+//   ./wildlife_cameras
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/m2m.h"
+
+int main() {
+  using namespace m2m;
+
+  // The habitat: 80 nodes spread over ~12 hectares.
+  Topology topology = MakeUniformRandom(80, Area{350.0, 350.0},
+                                        kDefaultRadioRangeM, /*seed=*/99);
+
+  // 6 cameras, each listening to 18 motion sensors up to 5 hops away with
+  // nearly uniform hop spread (d = 0.95): the dispersed regime where
+  // balancing multicast against aggregation pays the most.
+  WorkloadSpec spec;
+  spec.destination_count = 6;
+  spec.sources_per_destination = 18;
+  spec.dispersion = 0.95;
+  spec.max_hops = 5;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.seed = 31;
+  Workload workload = GenerateWorkload(topology, spec);
+
+  std::printf("wildlife cameras: %zu cameras x %d motion sensors each\n\n",
+              workload.tasks.size(), spec.sources_per_destination);
+
+  // Compare the three planning strategies on this workload.
+  Table comparison({"strategy", "payload_bytes", "units", "energy_mJ"});
+  ReadingGenerator readings(topology.node_count(), /*seed=*/13);
+  double optimal_energy = 0.0;
+  for (PlanStrategy strategy :
+       {PlanStrategy::kOptimal, PlanStrategy::kMulticastOnly,
+        PlanStrategy::kAggregationOnly}) {
+    SystemOptions options;
+    options.planner.strategy = strategy;
+    System system(topology, workload, options);
+    RoundResult round = system.MakeExecutor().RunRound(readings.values());
+    if (strategy == PlanStrategy::kOptimal) {
+      optimal_energy = round.energy_mj;
+    }
+    comparison.AddRow(
+        {ToString(strategy),
+         std::to_string(system.plan().TotalPayloadBytes()),
+         std::to_string(system.plan().TotalUnits()),
+         Table::Num(round.energy_mj)});
+  }
+  comparison.Print(std::cout);
+  std::printf("\n");
+
+  // Run an activity burst: background jitter, then animals move through
+  // (motion readings jump), then quiet again. Cameras trigger when their
+  // weighted sum exceeds the threshold.
+  System system(topology, workload);
+  PlanExecutor executor = system.MakeExecutor();
+  executor.InitializeState(readings.values());
+
+  // Trigger threshold: mean background signal plus a margin.
+  double background = 0.0;
+  for (const auto& [camera, signal] : executor.current_aggregates()) {
+    background += signal;
+  }
+  background /= static_cast<double>(workload.tasks.size());
+  const double threshold = background * 1.1;
+
+  Table activity({"round", "phase", "energy_mJ", "cameras_triggered"});
+  ReadingGenerator scene(topology.node_count(), /*seed=*/14);
+  executor.InitializeState(scene.values());
+  for (int round_index = 0; round_index < 12; ++round_index) {
+    bool burst = round_index >= 4 && round_index < 8;
+    std::vector<bool> changed = scene.Advance(burst ? 0.6 : 0.05);
+    RoundResult round = executor.RunSuppressedRound(
+        scene.values(), changed, OverridePolicy::kMedium);
+    int triggered = 0;
+    for (const auto& [camera, signal] : round.destination_values) {
+      triggered += (signal > threshold);
+    }
+    activity.AddRow({std::to_string(round_index),
+                     burst ? "animal activity" : "quiet",
+                     Table::Num(round.energy_mj),
+                     std::to_string(triggered)});
+  }
+  activity.Print(std::cout);
+  std::printf(
+      "\nOptimal plan used %.2f mJ per full round; bursts cost more radio "
+      "energy but wake the cameras exactly when the habitat is active.\n",
+      optimal_energy);
+  return 0;
+}

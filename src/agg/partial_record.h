@@ -1,0 +1,39 @@
+#ifndef M2M_AGG_PARTIAL_RECORD_H_
+#define M2M_AGG_PARTIAL_RECORD_H_
+
+#include <array>
+
+namespace m2m {
+
+/// Wire-size constants (bytes) for message units. Readings are transmitted
+/// as 4-byte floats tagged with a 2-byte node identifier, matching the
+/// paper's Mica2 setting where both raw values and weighted-sum partial
+/// records are single floating-point numbers.
+inline constexpr int kIdTagBytes = 2;
+inline constexpr int kReadingBytes = 4;
+inline constexpr int kCountFieldBytes = 2;
+
+/// Wire size of one raw message unit (source tag + reading).
+inline constexpr int kRawUnitBytes = kIdTagBytes + kReadingBytes;
+
+/// A constant-size partial aggregate record. Functions use up to three
+/// numeric fields (e.g. weighted sum / sum+count / sum+sumsq+count); the
+/// owning AggregateFunction knows how many fields are meaningful and what
+/// they cost on the wire.
+struct PartialRecord {
+  std::array<double, 3> fields = {0.0, 0.0, 0.0};
+
+  friend bool operator==(const PartialRecord&,
+                         const PartialRecord&) = default;
+};
+
+/// Field-wise sum; valid for sum-like records (all our delta-capable
+/// functions keep every field additive).
+PartialRecord AddFields(const PartialRecord& a, const PartialRecord& b);
+
+/// Field-wise difference a - b.
+PartialRecord SubtractFields(const PartialRecord& a, const PartialRecord& b);
+
+}  // namespace m2m
+
+#endif  // M2M_AGG_PARTIAL_RECORD_H_

@@ -1,0 +1,63 @@
+#ifndef M2M_COMMON_CHECK_H_
+#define M2M_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Runtime invariant checks. A failed check indicates a programming error or a
+// violated theorem precondition; it prints the failing condition with file and
+// line, then aborts. These are always on (they guard correctness results such
+// as plan consistency, not performance-only assertions).
+
+namespace m2m::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream adapter so CHECK(...) << "context" works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, condition_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace m2m::internal
+
+#define M2M_CHECK(condition)                                      \
+  while (!(condition))                                            \
+  ::m2m::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define M2M_CHECK_EQ(a, b) M2M_CHECK((a) == (b))
+#define M2M_CHECK_NE(a, b) M2M_CHECK((a) != (b))
+#define M2M_CHECK_LT(a, b) M2M_CHECK((a) < (b))
+#define M2M_CHECK_LE(a, b) M2M_CHECK((a) <= (b))
+#define M2M_CHECK_GT(a, b) M2M_CHECK((a) > (b))
+#define M2M_CHECK_GE(a, b) M2M_CHECK((a) >= (b))
+
+#endif  // M2M_COMMON_CHECK_H_

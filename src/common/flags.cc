@@ -1,0 +1,101 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace m2m {
+
+FlagParser::FlagParser(int argc, const char* const argv[]) {
+  M2M_CHECK_GT(argc, 0);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      values_[body.substr(0, equals)] = body.substr(equals + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value,
+                                  const std::string& description) {
+  registered_[name] = Registered{default_value, description};
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  consumed_[name] = true;
+  return it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t default_value,
+                           const std::string& description) {
+  std::string raw =
+      GetString(name, std::to_string(default_value), description);
+  char* end = nullptr;
+  int64_t value = std::strtoll(raw.c_str(), &end, 10);
+  M2M_CHECK(end != nullptr && *end == '\0')
+      << "--" << name << " expects an integer, got '" << raw << "'";
+  return value;
+}
+
+double FlagParser::GetDouble(const std::string& name, double default_value,
+                             const std::string& description) {
+  std::ostringstream default_text;
+  default_text << default_value;
+  std::string raw = GetString(name, default_text.str(), description);
+  char* end = nullptr;
+  double value = std::strtod(raw.c_str(), &end);
+  M2M_CHECK(end != nullptr && *end == '\0')
+      << "--" << name << " expects a number, got '" << raw << "'";
+  return value;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value,
+                         const std::string& description) {
+  std::string raw =
+      GetString(name, default_value ? "true" : "false", description);
+  if (raw == "true" || raw == "1" || raw == "yes") return true;
+  if (raw == "false" || raw == "0" || raw == "no") return false;
+  M2M_CHECK(false) << "--" << name << " expects a boolean, got '" << raw
+                   << "'";
+}
+
+std::vector<std::string> FlagParser::UnconsumedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!consumed_.contains(name) && !registered_.contains(name)) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::string FlagParser::Usage(const std::string& program_summary) const {
+  std::ostringstream out;
+  out << program_ << " — " << program_summary << "\n\nFlags:\n";
+  for (const auto& [name, info] : registered_) {
+    out << "  --" << name << " (default: " << info.default_value << ")\n"
+        << "      " << info.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace m2m

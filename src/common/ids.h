@@ -1,0 +1,52 @@
+#ifndef M2M_COMMON_IDS_H_
+#define M2M_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace m2m {
+
+/// Identifier of a sensor node. Nodes are numbered densely from 0.
+using NodeId = int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A directed edge between two nodes (tail -> head). Used both for physical
+/// one-hop edges and for virtual milestone edges.
+struct DirectedEdge {
+  NodeId tail = kInvalidNode;
+  NodeId head = kInvalidNode;
+
+  friend bool operator==(const DirectedEdge&, const DirectedEdge&) = default;
+  friend auto operator<=>(const DirectedEdge&, const DirectedEdge&) = default;
+};
+
+struct DirectedEdgeHash {
+  size_t operator()(const DirectedEdge& e) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(e.tail) << 32) ^
+                                 static_cast<uint32_t>(e.head));
+  }
+};
+
+/// An ordered (source, destination) pair in the producer-consumer relation.
+struct SourceDestPair {
+  NodeId source = kInvalidNode;
+  NodeId destination = kInvalidNode;
+
+  friend bool operator==(const SourceDestPair&,
+                         const SourceDestPair&) = default;
+  friend auto operator<=>(const SourceDestPair&,
+                          const SourceDestPair&) = default;
+};
+
+struct SourceDestPairHash {
+  size_t operator()(const SourceDestPair& p) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(p.source) << 32) ^
+                                 static_cast<uint32_t>(p.destination));
+  }
+};
+
+}  // namespace m2m
+
+#endif  // M2M_COMMON_IDS_H_

@@ -1,0 +1,15 @@
+#include "common/relation.h"
+
+namespace m2m {
+
+std::vector<SourceDestPair> TasksToPairs(const std::vector<Task>& tasks) {
+  std::vector<SourceDestPair> pairs;
+  for (const Task& task : tasks) {
+    for (NodeId s : task.sources) {
+      pairs.push_back(SourceDestPair{s, task.destination});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace m2m

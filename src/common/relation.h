@@ -1,0 +1,26 @@
+#ifndef M2M_COMMON_RELATION_H_
+#define M2M_COMMON_RELATION_H_
+
+#include <vector>
+
+#include "common/ids.h"
+
+namespace m2m {
+
+/// One aggregation task: the destination node plus the set of source nodes
+/// whose readings feed its aggregation function. The full many-to-many
+/// producer-consumer relation is a list of tasks (at most one per
+/// destination, per the paper's simplifying assumption).
+struct Task {
+  NodeId destination = kInvalidNode;
+  std::vector<NodeId> sources;
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+/// Flattens tasks into the set of (source, destination) pairs.
+std::vector<SourceDestPair> TasksToPairs(const std::vector<Task>& tasks);
+
+}  // namespace m2m
+
+#endif  // M2M_COMMON_RELATION_H_

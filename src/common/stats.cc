@@ -1,0 +1,70 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace m2m {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStat::min() const {
+  M2M_CHECK_GT(count_, 0u);
+  return min_;
+}
+
+double RunningStat::max() const {
+  M2M_CHECK_GT(count_, 0u);
+  return max_;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> samples, double p) {
+  M2M_CHECK(!samples.empty());
+  M2M_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace m2m

@@ -1,0 +1,40 @@
+#ifndef M2M_COMMON_STATS_H_
+#define M2M_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace m2m {
+
+/// Incremental mean / variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile over a copy of the samples; p in [0, 100].
+double Percentile(std::vector<double> samples, double p);
+
+}  // namespace m2m
+
+#endif  // M2M_COMMON_STATS_H_

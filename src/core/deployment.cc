@@ -1,0 +1,131 @@
+#include "core/deployment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace m2m {
+
+Deployment::Deployment(Topology topology, Workload workload,
+                       SystemOptions system_options,
+                       DeploymentOptions options)
+    : topology_(std::move(topology)),
+      workload_(std::move(workload)),
+      system_options_(std::move(system_options)),
+      options_(options),
+      readings_(topology_.node_count(), SplitMix64(options.seed)),
+      stability_(topology_, SplitMix64(options.seed ^ 0xfa11)),
+      rng_(options.seed) {
+  system_ = std::make_unique<System>(topology_, workload_, system_options_);
+  executor_ = std::make_unique<PlanExecutor>(
+      std::make_shared<CompiledPlan>(system_->compiled()),
+      workload_.functions, EnergyModel{});
+  base_station_ = PickBaseStation(topology_);
+  if (options_.use_suppression) {
+    executor_->InitializeState(readings_.values());
+    suppression_primed_ = true;
+  }
+}
+
+void Deployment::MaybeChurnWorkload() {
+  if (!rng_.Bernoulli(options_.workload_churn_probability)) return;
+  // Pick a random task and either remove one of its sources (a node died)
+  // or add a new one (a node was deployed / re-tasked).
+  const Task& task = workload_.tasks[rng_.UniformInt(workload_.tasks.size())];
+  NodeId d = task.destination;
+  bool remove = rng_.Bernoulli(0.5) && task.sources.size() > 2;
+  Workload updated = workload_;
+  if (remove) {
+    NodeId victim = task.sources[rng_.UniformInt(task.sources.size())];
+    updated = WithSourceRemoved(workload_, victim, d);
+  } else {
+    // First unused node, scanning from a random offset for variety.
+    NodeId fresh = kInvalidNode;
+    NodeId offset = static_cast<NodeId>(
+        rng_.UniformInt(static_cast<uint64_t>(topology_.node_count())));
+    for (int i = 0; i < topology_.node_count() && fresh == kInvalidNode;
+         ++i) {
+      NodeId candidate = (offset + i) % topology_.node_count();
+      if (candidate != d &&
+          std::find(task.sources.begin(), task.sources.end(), candidate) ==
+              task.sources.end()) {
+        fresh = candidate;
+      }
+    }
+    if (fresh == kInvalidNode) return;  // Every node already feeds d.
+    updated = WithSourceAdded(workload_, fresh, d,
+                              rng_.UniformDouble(0.5, 1.5));
+  }
+  RebuildAfterChurn(updated);
+}
+
+void Deployment::RebuildAfterChurn(const Workload& updated) {
+  auto new_system =
+      std::make_unique<System>(topology_, updated, system_options_);
+  // Account the incremental update (Corollary 1) and its dissemination.
+  UpdateStats stats;
+  GlobalPlan incremental =
+      UpdatePlan(system_->plan(), new_system->forest_ptr(),
+                 updated.functions, &stats);
+  (void)incremental;  // Identical to new_system's plan; used for stats.
+  DisseminationCost cost = ComputeIncrementalDissemination(
+      system_->compiled(), workload_.functions, new_system->compiled(),
+      updated.functions, new_system->paths(), base_station_, EnergyModel{});
+  report_.workload_changes += 1;
+  report_.edges_reoptimized += stats.edges_reoptimized;
+  report_.edges_reused += stats.edges_reused;
+  report_.nodes_redisseminated += cost.nodes_updated;
+  report_.dissemination_energy_mj += cost.energy_mj;
+
+  workload_ = updated;
+  system_ = std::move(new_system);
+  executor_ = std::make_unique<PlanExecutor>(
+      std::make_shared<CompiledPlan>(system_->compiled()),
+      workload_.functions, EnergyModel{});
+  if (options_.use_suppression) {
+    executor_->InitializeState(readings_.values());
+    suppression_primed_ = true;
+  }
+}
+
+RoundResult Deployment::Step() {
+  MaybeChurnWorkload();
+  std::vector<bool> changed =
+      readings_.Advance(options_.change_probability);
+  RoundResult result;
+  if (options_.use_suppression) {
+    M2M_CHECK(suppression_primed_);
+    if (options_.suppression_epsilon > 0.0) {
+      result = executor_->RunThresholdSuppressedRound(
+          readings_.values(), options_.suppression_epsilon,
+          options_.override_policy);
+    } else {
+      result = executor_->RunSuppressedRound(readings_.values(), changed,
+                                             options_.override_policy);
+    }
+  } else {
+    result = executor_->RunRound(readings_.values());
+  }
+  report_.rounds += 1;
+  report_.round_energy_mj.Add(result.energy_mj);
+  report_.round_messages.Add(static_cast<double>(result.messages));
+  if (options_.sample_link_failures) {
+    LinkOutcome links = LinkOutcome::Sample(topology_, stability_, rng_);
+    FailureRoundResult failure = RunRoundWithFailures(
+        system_->compiled(), workload_.functions, topology_, links,
+        EnergyModel{});
+    if (failure.contributions_total > 0) {
+      report_.contribution_delivery_pct.Add(
+          100.0 * static_cast<double>(failure.contributions_delivered) /
+          static_cast<double>(failure.contributions_total));
+    }
+  }
+  return result;
+}
+
+void Deployment::Run(int rounds) {
+  M2M_CHECK_GT(rounds, 0);
+  for (int r = 0; r < rounds; ++r) Step();
+}
+
+}  // namespace m2m

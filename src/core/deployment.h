@@ -1,0 +1,103 @@
+#ifndef M2M_CORE_DEPLOYMENT_H_
+#define M2M_CORE_DEPLOYMENT_H_
+
+#include <memory>
+
+#include "common/stats.h"
+#include "core/system.h"
+#include "plan/dissemination.h"
+#include "sim/base_station.h"
+#include "sim/failure.h"
+#include "sim/readings.h"
+
+namespace m2m {
+
+/// Mission-level configuration: what happens per timestep.
+struct DeploymentOptions {
+  /// Probability each node's reading changes per round.
+  double change_probability = 0.2;
+  /// Use temporal suppression (requires linear-delta functions); false =
+  /// full recomputation every round.
+  bool use_suppression = true;
+  /// Suppression threshold: with epsilon > 0, a source transmits only when
+  /// its reading drifted more than epsilon since its last transmission
+  /// (bounded-error maintenance); 0 = exact suppression.
+  double suppression_epsilon = 0.0;
+  OverridePolicy override_policy = OverridePolicy::kConservative;
+  /// Probability per round that the workload changes (a random source is
+  /// added to or removed from a random task) — nodes dying or being
+  /// deployed. Plan updates are incremental (Corollary 1) and their
+  /// dissemination cost is charged.
+  double workload_churn_probability = 0.0;
+  /// Sample transient link failures each round and record delivery
+  /// statistics (does not perturb the energy accounting).
+  bool sample_link_failures = false;
+  uint64_t seed = 1;
+};
+
+/// Aggregated mission statistics.
+struct DeploymentReport {
+  int rounds = 0;
+  RunningStat round_energy_mj;
+  RunningStat round_messages;
+  int64_t workload_changes = 0;
+  int64_t edges_reoptimized = 0;
+  int64_t edges_reused = 0;
+  int64_t nodes_redisseminated = 0;
+  double dissemination_energy_mj = 0.0;
+  RunningStat contribution_delivery_pct;  // When sampling failures.
+};
+
+/// A long-running many-to-many aggregation mission: readings drift, the
+/// network computes control signals every round (with suppression), the
+/// workload churns as nodes die or appear (plans update incrementally and
+/// the deltas are disseminated), and link failures are sampled for delivery
+/// statistics. This is the integration layer a deployment would actually
+/// run; every round's aggregates remain verified end to end.
+///
+/// Note: after a workload change the executor's suppression state is
+/// re-primed from current readings; the one resynchronization round a real
+/// network would pay is not charged (the dissemination of the new tables
+/// is).
+class Deployment {
+ public:
+  Deployment(Topology topology, Workload workload,
+             SystemOptions system_options = {},
+             DeploymentOptions options = {});
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  /// Advances one timestep; returns that round's result.
+  RoundResult Step();
+
+  /// Runs `rounds` timesteps.
+  void Run(int rounds);
+
+  const DeploymentReport& report() const { return report_; }
+  const Workload& workload() const { return workload_; }
+  const System& system() const { return *system_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  void MaybeChurnWorkload();
+  void RebuildAfterChurn(const Workload& updated);
+
+  Topology topology_;
+  Workload workload_;
+  SystemOptions system_options_;
+  DeploymentOptions options_;
+
+  std::unique_ptr<System> system_;
+  std::unique_ptr<PlanExecutor> executor_;
+  ReadingGenerator readings_;
+  LinkStabilityModel stability_;
+  NodeId base_station_;
+  Rng rng_;
+  DeploymentReport report_;
+  bool suppression_primed_ = false;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_CORE_DEPLOYMENT_H_

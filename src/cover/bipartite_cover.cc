@@ -1,0 +1,105 @@
+#include "cover/bipartite_cover.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "flow/max_flow.h"
+
+namespace m2m {
+
+namespace {
+
+// Byte sizes live in bits [36, 62); tiebreakers in [0, 36) but capped at 24
+// bits so that sums over up to 2^12 cover vertices never carry into the byte
+// field.
+constexpr int kByteShift = 36;
+constexpr uint64_t kTiebreakMask = (uint64_t{1} << 24) - 1;
+
+}  // namespace
+
+int64_t PerturbedWeight(int byte_size, NodeId node, bool is_destination,
+                        uint64_t tiebreak_seed) {
+  M2M_CHECK_GT(byte_size, 0);
+  M2M_CHECK_LT(byte_size, 1 << 14);
+  uint64_t h = SplitMix64(tiebreak_seed ^
+                          ((static_cast<uint64_t>(node) << 1) |
+                           (is_destination ? 1u : 0u)));
+  int64_t epsilon = static_cast<int64_t>(h & kTiebreakMask) + 1;
+  return (static_cast<int64_t>(byte_size) << kByteShift) + epsilon;
+}
+
+int64_t WeightToBytes(int64_t weight) { return weight >> kByteShift; }
+
+CoverSolution SolveMinWeightVertexCover(const BipartiteInstance& instance) {
+  const int u_count = static_cast<int>(instance.sources.size());
+  const int v_count = static_cast<int>(instance.destinations.size());
+  CoverSolution solution;
+  solution.source_in_cover.assign(u_count, false);
+  solution.destination_in_cover.assign(v_count, false);
+  if (instance.edges.empty()) return solution;
+
+  // Flow network: source 0, sink 1, U vertices 2..2+u, V after U.
+  const int s = 0;
+  const int t = 1;
+  auto u_vertex = [&](int i) { return 2 + i; };
+  auto v_vertex = [&](int j) { return 2 + u_count + j; };
+  MaxFlow flow(2 + u_count + v_count);
+  int64_t total_finite = 0;
+  for (int i = 0; i < u_count; ++i) {
+    M2M_CHECK_GT(instance.sources[i].weight, 0);
+    flow.AddEdge(s, u_vertex(i), instance.sources[i].weight);
+    total_finite += instance.sources[i].weight;
+  }
+  for (int j = 0; j < v_count; ++j) {
+    M2M_CHECK_GT(instance.destinations[j].weight, 0);
+    flow.AddEdge(v_vertex(j), t, instance.destinations[j].weight);
+    total_finite += instance.destinations[j].weight;
+  }
+  M2M_CHECK_LT(total_finite, MaxFlow::kInfinity / 2)
+      << "vertex weights too large for the flow reduction";
+  for (const auto& [i, j] : instance.edges) {
+    M2M_CHECK(i >= 0 && i < u_count);
+    M2M_CHECK(j >= 0 && j < v_count);
+    flow.AddEdge(u_vertex(i), v_vertex(j), MaxFlow::kInfinity);
+  }
+
+  solution.total_weight = flow.Solve(s, t);
+  // Min cut -> cover: a U vertex is in the cover iff its s-edge is cut
+  // (unreachable in the residual graph); a V vertex iff its t-edge is cut
+  // (still reachable).
+  std::vector<bool> reachable = flow.MinCutSide(s);
+  for (int i = 0; i < u_count; ++i) {
+    solution.source_in_cover[i] = !reachable[u_vertex(i)];
+  }
+  for (int j = 0; j < v_count; ++j) {
+    solution.destination_in_cover[j] = reachable[v_vertex(j)];
+  }
+  M2M_CHECK(IsVertexCover(instance, solution));
+  M2M_CHECK_EQ(CoverWeight(instance, solution), solution.total_weight);
+  return solution;
+}
+
+bool IsVertexCover(const BipartiteInstance& instance,
+                   const CoverSolution& solution) {
+  for (const auto& [i, j] : instance.edges) {
+    if (!solution.source_in_cover[i] && !solution.destination_in_cover[j]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t CoverWeight(const BipartiteInstance& instance,
+                    const CoverSolution& solution) {
+  int64_t total = 0;
+  for (size_t i = 0; i < instance.sources.size(); ++i) {
+    if (solution.source_in_cover[i]) total += instance.sources[i].weight;
+  }
+  for (size_t j = 0; j < instance.destinations.size(); ++j) {
+    if (solution.destination_in_cover[j]) {
+      total += instance.destinations[j].weight;
+    }
+  }
+  return total;
+}
+
+}  // namespace m2m

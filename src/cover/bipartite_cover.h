@@ -1,0 +1,67 @@
+#ifndef M2M_COVER_BIPARTITE_COVER_H_
+#define M2M_COVER_BIPARTITE_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace m2m {
+
+/// A vertex of a weighted bipartite vertex cover instance. `node` is the
+/// sensor node this vertex stands for (a source on the U side, a destination
+/// on the V side); `weight` is the perturbed transmission cost of choosing
+/// this vertex (raw value size for sources, partial record size for
+/// destinations).
+struct CoverVertex {
+  NodeId node = kInvalidNode;
+  int64_t weight = 0;
+};
+
+/// One single-edge optimization problem (paper Figure 2): sources U,
+/// destinations V, and the producer-consumer edges between them.
+struct BipartiteInstance {
+  std::vector<CoverVertex> sources;       ///< U side.
+  std::vector<CoverVertex> destinations;  ///< V side.
+  /// Edges as (index into sources, index into destinations).
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Which vertices the minimum-weight cover picked. A chosen source means
+/// "transmit this source's value raw"; a chosen destination means "aggregate
+/// everything upstream for this destination and transmit one partial
+/// record".
+struct CoverSolution {
+  std::vector<bool> source_in_cover;
+  std::vector<bool> destination_in_cover;
+  int64_t total_weight = 0;
+};
+
+/// Exact minimum weighted bipartite vertex cover via max-flow/min-cut
+/// (polynomial; the "standard network flow techniques" the paper cites).
+CoverSolution SolveMinWeightVertexCover(const BipartiteInstance& instance);
+
+/// True iff every edge of the instance has at least one endpoint chosen.
+bool IsVertexCover(const BipartiteInstance& instance,
+                   const CoverSolution& solution);
+
+/// Weight of an arbitrary (not necessarily optimal) choice of vertices.
+int64_t CoverWeight(const BipartiteInstance& instance,
+                    const CoverSolution& solution);
+
+/// Perturbed vertex weight: `byte_size` in the high bits plus a
+/// deterministic pseudo-random tiebreaker that is *consistent for the same
+/// (node, role) across every per-edge instance* (paper section 2.3: unique
+/// minima are required for Theorem 1; consistent tiebreakers provide them
+/// with overwhelming probability). Recover the byte size with
+/// `WeightToBytes`.
+int64_t PerturbedWeight(int byte_size, NodeId node, bool is_destination,
+                        uint64_t tiebreak_seed);
+
+/// Byte size encoded in a perturbed weight (also valid for sums of weights:
+/// total payload bytes of a cover).
+int64_t WeightToBytes(int64_t weight);
+
+}  // namespace m2m
+
+#endif  // M2M_COVER_BIPARTITE_COVER_H_

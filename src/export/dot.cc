@@ -1,0 +1,139 @@
+#include "export/dot.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace m2m {
+
+namespace {
+
+// Fixed-precision double formatting without locale surprises.
+std::string Num(double value, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string TopologyToDot(const Topology& topology) {
+  std::ostringstream out;
+  out << "graph topology {\n  node [shape=circle fontsize=10];\n";
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    const Point& p = topology.position(n);
+    out << "  n" << n << " [pos=\"" << Num(p.x) << "," << Num(p.y)
+        << "!\"];\n";
+  }
+  for (NodeId a = 0; a < topology.node_count(); ++a) {
+    for (NodeId b : topology.neighbors(a)) {
+      if (a < b) out << "  n" << a << " -- n" << b << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string MulticastTreeToDot(const MulticastForest& forest,
+                               const Topology& topology, NodeId source) {
+  std::ostringstream out;
+  out << "digraph tree_" << source << " {\n"
+      << "  node [shape=circle fontsize=10];\n"
+      << "  n" << source << " [shape=box];\n";
+  // Destinations of this source.
+  std::set<NodeId> destinations;
+  for (const Task& task : forest.tasks()) {
+    for (NodeId s : task.sources) {
+      if (s == source) destinations.insert(task.destination);
+    }
+  }
+  for (NodeId d : destinations) {
+    if (d != source) out << "  n" << d << " [shape=doublecircle];\n";
+  }
+  std::set<NodeId> placed;
+  for (int e : forest.TreeEdges(source)) {
+    const ForestEdge& edge = forest.edges()[e];
+    for (size_t i = 0; i + 1 < edge.segment.size(); ++i) {
+      out << "  n" << edge.segment[i] << " -> n" << edge.segment[i + 1]
+          << ";\n";
+      placed.insert(edge.segment[i]);
+      placed.insert(edge.segment[i + 1]);
+    }
+  }
+  for (NodeId n : placed) {
+    const Point& p = topology.position(n);
+    out << "  n" << n << " [pos=\"" << Num(p.x) << "," << Num(p.y)
+        << "!\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string PlanToDot(const GlobalPlan& plan, const Topology& topology) {
+  const MulticastForest& forest = plan.forest();
+  std::ostringstream out;
+  out << "digraph plan {\n  node [shape=circle fontsize=10];\n";
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    const Point& p = topology.position(n);
+    out << "  n" << n << " [pos=\"" << Num(p.x) << "," << Num(p.y)
+        << "!\"];\n";
+  }
+  for (size_t e = 0; e < forest.edges().size(); ++e) {
+    const ForestEdge& edge = forest.edges()[e];
+    const EdgePlan& edge_plan = plan.plan_for(static_cast<int>(e));
+    out << "  n" << edge.edge.tail << " -> n" << edge.edge.head
+        << " [label=\"" << edge_plan.raw_sources.size() << "r+"
+        << edge_plan.agg_destinations.size() << "a/"
+        << edge_plan.payload_bytes << "B\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string PlanToJson(const GlobalPlan& plan) {
+  const MulticastForest& forest = plan.forest();
+  std::ostringstream out;
+  out << "{\n  \"strategy\": \"" << ToString(plan.options().strategy)
+      << "\",\n  \"total_payload_bytes\": " << plan.TotalPayloadBytes()
+      << ",\n  \"total_units\": " << plan.TotalUnits() << ",\n  \"edges\": [";
+  for (size_t e = 0; e < forest.edges().size(); ++e) {
+    const ForestEdge& edge = forest.edges()[e];
+    const EdgePlan& edge_plan = plan.plan_for(static_cast<int>(e));
+    out << (e == 0 ? "\n" : ",\n") << "    {\"tail\": " << edge.edge.tail
+        << ", \"head\": " << edge.edge.head
+        << ", \"hops\": " << edge.hop_length() << ", \"raw\": [";
+    for (size_t i = 0; i < edge_plan.raw_sources.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << edge_plan.raw_sources[i];
+    }
+    out << "], \"aggregate\": [";
+    for (size_t i = 0; i < edge_plan.agg_destinations.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << edge_plan.agg_destinations[i];
+    }
+    out << "], \"payload_bytes\": " << edge_plan.payload_bytes << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+std::string WorkloadToJson(const Workload& workload) {
+  M2M_CHECK_EQ(workload.tasks.size(), workload.specs.size());
+  std::ostringstream out;
+  out << "{\n  \"tasks\": [";
+  for (size_t t = 0; t < workload.tasks.size(); ++t) {
+    const Task& task = workload.tasks[t];
+    const FunctionSpec& spec = workload.specs[t];
+    out << (t == 0 ? "\n" : ",\n")
+        << "    {\"destination\": " << task.destination << ", \"kind\": \""
+        << ToString(spec.kind) << "\", \"sources\": [";
+    for (size_t i = 0; i < spec.weights.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "{\"node\": " << spec.weights[i].first
+          << ", \"weight\": " << Num(spec.weights[i].second, 4) << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace m2m

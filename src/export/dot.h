@@ -1,0 +1,36 @@
+#ifndef M2M_EXPORT_DOT_H_
+#define M2M_EXPORT_DOT_H_
+
+#include <string>
+
+#include "plan/planner.h"
+#include "routing/multicast.h"
+#include "topology/topology.h"
+#include "workload/workload.h"
+
+namespace m2m {
+
+/// Graphviz `graph` of the connectivity graph with node positions (render
+/// with `neato -n2`).
+std::string TopologyToDot(const Topology& topology);
+
+/// Graphviz `digraph` of one source's multicast tree: the source is boxed,
+/// its destinations are doubly circled, edges follow the physical segments.
+std::string MulticastTreeToDot(const MulticastForest& forest,
+                               const Topology& topology, NodeId source);
+
+/// Graphviz `digraph` of a full plan: every forest edge labeled
+/// "<raw units>r+<partial units>a / <payload bytes>B".
+std::string PlanToDot(const GlobalPlan& plan, const Topology& topology);
+
+/// Machine-readable JSON dump of a plan: edges with raw sources, aggregated
+/// destinations, and payload bytes, plus totals.
+std::string PlanToJson(const GlobalPlan& plan);
+
+/// JSON dump of a workload: per task, the destination, function kind, and
+/// weighted sources.
+std::string WorkloadToJson(const Workload& workload);
+
+}  // namespace m2m
+
+#endif  // M2M_EXPORT_DOT_H_

@@ -1,0 +1,103 @@
+#include "flow/max_flow.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace m2m {
+
+MaxFlow::MaxFlow(int vertex_count) : vertex_count_(vertex_count) {
+  M2M_CHECK_GT(vertex_count, 0);
+  adjacency_.resize(vertex_count);
+}
+
+int MaxFlow::AddEdge(int from, int to, int64_t capacity) {
+  M2M_CHECK(!solved_) << "graph is frozen after Solve()";
+  M2M_CHECK(from >= 0 && from < vertex_count_);
+  M2M_CHECK(to >= 0 && to < vertex_count_);
+  M2M_CHECK_GE(capacity, 0);
+  int forward_slot = static_cast<int>(adjacency_[from].size());
+  int backward_slot = static_cast<int>(adjacency_[to].size());
+  adjacency_[from].push_back(Edge{to, capacity, backward_slot, capacity});
+  adjacency_[to].push_back(Edge{from, 0, forward_slot, 0});
+  edge_refs_.emplace_back(from, forward_slot);
+  return static_cast<int>(edge_refs_.size()) - 1;
+}
+
+bool MaxFlow::BuildLevels(int source, int sink) {
+  level_.assign(vertex_count_, -1);
+  std::queue<int> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[u]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+int64_t MaxFlow::Augment(int vertex, int sink, int64_t limit) {
+  if (vertex == sink || limit == 0) return limit;
+  for (int& slot = next_edge_[vertex];
+       slot < static_cast<int>(adjacency_[vertex].size()); ++slot) {
+    Edge& e = adjacency_[vertex][slot];
+    if (e.capacity <= 0 || level_[e.to] != level_[vertex] + 1) continue;
+    int64_t pushed = Augment(e.to, sink, std::min(limit, e.capacity));
+    if (pushed > 0) {
+      e.capacity -= pushed;
+      adjacency_[e.to][e.reverse].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+int64_t MaxFlow::Solve(int source, int sink) {
+  M2M_CHECK(!solved_) << "Solve() may be called once";
+  M2M_CHECK_NE(source, sink);
+  solved_ = true;
+  int64_t total = 0;
+  while (BuildLevels(source, sink)) {
+    next_edge_.assign(vertex_count_, 0);
+    while (int64_t pushed = Augment(source, sink, kInfinity)) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+int64_t MaxFlow::flow(int edge_id) const {
+  M2M_CHECK(solved_);
+  M2M_CHECK(edge_id >= 0 && edge_id < static_cast<int>(edge_refs_.size()));
+  auto [vertex, slot] = edge_refs_[edge_id];
+  const Edge& e = adjacency_[vertex][slot];
+  return e.original_capacity - e.capacity;
+}
+
+std::vector<bool> MaxFlow::MinCutSide(int source) const {
+  M2M_CHECK(solved_);
+  std::vector<bool> reachable(vertex_count_, false);
+  std::queue<int> frontier;
+  reachable[source] = true;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop();
+    for (const Edge& e : adjacency_[u]) {
+      if (e.capacity > 0 && !reachable[e.to]) {
+        reachable[e.to] = true;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace m2m

@@ -1,0 +1,22 @@
+#include "geom/point.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m2m {
+
+double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+Point Area::Clamp(const Point& p) const {
+  return Point{std::clamp(p.x, 0.0, width), std::clamp(p.y, 0.0, height)};
+}
+
+}  // namespace m2m

@@ -1,0 +1,36 @@
+#ifndef M2M_GEOM_POINT_H_
+#define M2M_GEOM_POINT_H_
+
+namespace m2m {
+
+/// 2-D position in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// Squared Euclidean distance (avoids the sqrt when comparing against a
+/// squared radius).
+double DistanceSquared(const Point& a, const Point& b);
+
+/// Axis-aligned rectangle [0, width] x [0, height].
+struct Area {
+  double width = 0.0;
+  double height = 0.0;
+
+  double size() const { return width * height; }
+  bool Contains(const Point& p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+  /// Clamps a point into the rectangle.
+  Point Clamp(const Point& p) const;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_GEOM_POINT_H_

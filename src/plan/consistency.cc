@@ -1,0 +1,47 @@
+#include "plan/consistency.h"
+
+#include <sstream>
+
+namespace m2m {
+
+std::vector<std::string> FindConsistencyViolations(const GlobalPlan& plan) {
+  std::vector<std::string> violations;
+  const MulticastForest& forest = plan.forest();
+  for (const Task& task : forest.tasks()) {
+    for (NodeId s : task.sources) {
+      if (s == task.destination) continue;
+      const std::vector<int>& route =
+          forest.Route(SourceDestPair{s, task.destination});
+      bool raw_available = true;
+      for (int edge_index : route) {
+        const EdgePlan& edge_plan = plan.plan_for(edge_index);
+        bool sends_raw = edge_plan.TransmitsRaw(s);
+        bool sends_agg = edge_plan.TransmitsAggregate(task.destination);
+        const ForestEdge& edge = forest.edges()[edge_index];
+        if (!sends_raw && !sends_agg) {
+          std::ostringstream msg;
+          msg << "edge " << edge.edge.tail << "->" << edge.edge.head
+              << " covers neither raw " << s << " nor aggregate "
+              << task.destination;
+          violations.push_back(msg.str());
+        }
+        if (sends_raw && !raw_available) {
+          std::ostringstream msg;
+          msg << "edge " << edge.edge.tail << "->" << edge.edge.head
+              << " transmits source " << s
+              << " raw after an upstream edge already aggregated it"
+              << " (destination " << task.destination << ")";
+          violations.push_back(msg.str());
+        }
+        raw_available = raw_available && sends_raw;
+      }
+    }
+  }
+  return violations;
+}
+
+bool ValidatePlanConsistency(const GlobalPlan& plan) {
+  return FindConsistencyViolations(plan).empty();
+}
+
+}  // namespace m2m

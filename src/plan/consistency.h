@@ -1,0 +1,24 @@
+#ifndef M2M_PLAN_CONSISTENCY_H_
+#define M2M_PLAN_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/planner.h"
+
+namespace m2m {
+
+/// Checks the Theorem 1 guarantee on an assembled plan: along every route
+/// (s, d), (a) every edge serves the pair (raw s or partial d — i.e. each
+/// per-edge solution is a vertex cover), and (b) once an edge stops
+/// transmitting s raw, no downstream edge of the route transmits s raw
+/// again (a value cannot be recovered after aggregation). Returns
+/// human-readable descriptions of all violations (empty = consistent).
+std::vector<std::string> FindConsistencyViolations(const GlobalPlan& plan);
+
+/// True iff FindConsistencyViolations is empty.
+bool ValidatePlanConsistency(const GlobalPlan& plan);
+
+}  // namespace m2m
+
+#endif  // M2M_PLAN_CONSISTENCY_H_

@@ -1,0 +1,87 @@
+#include "plan/dissemination.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "plan/serialization.h"
+
+namespace m2m {
+
+namespace {
+
+// Packets needed for an image of `bytes` bytes.
+int64_t PacketCount(size_t bytes) {
+  return static_cast<int64_t>(
+      (bytes + kDisseminationPacketPayloadBytes - 1) /
+      kDisseminationPacketPayloadBytes);
+}
+
+// Charges shipping one node image from the base station to `node`.
+void ChargeImage(const PathSystem& paths, NodeId base_station, NodeId node,
+                 size_t image_bytes, const EnergyModel& energy,
+                 DisseminationCost& cost) {
+  cost.nodes_updated += 1;
+  cost.state_bytes += static_cast<int64_t>(image_bytes);
+  if (node == base_station) return;  // Installed locally for free.
+  int hops = paths.HopDistance(base_station, node);
+  size_t remaining = image_bytes;
+  while (remaining > 0) {
+    int payload = static_cast<int>(
+        remaining > kDisseminationPacketPayloadBytes
+            ? kDisseminationPacketPayloadBytes
+            : remaining);
+    remaining -= payload;
+    cost.packets += hops;
+    cost.energy_mj += hops * energy.UnicastHopUj(payload) / 1000.0;
+  }
+  // Zero-byte images (possible only for empty states, filtered by callers)
+  // would ship nothing.
+  M2M_CHECK_GT(PacketCount(image_bytes), 0);
+}
+
+bool ImageIsEmptyState(const NodeState& state) {
+  return state.raw_table.empty() && state.preagg_table.empty() &&
+         state.partial_table.empty() && state.outgoing_table.empty() &&
+         !state.is_destination;
+}
+
+}  // namespace
+
+DisseminationCost ComputeFullDissemination(const CompiledPlan& compiled,
+                                           const FunctionSet& functions,
+                                           const PathSystem& paths,
+                                           NodeId base_station,
+                                           const EnergyModel& energy) {
+  DisseminationCost cost;
+  std::vector<std::vector<uint8_t>> images =
+      EncodeAllNodeStates(compiled, functions);
+  for (NodeId n = 0; n < compiled.node_count(); ++n) {
+    if (ImageIsEmptyState(compiled.state(n))) continue;
+    ChargeImage(paths, base_station, n, images[n].size(), energy, cost);
+  }
+  return cost;
+}
+
+DisseminationCost ComputeIncrementalDissemination(
+    const CompiledPlan& old_compiled, const FunctionSet& old_functions,
+    const CompiledPlan& new_compiled, const FunctionSet& new_functions,
+    const PathSystem& paths, NodeId base_station, const EnergyModel& energy) {
+  M2M_CHECK_EQ(old_compiled.node_count(), new_compiled.node_count());
+  DisseminationCost cost;
+  std::vector<std::vector<uint8_t>> old_images =
+      EncodeAllNodeStates(old_compiled, old_functions);
+  std::vector<std::vector<uint8_t>> new_images =
+      EncodeAllNodeStates(new_compiled, new_functions);
+  for (NodeId n = 0; n < new_compiled.node_count(); ++n) {
+    if (old_images[n] == new_images[n]) continue;
+    if (ImageIsEmptyState(new_compiled.state(n))) {
+      // The node dropped out of the plan; ship a (1-byte) clear command.
+      ChargeImage(paths, base_station, n, 1, energy, cost);
+      continue;
+    }
+    ChargeImage(paths, base_station, n, new_images[n].size(), energy, cost);
+  }
+  return cost;
+}
+
+}  // namespace m2m

@@ -1,0 +1,45 @@
+#ifndef M2M_PLAN_DISSEMINATION_H_
+#define M2M_PLAN_DISSEMINATION_H_
+
+#include <cstdint>
+
+#include "agg/aggregate_function.h"
+#include "plan/node_tables.h"
+#include "routing/path_system.h"
+#include "sim/energy_model.h"
+
+namespace m2m {
+
+/// Maximum plan bytes per radio packet during dissemination; larger node
+/// images are split across packets, each paying the message header.
+inline constexpr int kDisseminationPacketPayloadBytes = 64;
+
+/// Cost of installing plan state into the network from the base station.
+struct DisseminationCost {
+  int nodes_updated = 0;
+  int64_t state_bytes = 0;   ///< Sum of shipped node-image bytes.
+  int64_t packets = 0;       ///< Radio packets (per hop).
+  double energy_mj = 0.0;
+};
+
+/// Ships every non-empty node image from `base_station` along canonical
+/// paths (each hop pays TX+RX for each packet). This is the cost of
+/// installing a plan from scratch.
+DisseminationCost ComputeFullDissemination(const CompiledPlan& compiled,
+                                           const FunctionSet& functions,
+                                           const PathSystem& paths,
+                                           NodeId base_station,
+                                           const EnergyModel& energy);
+
+/// Ships only the node images that differ between the old and the new
+/// compiled plan (byte-compared; node-local message ids keep unchanged
+/// nodes' images stable). This is the Corollary 1 payoff: a localized plan
+/// change updates only the nodes along the affected routes.
+DisseminationCost ComputeIncrementalDissemination(
+    const CompiledPlan& old_compiled, const FunctionSet& old_functions,
+    const CompiledPlan& new_compiled, const FunctionSet& new_functions,
+    const PathSystem& paths, NodeId base_station, const EnergyModel& energy);
+
+}  // namespace m2m
+
+#endif  // M2M_PLAN_DISSEMINATION_H_

@@ -1,0 +1,16 @@
+#include "plan/edge_plan.h"
+
+#include <algorithm>
+
+namespace m2m {
+
+bool EdgePlan::TransmitsRaw(NodeId source) const {
+  return std::binary_search(raw_sources.begin(), raw_sources.end(), source);
+}
+
+bool EdgePlan::TransmitsAggregate(NodeId destination) const {
+  return std::binary_search(agg_destinations.begin(), agg_destinations.end(),
+                            destination);
+}
+
+}  // namespace m2m

@@ -1,0 +1,37 @@
+#ifndef M2M_PLAN_EDGE_PLAN_H_
+#define M2M_PLAN_EDGE_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace m2m {
+
+/// The transmission decision for one multicast-forest edge: which sources
+/// travel raw and which destinations get a single partial aggregate record.
+/// This is exactly a vertex cover of the edge's bipartite instance (paper
+/// section 2.2): every (s ~e d) pair is served by raw s or by d's partial.
+struct EdgePlan {
+  std::vector<NodeId> raw_sources;       ///< Sorted ascending.
+  std::vector<NodeId> agg_destinations;  ///< Sorted ascending.
+  /// Total payload bytes of all units on this edge (excludes the per-message
+  /// header, which depends on merging).
+  int64_t payload_bytes = 0;
+  /// Hash of the single-edge optimization inputs (the ~e relation, the unit
+  /// byte sizes, and the tiebreak seed). Incremental updates reuse a stored
+  /// solution iff the signature is unchanged (Corollary 1).
+  uint64_t instance_signature = 0;
+
+  int unit_count() const {
+    return static_cast<int>(raw_sources.size() + agg_destinations.size());
+  }
+  bool TransmitsRaw(NodeId source) const;
+  bool TransmitsAggregate(NodeId destination) const;
+
+  friend bool operator==(const EdgePlan&, const EdgePlan&) = default;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_PLAN_EDGE_PLAN_H_

@@ -1,0 +1,264 @@
+#include "plan/messaging.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <tuple>
+
+#include "agg/partial_record.h"
+#include "common/check.h"
+
+namespace m2m {
+
+namespace {
+
+// Kahn's algorithm: returns a topological order, or an empty vector if the
+// graph has a cycle (and `node_count` > 0).
+std::vector<int> TopoOrder(int node_count,
+                           const std::vector<std::vector<int>>& deps) {
+  std::vector<int> out_degree_into(node_count, 0);  // #unmet dependencies
+  std::vector<std::vector<int>> dependents(node_count);
+  for (int v = 0; v < node_count; ++v) {
+    out_degree_into[v] = static_cast<int>(deps[v].size());
+    for (int u : deps[v]) dependents[u].push_back(v);
+  }
+  std::queue<int> ready;
+  for (int v = 0; v < node_count; ++v) {
+    if (out_degree_into[v] == 0) ready.push(v);
+  }
+  std::vector<int> order;
+  order.reserve(node_count);
+  while (!ready.empty()) {
+    int u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (int v : dependents[u]) {
+      if (--out_degree_into[v] == 0) ready.push(v);
+    }
+  }
+  if (static_cast<int>(order.size()) != node_count) return {};
+  return order;
+}
+
+}  // namespace
+
+MessageSchedule MessageSchedule::Build(const GlobalPlan& plan,
+                                       const FunctionSet& functions,
+                                       MergePolicy policy) {
+  MessageSchedule schedule;
+  const MulticastForest& forest = plan.forest();
+  const int edge_count = static_cast<int>(forest.edges().size());
+  schedule.units_by_edge_.resize(edge_count);
+
+  // 1. Enumerate units.
+  std::map<std::tuple<int, bool, NodeId>, int> unit_id;
+  for (int e = 0; e < edge_count; ++e) {
+    const EdgePlan& edge_plan = plan.plan_for(e);
+    for (NodeId s : edge_plan.raw_sources) {
+      int id = static_cast<int>(schedule.units_.size());
+      schedule.units_.push_back(
+          MessageUnit{e, /*is_partial=*/false, s, kRawUnitBytes});
+      unit_id[{e, false, s}] = id;
+      schedule.units_by_edge_[e].push_back(id);
+    }
+    for (NodeId d : edge_plan.agg_destinations) {
+      int id = static_cast<int>(schedule.units_.size());
+      schedule.units_.push_back(MessageUnit{
+          e, /*is_partial=*/true, d,
+          kIdTagBytes + functions.Get(d).partial_record_bytes()});
+      unit_id[{e, true, d}] = id;
+      schedule.units_by_edge_[e].push_back(id);
+    }
+  }
+
+  // 2. Wait-for relation from consecutive edges along every route.
+  std::vector<std::set<int>> wait_sets(schedule.units_.size());
+  for (const Task& task : forest.tasks()) {
+    const NodeId d = task.destination;
+    for (NodeId s : task.sources) {
+      if (s == d) continue;
+      const std::vector<int>& route = forest.Route(SourceDestPair{s, d});
+      for (size_t i = 1; i < route.size(); ++i) {
+        int prev = route[i - 1];
+        int cur = route[i];
+        const EdgePlan& prev_plan = plan.plan_for(prev);
+        const EdgePlan& cur_plan = plan.plan_for(cur);
+        // The contribution of s arrives at cur's tail either raw or inside
+        // d's partial record from prev.
+        int upstream_unit;
+        if (prev_plan.TransmitsRaw(s)) {
+          upstream_unit = unit_id.at({prev, false, s});
+        } else {
+          M2M_CHECK(prev_plan.TransmitsAggregate(d))
+              << "inconsistent plan: pair uncovered on upstream edge";
+          upstream_unit = unit_id.at({prev, true, d});
+        }
+        if (cur_plan.TransmitsRaw(s)) {
+          // Raw s continues downstream: it waits for the raw copy (which
+          // must exist upstream in a consistent plan). Its contribution to
+          // d folds further downstream, so d's partial on this edge (if
+          // any) does not wait on it.
+          M2M_CHECK(prev_plan.TransmitsRaw(s))
+              << "inconsistent plan: raw after aggregation";
+          wait_sets[unit_id.at({cur, false, s})].insert(upstream_unit);
+        } else {
+          M2M_CHECK(cur_plan.TransmitsAggregate(d))
+              << "inconsistent plan: pair uncovered";
+          wait_sets[unit_id.at({cur, true, d})].insert(upstream_unit);
+        }
+      }
+    }
+  }
+  schedule.wait_for_.resize(schedule.units_.size());
+  for (size_t u = 0; u < wait_sets.size(); ++u) {
+    schedule.wait_for_[u].assign(wait_sets[u].begin(), wait_sets[u].end());
+  }
+  M2M_CHECK(schedule.UnitsAcyclic())
+      << "Theorem 2 violated: wait-for cycle among message units";
+
+  // 3. Pack units into messages.
+  const int unit_count = static_cast<int>(schedule.units_.size());
+  schedule.message_of_unit_.assign(unit_count, -1);
+  auto message_graph_acyclic = [&](const std::vector<int>& msg_of_unit,
+                                   int message_count) {
+    std::vector<std::set<int>> deps(message_count);
+    for (int v = 0; v < unit_count; ++v) {
+      for (int u : schedule.wait_for_[v]) {
+        if (msg_of_unit[u] != msg_of_unit[v]) {
+          deps[msg_of_unit[v]].insert(msg_of_unit[u]);
+        }
+      }
+    }
+    std::vector<std::vector<int>> dep_lists(message_count);
+    for (int m = 0; m < message_count; ++m) {
+      dep_lists[m].assign(deps[m].begin(), deps[m].end());
+    }
+    return message_count == 0 ||
+           !TopoOrder(message_count, dep_lists).empty();
+  };
+
+  if (policy == MergePolicy::kOneUnitPerMessage) {
+    for (int u = 0; u < unit_count; ++u) {
+      schedule.message_of_unit_[u] = u;
+      schedule.messages_.push_back(
+          Message{schedule.units_[u].edge_index, {u}});
+    }
+    M2M_CHECK(schedule.MessagesAcyclic());
+    return schedule;
+  }
+
+  // Greedy merge. Fast path: contract all units of each edge into one
+  // message; in every experiment of the paper (and ours) this is already
+  // acyclic. If not, fall back to pairwise greedy merging with cycle checks.
+  std::vector<int> merged_all(unit_count);
+  for (int u = 0; u < unit_count; ++u) {
+    merged_all[u] = schedule.units_[u].edge_index;
+  }
+  if (message_graph_acyclic(merged_all, edge_count)) {
+    // Compact away edges with no units.
+    std::vector<int> message_index(edge_count, -1);
+    for (int e = 0; e < edge_count; ++e) {
+      if (schedule.units_by_edge_[e].empty()) continue;
+      message_index[e] = static_cast<int>(schedule.messages_.size());
+      schedule.messages_.push_back(Message{e, schedule.units_by_edge_[e]});
+    }
+    for (int u = 0; u < unit_count; ++u) {
+      schedule.message_of_unit_[u] =
+          message_index[schedule.units_[u].edge_index];
+    }
+    M2M_CHECK(schedule.MessagesAcyclic());
+    return schedule;
+  }
+
+  // Pairwise greedy: start one message per unit; repeatedly merge two
+  // messages on the same edge when the merged graph stays acyclic.
+  std::vector<int> msg_of_unit(unit_count);
+  for (int u = 0; u < unit_count; ++u) msg_of_unit[u] = u;
+  for (int e = 0; e < edge_count; ++e) {
+    const std::vector<int>& edge_units = schedule.units_by_edge_[e];
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      // Distinct messages currently on this edge.
+      std::vector<int> edge_messages;
+      for (int u : edge_units) {
+        if (std::find(edge_messages.begin(), edge_messages.end(),
+                      msg_of_unit[u]) == edge_messages.end()) {
+          edge_messages.push_back(msg_of_unit[u]);
+        }
+      }
+      for (size_t a = 0; a < edge_messages.size() && !progress; ++a) {
+        for (size_t b = a + 1; b < edge_messages.size() && !progress; ++b) {
+          std::vector<int> trial = msg_of_unit;
+          for (int u : edge_units) {
+            if (trial[u] == edge_messages[b]) trial[u] = edge_messages[a];
+          }
+          if (message_graph_acyclic(trial, unit_count)) {
+            msg_of_unit = std::move(trial);
+            progress = true;
+          }
+        }
+      }
+    }
+  }
+  // Compact message ids.
+  std::map<int, int> compact;
+  for (int u = 0; u < unit_count; ++u) {
+    auto [it, inserted] = compact.emplace(
+        msg_of_unit[u], static_cast<int>(schedule.messages_.size()));
+    if (inserted) {
+      schedule.messages_.push_back(
+          Message{schedule.units_[u].edge_index, {}});
+    }
+    schedule.message_of_unit_[u] = it->second;
+    schedule.messages_[it->second].unit_ids.push_back(u);
+  }
+  M2M_CHECK(schedule.MessagesAcyclic());
+  return schedule;
+}
+
+const std::vector<int>& MessageSchedule::units_on_edge(int edge_index) const {
+  M2M_CHECK(edge_index >= 0 &&
+            edge_index < static_cast<int>(units_by_edge_.size()));
+  return units_by_edge_[edge_index];
+}
+
+int MessageSchedule::message_of_unit(int unit_id) const {
+  M2M_CHECK(unit_id >= 0 &&
+            unit_id < static_cast<int>(message_of_unit_.size()));
+  return message_of_unit_[unit_id];
+}
+
+bool MessageSchedule::UnitsAcyclic() const {
+  return units_.empty() ||
+         !TopoOrder(static_cast<int>(units_.size()), wait_for_).empty();
+}
+
+std::vector<int> MessageSchedule::TopologicalUnitOrder() const {
+  if (units_.empty()) return {};
+  std::vector<int> order =
+      TopoOrder(static_cast<int>(units_.size()), wait_for_);
+  M2M_CHECK(!order.empty()) << "wait-for cycle among units";
+  return order;
+}
+
+bool MessageSchedule::MessagesAcyclic() const {
+  const int message_count = static_cast<int>(messages_.size());
+  if (message_count == 0) return true;
+  std::vector<std::set<int>> deps(message_count);
+  for (size_t v = 0; v < units_.size(); ++v) {
+    for (int u : wait_for_[v]) {
+      if (message_of_unit_[u] != message_of_unit_[v]) {
+        deps[message_of_unit_[v]].insert(message_of_unit_[u]);
+      }
+    }
+  }
+  std::vector<std::vector<int>> dep_lists(message_count);
+  for (int m = 0; m < message_count; ++m) {
+    dep_lists[m].assign(deps[m].begin(), deps[m].end());
+  }
+  return !TopoOrder(message_count, dep_lists).empty();
+}
+
+}  // namespace m2m

@@ -1,0 +1,164 @@
+#include "plan/node_tables.h"
+
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace m2m {
+
+namespace {
+
+// A contribution to a destination's partial record at a node: either the
+// result of pre-aggregating one raw value locally (kind 0, id = source), or
+// a partial record arriving on one incoming edge (kind 1, id = edge index).
+using Contribution = std::pair<int, int>;
+
+}  // namespace
+
+CompiledPlan CompiledPlan::Compile(const GlobalPlan& plan,
+                                   const FunctionSet& functions,
+                                   MergePolicy policy) {
+  const MulticastForest& forest = plan.forest();
+  MessageSchedule schedule = MessageSchedule::Build(plan, functions, policy);
+  std::vector<NodeState> states(forest.node_count());
+
+  // Deduplicating builders. A raw value fanning out to several of a node's
+  // outgoing messages needs one <s, g> entry per message.
+  std::set<std::tuple<NodeId, NodeId, int>> raw_entries;  // (node, s, msg)
+  std::set<std::pair<NodeId, NodeId>> preagg_entries;  // (node, source->d)
+  std::map<std::pair<NodeId, NodeId>, std::set<Contribution>> contributions;
+
+  auto unit_message = [&](int edge_index, bool is_partial, NodeId subject) {
+    for (int u : schedule.units_on_edge(edge_index)) {
+      const MessageUnit& unit = schedule.units()[u];
+      if (unit.is_partial == is_partial && unit.subject == subject) {
+        return schedule.message_of_unit(u);
+      }
+    }
+    M2M_CHECK(false) << "no unit for subject " << subject << " on edge "
+                     << edge_index;
+  };
+
+  for (const Task& task : forest.tasks()) {
+    const NodeId d = task.destination;
+    for (NodeId s : task.sources) {
+      if (s == d) {
+        // The destination pre-aggregates its own reading.
+        preagg_entries.insert({d, s});
+        contributions[{d, d}].insert({0, s});
+        continue;
+      }
+      const std::vector<int>& route = forest.Route(SourceDestPair{s, d});
+      bool carried_raw = true;  // The value is raw at the source itself.
+      for (size_t i = 0; i < route.size(); ++i) {
+        const int e = route[i];
+        const NodeId n = forest.edges()[e].edge.tail;
+        const EdgePlan& edge_plan = plan.plan_for(e);
+        if (edge_plan.TransmitsRaw(s)) {
+          M2M_CHECK(carried_raw)
+              << "inconsistent plan: raw after aggregation";
+          raw_entries.insert({n, s, unit_message(e, false, s)});
+          // Value continues raw to the next node.
+        } else {
+          M2M_CHECK(edge_plan.TransmitsAggregate(d));
+          if (carried_raw) {
+            preagg_entries.insert({n, s});
+            contributions[{n, d}].insert({0, s});
+          } else {
+            contributions[{n, d}].insert({1, route[i - 1]});
+          }
+          carried_raw = false;
+        }
+      }
+      // Arrival at the destination.
+      if (carried_raw) {
+        preagg_entries.insert({d, s});
+        contributions[{d, d}].insert({0, s});
+      } else {
+        contributions[{d, d}].insert({1, route.back()});
+      }
+    }
+    states[d].is_destination = true;
+  }
+
+  // Raw table.
+  for (const auto& [node, source, message_id] : raw_entries) {
+    states[node].raw_table.push_back(RawTableEntry{source, message_id});
+  }
+  // Pre-aggregation table: entries are (node, source) -> destination; we
+  // kept (node, source) only for dedup, so rebuild with destinations.
+  // (A node pre-aggregates s for exactly the destinations whose contribution
+  // set at that node includes {0, s}.)
+  for (const auto& [node_dest, contribution_set] : contributions) {
+    const auto& [node, destination] = node_dest;
+    for (const Contribution& c : contribution_set) {
+      if (c.first == 0) {
+        states[node].preagg_table.push_back(
+            PreAggTableEntry{static_cast<NodeId>(c.second), destination});
+      }
+    }
+  }
+  // Partial aggregate table: one entry per edge-level partial unit plus one
+  // per destination-local record.
+  for (size_t e = 0; e < forest.edges().size(); ++e) {
+    const NodeId n = forest.edges()[e].edge.tail;
+    for (NodeId d : plan.plan_for(static_cast<int>(e)).agg_destinations) {
+      auto it = contributions.find({n, d});
+      M2M_CHECK(it != contributions.end())
+          << "partial for " << d << " at node " << n
+          << " has no contributions";
+      states[n].partial_table.push_back(PartialTableEntry{
+          d, static_cast<int>(it->second.size()),
+          unit_message(static_cast<int>(e), true, d)});
+    }
+  }
+  for (const Task& task : forest.tasks()) {
+    const NodeId d = task.destination;
+    auto it = contributions.find({d, d});
+    M2M_CHECK(it != contributions.end())
+        << "destination " << d << " receives no contributions";
+    states[d].partial_table.push_back(
+        PartialTableEntry{d, static_cast<int>(it->second.size()), -1});
+  }
+  // Outgoing message table.
+  for (size_t m = 0; m < schedule.messages().size(); ++m) {
+    const MessageSchedule::Message& message = schedule.messages()[m];
+    const ForestEdge& edge = forest.edges()[message.edge_index];
+    states[edge.edge.tail].outgoing_table.push_back(OutgoingMessageEntry{
+        static_cast<int>(m), static_cast<int>(message.unit_ids.size()),
+        edge.edge.head, edge.segment});
+  }
+
+  return CompiledPlan(std::make_shared<GlobalPlan>(plan),
+                      std::move(schedule), std::move(states));
+}
+
+const NodeState& CompiledPlan::state(NodeId node) const {
+  M2M_CHECK(node >= 0 && node < node_count());
+  return states_[node];
+}
+
+StateTotals CompiledPlan::ComputeStateTotals() const {
+  StateTotals totals;
+  for (const NodeState& state : states_) {
+    totals.raw_entries += static_cast<int64_t>(state.raw_table.size());
+    totals.preagg_entries +=
+        static_cast<int64_t>(state.preagg_table.size());
+    totals.partial_entries +=
+        static_cast<int64_t>(state.partial_table.size());
+    totals.outgoing_entries +=
+        static_cast<int64_t>(state.outgoing_table.size());
+    if (state.is_destination) ++totals.evaluator_entries;
+  }
+  const MulticastForest& forest = plan_->forest();
+  for (NodeId s : forest.source_ids()) {
+    totals.sum_multicast_tree_sizes += forest.MulticastTreeSize(s);
+  }
+  for (NodeId d : forest.destination_ids()) {
+    totals.sum_aggregation_tree_sizes += forest.AggregationTreeSize(d);
+  }
+  return totals;
+}
+
+}  // namespace m2m

@@ -1,0 +1,204 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "agg/partial_record.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace m2m {
+
+std::string ToString(PlanStrategy strategy) {
+  switch (strategy) {
+    case PlanStrategy::kOptimal:
+      return "optimal";
+    case PlanStrategy::kMulticastOnly:
+      return "multicast";
+    case PlanStrategy::kAggregationOnly:
+      return "aggregation";
+  }
+  return "unknown";
+}
+
+GlobalPlan::GlobalPlan(std::shared_ptr<const MulticastForest> forest,
+                       std::vector<EdgePlan> edge_plans,
+                       PlannerOptions options)
+    : forest_(std::move(forest)),
+      edge_plans_(std::move(edge_plans)),
+      options_(options) {
+  M2M_CHECK(forest_ != nullptr);
+  M2M_CHECK_EQ(edge_plans_.size(), forest_->edges().size());
+}
+
+const EdgePlan& GlobalPlan::plan_for(int edge_index) const {
+  M2M_CHECK(edge_index >= 0 &&
+            edge_index < static_cast<int>(edge_plans_.size()));
+  return edge_plans_[edge_index];
+}
+
+int64_t GlobalPlan::TotalPayloadBytes() const {
+  int64_t total = 0;
+  for (const EdgePlan& p : edge_plans_) total += p.payload_bytes;
+  return total;
+}
+
+int64_t GlobalPlan::TotalPhysicalPayloadBytes() const {
+  int64_t total = 0;
+  for (size_t i = 0; i < edge_plans_.size(); ++i) {
+    total += edge_plans_[i].payload_bytes *
+             forest_->edges()[i].hop_length();
+  }
+  return total;
+}
+
+int64_t GlobalPlan::TotalUnits() const {
+  int64_t total = 0;
+  for (const EdgePlan& p : edge_plans_) total += p.unit_count();
+  return total;
+}
+
+namespace {
+
+/// Byte size of one partial-record message unit for `destination`.
+int PartialUnitBytes(const FunctionSet& functions, NodeId destination) {
+  return kIdTagBytes + functions.Get(destination).partial_record_bytes();
+}
+
+uint64_t InstanceSignature(const ForestEdge& edge,
+                           const FunctionSet& functions,
+                           uint64_t tiebreak_seed) {
+  uint64_t h = SplitMix64(tiebreak_seed);
+  for (const SourceDestPair& pair : edge.pairs) {
+    h = SplitMix64(h ^ (static_cast<uint64_t>(pair.source) << 32) ^
+                   static_cast<uint32_t>(pair.destination));
+    h = SplitMix64(
+        h ^ static_cast<uint64_t>(PartialUnitBytes(functions,
+                                                   pair.destination)));
+  }
+  return h;
+}
+
+}  // namespace
+
+BipartiteInstance BuildEdgeInstance(const ForestEdge& edge,
+                                    const FunctionSet& functions,
+                                    uint64_t tiebreak_seed) {
+  BipartiteInstance instance;
+  std::map<NodeId, int> source_index;
+  std::map<NodeId, int> destination_index;
+  for (const SourceDestPair& pair : edge.pairs) {
+    if (!source_index.contains(pair.source)) {
+      source_index[pair.source] = static_cast<int>(instance.sources.size());
+      instance.sources.push_back(CoverVertex{
+          pair.source, PerturbedWeight(kRawUnitBytes, pair.source,
+                                       /*is_destination=*/false,
+                                       tiebreak_seed)});
+    }
+    if (!destination_index.contains(pair.destination)) {
+      destination_index[pair.destination] =
+          static_cast<int>(instance.destinations.size());
+      instance.destinations.push_back(CoverVertex{
+          pair.destination,
+          PerturbedWeight(PartialUnitBytes(functions, pair.destination),
+                          pair.destination, /*is_destination=*/true,
+                          tiebreak_seed)});
+    }
+    instance.edges.emplace_back(source_index[pair.source],
+                                destination_index[pair.destination]);
+  }
+  return instance;
+}
+
+EdgePlan SolveEdge(const ForestEdge& edge, const FunctionSet& functions,
+                   const PlannerOptions& options) {
+  BipartiteInstance instance =
+      BuildEdgeInstance(edge, functions, options.tiebreak_seed);
+  EdgePlan plan;
+  plan.instance_signature =
+      InstanceSignature(edge, functions, options.tiebreak_seed);
+  switch (options.strategy) {
+    case PlanStrategy::kOptimal: {
+      CoverSolution cover = SolveMinWeightVertexCover(instance);
+      for (size_t i = 0; i < instance.sources.size(); ++i) {
+        if (cover.source_in_cover[i]) {
+          plan.raw_sources.push_back(instance.sources[i].node);
+        }
+      }
+      for (size_t j = 0; j < instance.destinations.size(); ++j) {
+        if (cover.destination_in_cover[j]) {
+          plan.agg_destinations.push_back(instance.destinations[j].node);
+        }
+      }
+      break;
+    }
+    case PlanStrategy::kMulticastOnly:
+      for (const CoverVertex& v : instance.sources) {
+        plan.raw_sources.push_back(v.node);
+      }
+      break;
+    case PlanStrategy::kAggregationOnly:
+      for (const CoverVertex& v : instance.destinations) {
+        plan.agg_destinations.push_back(v.node);
+      }
+      break;
+  }
+  // Instance vertices are inserted in pair-encounter order; the plan's
+  // contract is sorted lists (EdgePlan lookups use binary search).
+  std::sort(plan.raw_sources.begin(), plan.raw_sources.end());
+  std::sort(plan.agg_destinations.begin(), plan.agg_destinations.end());
+  plan.payload_bytes =
+      static_cast<int64_t>(plan.raw_sources.size()) * kRawUnitBytes;
+  for (NodeId d : plan.agg_destinations) {
+    plan.payload_bytes += PartialUnitBytes(functions, d);
+  }
+  return plan;
+}
+
+GlobalPlan BuildPlan(std::shared_ptr<const MulticastForest> forest,
+                     const FunctionSet& functions,
+                     const PlannerOptions& options) {
+  M2M_CHECK(forest != nullptr);
+  std::vector<EdgePlan> plans;
+  plans.reserve(forest->edges().size());
+  for (const ForestEdge& edge : forest->edges()) {
+    plans.push_back(SolveEdge(edge, functions, options));
+  }
+  return GlobalPlan(std::move(forest), std::move(plans), options);
+}
+
+GlobalPlan UpdatePlan(const GlobalPlan& old_plan,
+                      std::shared_ptr<const MulticastForest> forest,
+                      const FunctionSet& functions, UpdateStats* stats) {
+  M2M_CHECK(forest != nullptr);
+  const PlannerOptions& options = old_plan.options();
+  // Index old edges by their milestone-level (tail, head) key.
+  std::unordered_map<DirectedEdge, int, DirectedEdgeHash> old_index;
+  const auto& old_edges = old_plan.forest().edges();
+  for (size_t i = 0; i < old_edges.size(); ++i) {
+    old_index.emplace(old_edges[i].edge, static_cast<int>(i));
+  }
+  UpdateStats local_stats;
+  local_stats.edges_total = static_cast<int>(forest->edges().size());
+  std::vector<EdgePlan> plans;
+  plans.reserve(forest->edges().size());
+  for (const ForestEdge& edge : forest->edges()) {
+    auto it = old_index.find(edge.edge);
+    if (it != old_index.end()) {
+      const EdgePlan& candidate = old_plan.edge_plans()[it->second];
+      if (candidate.instance_signature ==
+          InstanceSignature(edge, functions, options.tiebreak_seed)) {
+        plans.push_back(candidate);
+        ++local_stats.edges_reused;
+        continue;
+      }
+    }
+    plans.push_back(SolveEdge(edge, functions, options));
+    ++local_stats.edges_reoptimized;
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return GlobalPlan(std::move(forest), std::move(plans), options);
+}
+
+}  // namespace m2m

@@ -1,0 +1,116 @@
+#include "plan/serialization.h"
+
+#include <map>
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace m2m {
+
+std::vector<uint8_t> EncodeNodeState(const NodeState& state,
+                                     const FunctionSet& functions) {
+  // Global message id -> node-local outgoing index.
+  std::map<int, int> local_id;
+  for (size_t i = 0; i < state.outgoing_table.size(); ++i) {
+    local_id[state.outgoing_table[i].message_id] = static_cast<int>(i);
+  }
+  auto to_local = [&](int message_id) {
+    auto it = local_id.find(message_id);
+    M2M_CHECK(it != local_id.end())
+        << "table entry references unknown outgoing message " << message_id;
+    return it->second;
+  };
+
+  ByteWriter writer;
+  writer.WriteVarint(state.raw_table.size());
+  for (const RawTableEntry& entry : state.raw_table) {
+    writer.WriteVarint(static_cast<uint64_t>(entry.source));
+    writer.WriteVarint(static_cast<uint64_t>(to_local(entry.message_id)));
+  }
+  writer.WriteVarint(state.preagg_table.size());
+  for (const PreAggTableEntry& entry : state.preagg_table) {
+    const AggregateFunction& fn = functions.Get(entry.destination);
+    writer.WriteVarint(static_cast<uint64_t>(entry.source));
+    writer.WriteVarint(static_cast<uint64_t>(entry.destination));
+    writer.WriteU8(static_cast<uint8_t>(fn.kind()));
+    writer.WriteF32(static_cast<float>(fn.WeightFor(entry.source)));
+    writer.WriteF32(static_cast<float>(fn.Parameter()));
+  }
+  writer.WriteVarint(state.partial_table.size());
+  for (const PartialTableEntry& entry : state.partial_table) {
+    writer.WriteVarint(static_cast<uint64_t>(entry.destination));
+    writer.WriteVarint(static_cast<uint64_t>(entry.expected_contributions));
+    writer.WriteVarint(entry.message_id < 0
+                           ? 0
+                           : static_cast<uint64_t>(
+                                 to_local(entry.message_id) + 1));
+    writer.WriteU8(
+        static_cast<uint8_t>(functions.Get(entry.destination).kind()));
+  }
+  writer.WriteVarint(state.outgoing_table.size());
+  for (const OutgoingMessageEntry& entry : state.outgoing_table) {
+    writer.WriteVarint(static_cast<uint64_t>(entry.unit_count));
+    writer.WriteVarint(static_cast<uint64_t>(entry.recipient));
+  }
+  writer.WriteU8(state.is_destination ? 1 : 0);
+  return writer.bytes();
+}
+
+DecodedNodeState DecodeNodeState(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  DecodedNodeState decoded;
+  uint64_t raw_count = reader.ReadVarint();
+  for (uint64_t i = 0; i < raw_count; ++i) {
+    RawTableEntry entry;
+    entry.source = static_cast<NodeId>(reader.ReadVarint());
+    entry.message_id = static_cast<int>(reader.ReadVarint());
+    decoded.state.raw_table.push_back(entry);
+  }
+  uint64_t preagg_count = reader.ReadVarint();
+  for (uint64_t i = 0; i < preagg_count; ++i) {
+    PreAggTableEntry entry;
+    entry.source = static_cast<NodeId>(reader.ReadVarint());
+    entry.destination = static_cast<NodeId>(reader.ReadVarint());
+    DecodedPreAggMeta meta;
+    meta.kind = reader.ReadU8();
+    meta.weight = reader.ReadF32();
+    meta.param = reader.ReadF32();
+    decoded.preagg_meta.push_back(meta);
+    decoded.state.preagg_table.push_back(entry);
+  }
+  uint64_t partial_count = reader.ReadVarint();
+  for (uint64_t i = 0; i < partial_count; ++i) {
+    PartialTableEntry entry;
+    entry.destination = static_cast<NodeId>(reader.ReadVarint());
+    entry.expected_contributions = static_cast<int>(reader.ReadVarint());
+    uint64_t local_plus1 = reader.ReadVarint();
+    entry.message_id = local_plus1 == 0
+                           ? -1
+                           : static_cast<int>(local_plus1 - 1);
+    decoded.partial_kinds.push_back(reader.ReadU8());
+    decoded.state.partial_table.push_back(entry);
+  }
+  uint64_t outgoing_count = reader.ReadVarint();
+  for (uint64_t i = 0; i < outgoing_count; ++i) {
+    OutgoingMessageEntry entry;
+    entry.message_id = static_cast<int>(i);
+    entry.unit_count = static_cast<int>(reader.ReadVarint());
+    entry.recipient = static_cast<NodeId>(reader.ReadVarint());
+    decoded.state.outgoing_table.push_back(entry);
+  }
+  decoded.state.is_destination = reader.ReadU8() != 0;
+  M2M_CHECK(reader.AtEnd()) << "trailing bytes in node state image";
+  return decoded;
+}
+
+std::vector<std::vector<uint8_t>> EncodeAllNodeStates(
+    const CompiledPlan& compiled, const FunctionSet& functions) {
+  std::vector<std::vector<uint8_t>> images;
+  images.reserve(compiled.node_count());
+  for (NodeId n = 0; n < compiled.node_count(); ++n) {
+    images.push_back(EncodeNodeState(compiled.state(n), functions));
+  }
+  return images;
+}
+
+}  // namespace m2m

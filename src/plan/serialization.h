@@ -1,0 +1,63 @@
+#ifndef M2M_PLAN_SERIALIZATION_H_
+#define M2M_PLAN_SERIALIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "plan/node_tables.h"
+
+namespace m2m {
+
+/// Binary wire image of one node's runtime state (paper section 3's four
+/// tables plus the destination flag). This is what dissemination ships into
+/// the network and what a mote would hold in RAM.
+///
+/// Message identifiers are *node-local* (the index of the message in the
+/// node's own outgoing table), so a node's image is stable as long as its
+/// role in the plan is unchanged — the property that makes incremental
+/// dissemination cheap after localized plan updates (Corollary 1).
+///
+/// Layout (all multi-byte integers little-endian, counts as varints):
+///   varint raw_count        { varint source; varint local_msg }*
+///   varint preagg_count     { varint source; varint destination;
+///                             u8 kind; f32 weight; f32 param }*
+///   varint partial_count    { varint destination; varint expected;
+///                             varint local_msg_plus1 (0 = consumed here);
+///                             u8 kind }*
+///   varint outgoing_count   { varint unit_count; varint recipient }*
+///   u8 is_destination
+///
+/// The pre-aggregation entries carry the operational form of w_{d,s}
+/// (function kind + weight + kind parameter) and partial entries the merge/
+/// evaluate kind m_d/e_d, so a node can execute the plan from the image
+/// alone (see runtime/NodeRuntime).
+std::vector<uint8_t> EncodeNodeState(const NodeState& state,
+                                     const FunctionSet& functions);
+
+/// Function metadata serialized with one pre-aggregation entry.
+struct DecodedPreAggMeta {
+  uint8_t kind = 0;  ///< static_cast<uint8_t>(AggregateKind).
+  float weight = 1.0f;
+  float param = 0.0f;
+};
+
+/// Decoded image; `preagg_meta[i]` belongs to `state.preagg_table[i]` and
+/// `partial_kinds[i]` to `state.partial_table[i]`. Message ids in the
+/// decoded state are the node-local ids of the image (outgoing segments are
+/// not part of the wire image — the communication layer owns routes).
+struct DecodedNodeState {
+  NodeState state;
+  std::vector<DecodedPreAggMeta> preagg_meta;
+  std::vector<uint8_t> partial_kinds;
+};
+
+DecodedNodeState DecodeNodeState(const std::vector<uint8_t>& bytes);
+
+/// Wire images for every node of a compiled plan, indexed by node id.
+std::vector<std::vector<uint8_t>> EncodeAllNodeStates(
+    const CompiledPlan& compiled, const FunctionSet& functions);
+
+}  // namespace m2m
+
+#endif  // M2M_PLAN_SERIALIZATION_H_

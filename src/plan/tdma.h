@@ -1,0 +1,57 @@
+#ifndef M2M_PLAN_TDMA_H_
+#define M2M_PLAN_TDMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "plan/node_tables.h"
+#include "topology/topology.h"
+
+namespace m2m {
+
+/// One scheduled hop transmission: message `message` crossing hop index
+/// `hop` of its edge's physical segment during `slot`.
+struct TdmaAssignment {
+  int message = -1;
+  int hop = 0;
+  NodeId sender = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+  int slot = -1;
+};
+
+/// A collision-free slotted transmission schedule for one round of a
+/// compiled plan (paper section 3's "detailed transmission schedule ...
+/// avoiding collisions and reducing node listening time").
+struct TdmaSchedule {
+  std::vector<TdmaAssignment> assignments;
+  int slot_count = 0;
+  /// Slots each node must keep its radio in receive mode (only the slots in
+  /// which it is an intended receiver). The unscheduled alternative is
+  /// idle-listening every slot.
+  std::vector<int> listen_slots;
+
+  int64_t total_listen_slots() const;
+  /// Listening load if every node idled through the whole round instead.
+  int64_t unscheduled_listen_slots() const {
+    return static_cast<int64_t>(listen_slots.size()) * slot_count;
+  }
+};
+
+/// Greedy earliest-slot scheduling over the message wait-for DAG with the
+/// protocol interference model: two hops may not share a slot when either
+/// sender is within radio range of the other's receiver, or when they touch
+/// a common node. Hops of one message serialize; a message's first hop
+/// waits for every message it depends on.
+TdmaSchedule BuildTdmaSchedule(const CompiledPlan& compiled,
+                               const Topology& topology);
+
+/// Verifies dependency and interference constraints; used by tests and
+/// CHECKed at build time.
+bool ValidateTdmaSchedule(const TdmaSchedule& schedule,
+                          const CompiledPlan& compiled,
+                          const Topology& topology);
+
+}  // namespace m2m
+
+#endif  // M2M_PLAN_TDMA_H_

@@ -1,0 +1,58 @@
+#include "routing/backbone.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace m2m {
+
+NodeId PickCenterNode(const Topology& topology) {
+  NodeId best = 0;
+  int64_t best_total = -1;
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    std::vector<int> dist = topology.HopDistancesFrom(n);
+    int64_t total = 0;
+    for (int d : dist) {
+      M2M_CHECK_GE(d, 0) << "backbone requires a connected topology";
+      total += d;
+    }
+    if (best_total < 0 || total < best_total) {
+      best_total = total;
+      best = n;
+    }
+  }
+  return best;
+}
+
+PathSystem::LinkCostFn BackboneBiasedCost(const Topology& topology,
+                                          NodeId center,
+                                          double off_backbone_penalty) {
+  M2M_CHECK_GT(off_backbone_penalty, 1.0);
+  // BFS tree rooted at the center: the backbone links.
+  auto backbone = std::make_shared<std::set<std::pair<NodeId, NodeId>>>();
+  std::vector<bool> visited(topology.node_count(), false);
+  std::queue<NodeId> frontier;
+  visited[center] = true;
+  frontier.push(center);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : topology.neighbors(u)) {
+      if (visited[v]) continue;
+      visited[v] = true;
+      backbone->insert({std::min(u, v), std::max(u, v)});
+      frontier.push(v);
+    }
+  }
+  return [backbone, off_backbone_penalty](NodeId a, NodeId b) {
+    return backbone->contains({std::min(a, b), std::max(a, b)})
+               ? 1.0
+               : off_backbone_penalty;
+  };
+}
+
+}  // namespace m2m

@@ -1,0 +1,28 @@
+#ifndef M2M_ROUTING_BACKBONE_H_
+#define M2M_ROUTING_BACKBONE_H_
+
+#include "routing/path_system.h"
+#include "topology/topology.h"
+
+namespace m2m {
+
+/// The node minimizing the sum of hop distances to all others (the
+/// 1-median) — a natural backbone root.
+NodeId PickCenterNode(const Topology& topology);
+
+/// Aggregation-aware routing bias (the future-work direction the paper's
+/// Figure 5 discussion flags: its stock multicast trees "tend to create
+/// many edges that are not shared across trees"). Links on the shortest-
+/// path tree rooted at `center` cost 1.0; all other links cost
+/// `off_backbone_penalty` (> 1). Routes then funnel onto a shared backbone:
+/// paths get a little longer, but far more of them overlap, which is
+/// exactly what in-network aggregation feeds on. The cost function is a
+/// fixed link property, so the consistent-path-system guarantees (and with
+/// them Theorem 1) are untouched.
+PathSystem::LinkCostFn BackboneBiasedCost(const Topology& topology,
+                                          NodeId center,
+                                          double off_backbone_penalty);
+
+}  // namespace m2m
+
+#endif  // M2M_ROUTING_BACKBONE_H_

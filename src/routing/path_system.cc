@@ -1,0 +1,141 @@
+#include "routing/path_system.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace m2m {
+
+namespace {
+
+// Base weight per hop. Epsilon sums along any simple path (< 2^13 hops of
+// < 2^27 each) stay below this, so hop count remains the primary metric.
+constexpr int64_t kHopBase = int64_t{1} << 40;
+constexpr int64_t kUnreachable = std::numeric_limits<int64_t>::max();
+
+int64_t LinkWeight(NodeId a, NodeId b, uint64_t seed,
+                   const PathSystem::LinkCostFn& link_cost) {
+  NodeId lo = std::min(a, b);
+  NodeId hi = std::max(a, b);
+  uint64_t h = SplitMix64(seed ^ ((static_cast<uint64_t>(lo) << 32) |
+                                  static_cast<uint32_t>(hi)));
+  int64_t epsilon = static_cast<int64_t>(h & ((uint64_t{1} << 27) - 1)) + 1;
+  double cost = 1.0;
+  if (link_cost != nullptr) {
+    cost = link_cost(a, b);
+    M2M_CHECK_GE(cost, 1.0) << "link cost below 1.0";
+    M2M_CHECK_LE(cost, 1024.0) << "link cost too large";
+  }
+  return static_cast<int64_t>(cost * kHopBase) + epsilon;
+}
+
+}  // namespace
+
+PathSystem::PathSystem(const Topology& topology, uint64_t perturbation_seed,
+                       const LinkCostFn& link_cost)
+    : node_count_(topology.node_count()) {
+  const int n = node_count_;
+  weight_.assign(static_cast<size_t>(n) * n, kUnreachable);
+  next_hop_.assign(static_cast<size_t>(n) * n, kInvalidNode);
+
+  // One Dijkstra per target t: parent[u] is u's neighbor on the unique
+  // shortest path from u toward t, i.e. NextHop(u, t).
+  using QueueEntry = std::pair<int64_t, NodeId>;
+  std::vector<int64_t> dist(n);
+  std::vector<NodeId> toward(n);
+  for (NodeId t = 0; t < n; ++t) {
+    std::fill(dist.begin(), dist.end(), kUnreachable);
+    std::fill(toward.begin(), toward.end(), kInvalidNode);
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue;
+    dist[t] = 0;
+    queue.push({0, t});
+    while (!queue.empty()) {
+      auto [d, u] = queue.top();
+      queue.pop();
+      if (d != dist[u]) continue;
+      for (NodeId v : topology.neighbors(u)) {
+        int64_t w = LinkWeight(u, v, perturbation_seed, link_cost);
+        if (dist[u] != kUnreachable && dist[u] + w < dist[v]) {
+          dist[v] = dist[u] + w;
+          toward[v] = u;
+          queue.push({dist[v], v});
+        }
+      }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      weight_[Index(u, t)] = dist[u];
+      next_hop_[Index(u, t)] = (u == t) ? t : toward[u];
+    }
+  }
+}
+
+void PathSystem::CheckNode(NodeId n) const {
+  M2M_CHECK(n >= 0 && n < node_count_) << "node id " << n << " out of range";
+}
+
+int PathSystem::HopDistance(NodeId u, NodeId v) const {
+  CheckNode(u);
+  CheckNode(v);
+  int64_t w = weight_[Index(u, v)];
+  M2M_CHECK_NE(w, kUnreachable) << "node " << v << " unreachable from " << u;
+  return static_cast<int>(w >> 40);
+}
+
+int64_t PathSystem::PathWeight(NodeId u, NodeId v) const {
+  CheckNode(u);
+  CheckNode(v);
+  return weight_[Index(u, v)];
+}
+
+NodeId PathSystem::NextHop(NodeId u, NodeId v) const {
+  CheckNode(u);
+  CheckNode(v);
+  M2M_CHECK_NE(u, v);
+  NodeId next = next_hop_[Index(u, v)];
+  M2M_CHECK_NE(next, kInvalidNode)
+      << "node " << v << " unreachable from " << u;
+  return next;
+}
+
+std::vector<NodeId> PathSystem::Path(NodeId u, NodeId v) const {
+  CheckNode(u);
+  CheckNode(v);
+  std::vector<NodeId> path;
+  path.push_back(u);
+  NodeId cursor = u;
+  while (cursor != v) {
+    cursor = NextHop(cursor, v);
+    path.push_back(cursor);
+    M2M_CHECK_LE(path.size(), static_cast<size_t>(node_count_))
+        << "next-hop cycle detected";
+  }
+  return path;
+}
+
+int PathSystem::Eccentricity(NodeId u) const {
+  CheckNode(u);
+  int best = 0;
+  for (NodeId v = 0; v < node_count_; ++v) {
+    best = std::max(best, HopDistance(u, v));
+  }
+  return best;
+}
+
+bool PathSystem::PathIsConsistent(NodeId u, NodeId v) const {
+  std::vector<NodeId> path = Path(u, v);
+  for (size_t i = 0; i < path.size(); ++i) {
+    for (size_t j = i; j < path.size(); ++j) {
+      std::vector<NodeId> sub = Path(path[i], path[j]);
+      if (sub.size() != j - i + 1) return false;
+      if (!std::equal(sub.begin(), sub.end(), path.begin() + i)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace m2m

@@ -1,0 +1,81 @@
+#ifndef M2M_ROUTING_PATH_SYSTEM_H_
+#define M2M_ROUTING_PATH_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/topology.h"
+
+namespace m2m {
+
+/// A *consistent* all-pairs path system over a topology.
+///
+/// The paper (section 2.1) requires multicast trees to satisfy (1) minimality
+/// and (2) path sharing: whenever node i can reach node j in two multicast
+/// trees, the two i->j paths are identical. We guarantee both by
+/// construction: every undirected link gets weight `2^40 + epsilon` where
+/// epsilon is a deterministic pseudo-random perturbation in [1, 2^27), making
+/// all-pairs shortest paths unique with overwhelming probability. Unique
+/// shortest paths are closed under subpaths, so the canonical path family
+/// {P(u,v)} is consistent: if x lies on P(u,v) then P(u,v) = P(u,x) +
+/// P(x,v). Multicast trees built as unions of canonical paths from a common
+/// source therefore (a) are trees, and (b) satisfy the path-sharing
+/// restriction across trees. Hop count stays the primary routing metric: the
+/// perturbation sum along any simple path is below one hop's base weight.
+class PathSystem {
+ public:
+  /// Relative cost of using a link (>= 1.0); hop count times this is the
+  /// primary routing metric. The default (null) costs every link 1.0,
+  /// making paths hop-count shortest.
+  using LinkCostFn = std::function<double(NodeId, NodeId)>;
+
+  /// Computes all-pairs unique shortest paths; O(n * (m log n)).
+  /// `perturbation_seed` feeds the per-link epsilon values. A non-null
+  /// `link_cost` biases routing (e.g. away from unstable links); paths then
+  /// minimize summed link cost instead of pure hop count, and HopDistance
+  /// reports the integer cost of the chosen route.
+  explicit PathSystem(const Topology& topology,
+                      uint64_t perturbation_seed = 0x5eed,
+                      const LinkCostFn& link_cost = nullptr);
+
+  PathSystem(const PathSystem&) = default;
+  PathSystem& operator=(const PathSystem&) = default;
+
+  int node_count() const { return node_count_; }
+
+  /// Integer route cost of the canonical path u -> v (equals the hop count
+  /// under the default link cost); 0 when u == v. For physical hop counts
+  /// under custom costs, use Path(u, v).size() - 1.
+  int HopDistance(NodeId u, NodeId v) const;
+
+  /// Perturbed path weight (primary: hops; tiebreaker: epsilon sum).
+  int64_t PathWeight(NodeId u, NodeId v) const;
+
+  /// First hop on the canonical path u -> v. Requires u != v and v reachable.
+  NodeId NextHop(NodeId u, NodeId v) const;
+
+  /// Full canonical path u -> v, inclusive of both endpoints.
+  std::vector<NodeId> Path(NodeId u, NodeId v) const;
+
+  /// Maximum hop distance from u to any node.
+  int Eccentricity(NodeId u) const;
+
+  /// Verifies the consistency property on all subpaths of P(u, v); used by
+  /// tests and by debug validation of multicast construction.
+  bool PathIsConsistent(NodeId u, NodeId v) const;
+
+ private:
+  void CheckNode(NodeId n) const;
+  int Index(NodeId u, NodeId v) const { return u * node_count_ + v; }
+
+  int node_count_ = 0;
+  // Flattened n x n matrices.
+  std::vector<int64_t> weight_;
+  std::vector<NodeId> next_hop_;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_ROUTING_PATH_SYSTEM_H_

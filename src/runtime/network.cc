@@ -1,0 +1,78 @@
+#include "runtime/network.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "plan/serialization.h"
+
+namespace m2m {
+
+RuntimeNetwork::RuntimeNetwork(const CompiledPlan& compiled,
+                               const FunctionSet& functions) {
+  std::vector<std::vector<uint8_t>> images =
+      EncodeAllNodeStates(compiled, functions);
+  nodes_.reserve(images.size());
+  message_hops_.resize(images.size());
+  for (NodeId n = 0; n < compiled.node_count(); ++n) {
+    installed_image_bytes_ += static_cast<int64_t>(images[n].size());
+    nodes_.emplace_back(n, images[n]);
+    // Hop counts by node-local message id (images index outgoing messages
+    // by their position in the outgoing table).
+    for (const OutgoingMessageEntry& entry :
+         compiled.state(n).outgoing_table) {
+      message_hops_[n].push_back(
+          static_cast<int>(entry.segment.size()) - 1);
+    }
+  }
+}
+
+RuntimeNetwork::Result RuntimeNetwork::RunRound(
+    const std::vector<double>& readings, const EnergyModel& energy) {
+  M2M_CHECK_EQ(readings.size(), nodes_.size());
+  Result result;
+
+  struct InFlight {
+    NodeId sender;
+    NodeRuntime::OutgoingPacket packet;
+  };
+  std::deque<InFlight> in_flight;
+  auto collect = [&](NodeRuntime& node) {
+    for (NodeRuntime::OutgoingPacket& packet : node.DrainReadyPackets()) {
+      in_flight.push_back(InFlight{node.id(), std::move(packet)});
+    }
+  };
+
+  for (NodeRuntime& node : nodes_) {
+    node.StartRound(readings[node.id()]);
+    collect(node);
+  }
+  while (!in_flight.empty()) {
+    ++result.delivery_passes;
+    std::deque<InFlight> batch;
+    batch.swap(in_flight);
+    while (!batch.empty()) {
+      InFlight flight = std::move(batch.front());
+      batch.pop_front();
+      int payload = static_cast<int>(flight.packet.payload.size());
+      int hops =
+          message_hops_[flight.sender][flight.packet.local_message_id];
+      result.packets += 1;
+      result.payload_bytes += payload;
+      result.energy_mj += hops * energy.UnicastHopUj(payload) / 1000.0;
+      NodeRuntime& recipient = nodes_[flight.packet.recipient];
+      recipient.OnReceive(flight.packet.payload);
+      collect(recipient);
+    }
+  }
+
+  for (const NodeRuntime& node : nodes_) {
+    if (!node.is_destination()) continue;
+    std::optional<double> value = node.FinalValue();
+    M2M_CHECK(value.has_value())
+        << "destination " << node.id() << " never completed its aggregate";
+    result.destination_values[node.id()] = *value;
+  }
+  return result;
+}
+
+}  // namespace m2m

@@ -1,0 +1,103 @@
+#ifndef M2M_RUNTIME_NODE_RUNTIME_H_
+#define M2M_RUNTIME_NODE_RUNTIME_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "agg/partial_record.h"
+#include "common/ids.h"
+#include "plan/serialization.h"
+
+namespace m2m {
+
+/// The per-mote implementation of paper section 3's node behavior: a state
+/// machine constructed purely from a node's serialized table image (the
+/// bytes dissemination ships), exchanging *encoded packets* with neighbors.
+/// No global plan, forest, or function objects are visible to a node — only
+/// its own four tables with their serialized function metadata.
+///
+/// Round protocol:
+///   1. StartRound(reading): reset round state, inject the local reading.
+///   2. OnReceive(packet): decode incoming units; raw values are forwarded
+///      and/or pre-aggregated per the tables; partial records merge into
+///      the node's accumulators.
+///   3. DrainReadyPackets(): outgoing messages whose units are all ready,
+///      encoded for the radio. Call after StartRound and after every
+///      OnReceive.
+///   4. FinalValue(): for destination nodes, the evaluated aggregate once
+///      every expected contribution has arrived.
+class NodeRuntime {
+ public:
+  /// `image` is the wire image produced by EncodeNodeState.
+  NodeRuntime(NodeId id, const std::vector<uint8_t>& image);
+
+  NodeRuntime(const NodeRuntime&) = default;
+  NodeRuntime& operator=(const NodeRuntime&) = default;
+
+  NodeId id() const { return id_; }
+  bool is_destination() const { return state_.state.is_destination; }
+  const DecodedNodeState& decoded() const { return state_; }
+
+  void StartRound(double reading);
+
+  /// Processes one incoming packet (payload produced by another node's
+  /// DrainReadyPackets).
+  void OnReceive(const std::vector<uint8_t>& packet);
+
+  struct OutgoingPacket {
+    int local_message_id = -1;
+    NodeId recipient = kInvalidNode;
+    std::vector<uint8_t> payload;
+    int unit_count = 0;
+  };
+
+  /// Messages that became complete since the last drain.
+  std::vector<OutgoingPacket> DrainReadyPackets();
+
+  /// The destination's aggregate, once complete.
+  std::optional<double> FinalValue() const;
+
+  /// Diagnostics: local message ids that are not yet complete, and the
+  /// received/expected contribution counts per destination accumulator.
+  std::vector<int> IncompleteMessages() const;
+  struct AccumulatorStatus {
+    NodeId destination = kInvalidNode;
+    int received = 0;
+    int expected = 0;
+  };
+  std::vector<AccumulatorStatus> AccumulatorStatuses() const;
+
+ private:
+  struct Accumulator {
+    PartialRecord record;
+    int received = 0;
+    int expected = 0;
+    int local_message = -1;  // -1: consumed at this node.
+    uint8_t kind = 0;
+    bool has_record = false;
+  };
+
+  void AcceptRawValue(NodeId source, double value);
+  void AcceptPartialRecord(NodeId destination, const PartialRecord& record);
+  void MarkUnitReady(int local_message);
+  void CompleteAccumulator(NodeId destination, Accumulator& accumulator);
+
+  NodeId id_;
+  DecodedNodeState state_;
+
+  // --- Round state ---
+  bool round_active_ = false;
+  std::map<NodeId, double> raw_values_;
+  std::map<NodeId, Accumulator> accumulators_;
+  std::map<int, int> ready_units_;  // local message -> ready unit count.
+  std::set<int> complete_messages_;
+  std::vector<int> pending_emits_;
+  std::optional<double> final_value_;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_RUNTIME_NODE_RUNTIME_H_

@@ -1,0 +1,34 @@
+#ifndef M2M_RUNTIME_WIRE_FUNCTIONS_H_
+#define M2M_RUNTIME_WIRE_FUNCTIONS_H_
+
+#include <cstdint>
+
+#include "agg/partial_record.h"
+#include "common/ids.h"
+
+namespace m2m::wire {
+
+/// Operational forms of the aggregation functions, keyed by the kind byte
+/// serialized in the node-state images (static_cast of AggregateKind).
+/// These are what an installed mote executes; differential tests pin them
+/// to the AggregateFunction implementations.
+
+/// Number of meaningful PartialRecord fields for the kind (determines the
+/// packet encoding of a partial unit).
+int FieldCountOf(uint8_t kind);
+
+/// w_{d,s}: raw reading -> partial record, given the serialized weight and
+/// kind parameter.
+PartialRecord PreAggregate(uint8_t kind, float weight, float param,
+                           NodeId source, double value);
+
+/// m_d: merge two partial records of this kind.
+PartialRecord Merge(uint8_t kind, const PartialRecord& a,
+                    const PartialRecord& b);
+
+/// e_d: final value from a fully merged record.
+double Evaluate(uint8_t kind, const PartialRecord& record);
+
+}  // namespace m2m::wire
+
+#endif  // M2M_RUNTIME_WIRE_FUNCTIONS_H_

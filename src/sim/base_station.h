@@ -1,0 +1,49 @@
+#ifndef M2M_SIM_BASE_STATION_H_
+#define M2M_SIM_BASE_STATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "routing/path_system.h"
+#include "sim/energy_model.h"
+#include "topology/topology.h"
+#include "workload/workload.h"
+
+namespace m2m {
+
+/// Outcome of one round of out-of-network control.
+struct BaseStationRoundResult {
+  double energy_mj = 0.0;
+  double uplink_mj = 0.0;    ///< Collecting readings at the base station.
+  double downlink_mj = 0.0;  ///< Delivering control signals to destinations.
+  int64_t messages = 0;
+  int64_t payload_bytes = 0;
+  std::vector<double> node_energy_mj;
+};
+
+/// Picks a deployment-realistic base station: the node closest to the
+/// area's origin corner (base stations sit at the edge of a deployment,
+/// wired for power and backhaul).
+NodeId PickBaseStation(const Topology& topology);
+
+/// The paper's out-of-network alternative (section 1): every source ships
+/// its raw reading to the base station over a collection tree (each
+/// distinct source once, messages merged per tree edge); the base station
+/// evaluates all control functions and unicasts each result back to its
+/// destination (result units merged per edge of the downlink tree).
+///
+/// This is the strongest reasonable version of the strawman: uplink shares
+/// raw values across all functions and both directions merge messages. Its
+/// remaining weaknesses are exactly the ones the paper names — round trips
+/// whose length grows with network size, and a traffic bottleneck at the
+/// nodes around the base station (visible in node_energy_mj).
+BaseStationRoundResult SimulateBaseStationRound(const Topology& topology,
+                                                const PathSystem& paths,
+                                                const Workload& workload,
+                                                NodeId base_station,
+                                                const EnergyModel& energy);
+
+}  // namespace m2m
+
+#endif  // M2M_SIM_BASE_STATION_H_

@@ -1,0 +1,4 @@
+#include "sim/energy_model.h"
+
+// Header-only; this file exists so the target has a translation unit and the
+// header is compiled standalone at least once.

@@ -1,0 +1,34 @@
+#ifndef M2M_SIM_FLOOD_H_
+#define M2M_SIM_FLOOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/energy_model.h"
+#include "topology/topology.h"
+
+namespace m2m {
+
+/// Outcome of one flooding round.
+struct FloodResult {
+  double energy_mj = 0.0;
+  int64_t messages = 0;
+  int64_t payload_bytes = 0;
+  std::vector<double> node_energy_mj;
+};
+
+/// The paper's Flood baseline: every source's raw value is disseminated to
+/// the whole network by broadcast; no routing or aggregation state is kept.
+/// Per the paper, each node delays and batches so all values it must forward
+/// in one wave go out in a single message: we simulate synchronous waves in
+/// which a node broadcasts once per wave, carrying every value it first
+/// heard in the previous wave. Each broadcast is received by all radio
+/// neighbors (energy charged to each).
+FloodResult SimulateFloodRound(const Topology& topology,
+                               const std::vector<NodeId>& sources,
+                               const EnergyModel& energy);
+
+}  // namespace m2m
+
+#endif  // M2M_SIM_FLOOD_H_

@@ -1,0 +1,28 @@
+#include "sim/readings.h"
+
+#include "common/check.h"
+
+namespace m2m {
+
+ReadingGenerator::ReadingGenerator(int node_count, uint64_t seed,
+                                   double step_stddev)
+    : rng_(seed), step_stddev_(step_stddev) {
+  M2M_CHECK_GT(node_count, 0);
+  values_.reserve(node_count);
+  for (int i = 0; i < node_count; ++i) {
+    values_.push_back(rng_.UniformDouble(10.0, 30.0));
+  }
+}
+
+std::vector<bool> ReadingGenerator::Advance(double change_probability) {
+  std::vector<bool> changed(values_.size(), false);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (rng_.Bernoulli(change_probability)) {
+      values_[i] += rng_.Gaussian() * step_stddev_;
+      changed[i] = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace m2m

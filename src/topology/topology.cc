@@ -1,0 +1,91 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace m2m {
+
+Topology::Topology(std::vector<Point> positions, double radio_range_m)
+    : positions_(std::move(positions)), radio_range_m_(radio_range_m) {
+  M2M_CHECK_GT(radio_range_m_, 0.0);
+  M2M_CHECK(!positions_.empty());
+  const int n = node_count();
+  adjacency_.resize(n);
+  const double range_sq = radio_range_m_ * radio_range_m_;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (DistanceSquared(positions_[a], positions_[b]) <= range_sq) {
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+        ++link_count_;
+      }
+    }
+  }
+  // Neighbor lists come out sorted by construction order, but keep the
+  // invariant explicit for downstream deterministic iteration.
+  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
+}
+
+void Topology::CheckNode(NodeId n) const {
+  M2M_CHECK(n >= 0 && n < node_count()) << "node id " << n << " out of range";
+}
+
+const Point& Topology::position(NodeId n) const {
+  CheckNode(n);
+  return positions_[n];
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId n) const {
+  CheckNode(n);
+  return adjacency_[n];
+}
+
+bool Topology::AreNeighbors(NodeId a, NodeId b) const {
+  CheckNode(a);
+  CheckNode(b);
+  const auto& list = adjacency_[a];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+double Topology::average_degree() const {
+  return 2.0 * link_count_ / node_count();
+}
+
+bool Topology::IsConnected() const {
+  std::vector<int> dist = HopDistancesFrom(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d < 0; });
+}
+
+std::vector<int> Topology::HopDistancesFrom(NodeId origin) const {
+  CheckNode(origin);
+  std::vector<int> dist(node_count(), -1);
+  std::queue<NodeId> frontier;
+  dist[origin] = 0;
+  frontier.push(origin);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> Topology::NodesAtHopDistance(NodeId origin,
+                                                 int hops) const {
+  std::vector<int> dist = HopDistancesFrom(origin);
+  std::vector<NodeId> result;
+  for (NodeId n = 0; n < node_count(); ++n) {
+    if (dist[n] == hops) result.push_back(n);
+  }
+  return result;
+}
+
+}  // namespace m2m

@@ -1,0 +1,50 @@
+#include "workload/multi_sensor.h"
+
+#include "common/check.h"
+
+namespace m2m {
+
+namespace {
+
+Topology Expand(const Topology& base, const std::vector<SensorSpec>& sensors) {
+  std::vector<Point> positions = base.positions();
+  for (const SensorSpec& sensor : sensors) {
+    M2M_CHECK(sensor.host >= 0 && sensor.host < base.node_count())
+        << "sensor host " << sensor.host << " out of range";
+    positions.push_back(base.position(sensor.host));
+  }
+  return Topology(std::move(positions), base.radio_range_m());
+}
+
+}  // namespace
+
+MultiSensorNetwork::MultiSensorNetwork(const Topology& base,
+                                       const std::vector<SensorSpec>& sensors)
+    : base_count_(base.node_count()), expanded_(Expand(base, sensors)) {
+  hosts_.reserve(sensors.size());
+  for (const SensorSpec& sensor : sensors) hosts_.push_back(sensor.host);
+}
+
+NodeId MultiSensorNetwork::sensor_id(int sensor_index) const {
+  M2M_CHECK(sensor_index >= 0 &&
+            sensor_index < static_cast<int>(hosts_.size()));
+  return base_count_ + sensor_index;
+}
+
+NodeId MultiSensorNetwork::HostOf(NodeId id) const {
+  M2M_CHECK(id >= 0 && id < expanded_.node_count());
+  if (id < base_count_) return id;
+  return hosts_[id - base_count_];
+}
+
+bool MultiSensorNetwork::IsVirtual(NodeId id) const {
+  M2M_CHECK(id >= 0 && id < expanded_.node_count());
+  return id >= base_count_;
+}
+
+bool MultiSensorNetwork::IsLocalBusLink(NodeId a, NodeId b) const {
+  if (!IsVirtual(a) && !IsVirtual(b)) return false;
+  return HostOf(a) == HostOf(b);
+}
+
+}  // namespace m2m

@@ -1,0 +1,208 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace m2m {
+
+std::vector<NodeId> Workload::DistinctSources() const {
+  std::set<NodeId> out;
+  for (const Task& task : tasks) {
+    out.insert(task.sources.begin(), task.sources.end());
+  }
+  return {out.begin(), out.end()};
+}
+
+void Workload::RebuildFunctions() {
+  M2M_CHECK_EQ(tasks.size(), specs.size());
+  functions = FunctionSet();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    // The spec's weight keys are the task's source list.
+    std::vector<NodeId> spec_sources;
+    spec_sources.reserve(specs[i].weights.size());
+    for (const auto& [s, w] : specs[i].weights) spec_sources.push_back(s);
+    std::sort(spec_sources.begin(), spec_sources.end());
+    std::vector<NodeId> task_sources = tasks[i].sources;
+    std::sort(task_sources.begin(), task_sources.end());
+    M2M_CHECK(spec_sources == task_sources)
+        << "spec/task source mismatch for destination "
+        << tasks[i].destination;
+    functions.Set(tasks[i].destination, MakeAggregateFunction(specs[i]));
+  }
+}
+
+namespace {
+
+// Picks `count` sources for `destination` using the dispersion model.
+std::vector<NodeId> PickDispersedSources(const Topology& topology,
+                                         NodeId destination, int count,
+                                         double dispersion, int max_hops,
+                                         Rng& rng) {
+  std::vector<int> hop_distance = topology.HopDistancesFrom(destination);
+  // Unused candidate nodes bucketed by hop distance 1..max_hops, plus a
+  // spill bucket (index 0) of everything else (farther nodes).
+  std::vector<std::vector<NodeId>> buckets(max_hops + 1);
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    if (n == destination || hop_distance[n] < 0) continue;
+    int h = hop_distance[n];
+    if (h >= 1 && h <= max_hops) {
+      buckets[h].push_back(n);
+    } else {
+      buckets[0].push_back(n);
+    }
+  }
+  for (auto& bucket : buckets) rng.Shuffle(bucket);
+
+  // Relative mass at hop h: dispersion^(h-1), with 0^0 = 1.
+  std::vector<double> mass(max_hops + 1, 0.0);
+  for (int h = 1; h <= max_hops; ++h) {
+    mass[h] = (h == 1) ? 1.0 : std::pow(dispersion, h - 1);
+  }
+
+  std::vector<NodeId> chosen;
+  chosen.reserve(count);
+  for (int k = 0; k < count; ++k) {
+    // Zero out empty buckets before sampling.
+    std::vector<double> available_mass = mass;
+    double total = 0.0;
+    for (int h = 1; h <= max_hops; ++h) {
+      if (buckets[h].empty()) available_mass[h] = 0.0;
+      total += available_mass[h];
+    }
+    int pick_bucket = -1;
+    if (total > 0.0) {
+      pick_bucket = static_cast<int>(rng.SampleDiscrete(available_mass));
+    } else {
+      // Every bucket with probability mass is exhausted; fall back to the
+      // nearest non-empty in-range bucket, then to nodes beyond max_hops.
+      for (int h = 1; h <= max_hops; ++h) {
+        if (!buckets[h].empty()) {
+          pick_bucket = h;
+          break;
+        }
+      }
+      if (pick_bucket < 0) {
+        M2M_CHECK(!buckets[0].empty())
+            << "network too small for " << count << " sources";
+        pick_bucket = 0;
+      }
+    }
+    chosen.push_back(buckets[pick_bucket].back());
+    buckets[pick_bucket].pop_back();
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<NodeId> PickUniformSources(const Topology& topology,
+                                       NodeId destination, int count,
+                                       Rng& rng) {
+  std::vector<NodeId> candidates;
+  candidates.reserve(topology.node_count() - 1);
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    if (n != destination) candidates.push_back(n);
+  }
+  M2M_CHECK_LE(static_cast<size_t>(count), candidates.size())
+      << "network too small for " << count << " sources";
+  rng.Shuffle(candidates);
+  candidates.resize(count);
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const Topology& topology,
+                          const WorkloadSpec& spec) {
+  M2M_CHECK_GT(spec.destination_count, 0);
+  M2M_CHECK_LE(spec.destination_count, topology.node_count());
+  M2M_CHECK_GT(spec.sources_per_destination, 0);
+  M2M_CHECK_GE(spec.dispersion, 0.0);
+  M2M_CHECK_LE(spec.dispersion, 1.0);
+  M2M_CHECK_GE(spec.max_hops, 1);
+  M2M_CHECK_LE(spec.weight_min, spec.weight_max);
+
+  Rng rng(spec.seed);
+  // Destinations without replacement.
+  std::vector<NodeId> all_nodes(topology.node_count());
+  for (NodeId n = 0; n < topology.node_count(); ++n) all_nodes[n] = n;
+  rng.Shuffle(all_nodes);
+  std::vector<NodeId> destinations(
+      all_nodes.begin(), all_nodes.begin() + spec.destination_count);
+  std::sort(destinations.begin(), destinations.end());
+
+  Workload workload;
+  for (NodeId d : destinations) {
+    Rng task_rng = rng.Fork(static_cast<uint64_t>(d));
+    std::vector<NodeId> sources =
+        spec.selection == SourceSelection::kDispersion
+            ? PickDispersedSources(topology, d, spec.sources_per_destination,
+                                   spec.dispersion, spec.max_hops, task_rng)
+            : PickUniformSources(topology, d, spec.sources_per_destination,
+                                 task_rng);
+    FunctionSpec function_spec;
+    function_spec.kind = spec.kind;
+    for (NodeId s : sources) {
+      function_spec.weights.emplace_back(
+          s, task_rng.UniformDouble(spec.weight_min, spec.weight_max));
+    }
+    workload.tasks.push_back(Task{d, std::move(sources)});
+    workload.specs.push_back(std::move(function_spec));
+  }
+  workload.RebuildFunctions();
+  return workload;
+}
+
+Workload WithSourceAdded(const Workload& workload, NodeId source,
+                         NodeId destination, double weight) {
+  Workload out = workload;
+  bool found = false;
+  for (size_t i = 0; i < out.tasks.size(); ++i) {
+    if (out.tasks[i].destination != destination) continue;
+    found = true;
+    M2M_CHECK(std::find(out.tasks[i].sources.begin(),
+                        out.tasks[i].sources.end(),
+                        source) == out.tasks[i].sources.end())
+        << "source " << source << " already present";
+    out.tasks[i].sources.push_back(source);
+    std::sort(out.tasks[i].sources.begin(), out.tasks[i].sources.end());
+    out.specs[i].weights.emplace_back(source, weight);
+  }
+  M2M_CHECK(found) << "no task for destination " << destination;
+  out.RebuildFunctions();
+  return out;
+}
+
+Workload WithSourceRemoved(const Workload& workload, NodeId source,
+                           NodeId destination) {
+  Workload out = workload;
+  bool found = false;
+  for (size_t i = 0; i < out.tasks.size(); ++i) {
+    if (out.tasks[i].destination != destination) continue;
+    auto it = std::find(out.tasks[i].sources.begin(),
+                        out.tasks[i].sources.end(), source);
+    M2M_CHECK(it != out.tasks[i].sources.end())
+        << "source " << source << " not present";
+    out.tasks[i].sources.erase(it);
+    M2M_CHECK(!out.tasks[i].sources.empty())
+        << "removal would leave destination " << destination
+        << " with no sources";
+    auto& weights = out.specs[i].weights;
+    weights.erase(std::remove_if(weights.begin(), weights.end(),
+                                 [source](const auto& entry) {
+                                   return entry.first == source;
+                                 }),
+                  weights.end());
+    found = true;
+  }
+  M2M_CHECK(found) << "no task for destination " << destination;
+  out.RebuildFunctions();
+  return out;
+}
+
+}  // namespace m2m

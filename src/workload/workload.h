@@ -1,0 +1,74 @@
+#ifndef M2M_WORKLOAD_WORKLOAD_H_
+#define M2M_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "common/relation.h"
+#include "topology/topology.h"
+
+namespace m2m {
+
+/// How a destination's sources are drawn.
+enum class SourceSelection {
+  /// The paper's dispersion model (Figure 5): a source's hop distance h from
+  /// the destination is drawn with probability proportional to d^(h-1) for
+  /// h in 1..max_hops, then a concrete node at that distance is picked
+  /// uniformly among unused ones. d = 0 keeps all sources within one hop;
+  /// d = 1 spreads them evenly over 1..max_hops.
+  kDispersion,
+  /// Uniform over all nodes except the destination (Figure 6's "15% of all
+  /// nodes as sources").
+  kUniform,
+};
+
+/// Declarative workload description; all figures' workloads are instances.
+struct WorkloadSpec {
+  int destination_count = 0;
+  int sources_per_destination = 0;
+  SourceSelection selection = SourceSelection::kDispersion;
+  double dispersion = 0.9;  ///< d; used by kDispersion.
+  int max_hops = 4;         ///< H; used by kDispersion.
+  AggregateKind kind = AggregateKind::kWeightedAverage;
+  /// Per-source weights are drawn uniformly from [weight_min, weight_max].
+  double weight_min = 0.5;
+  double weight_max = 1.5;
+  uint64_t seed = 1;
+};
+
+/// A concrete many-to-many aggregation workload: the producer-consumer
+/// relation plus each destination's aggregation function. `specs[i]`
+/// describes the function of `tasks[i]`'s destination; `functions` holds the
+/// built instances.
+struct Workload {
+  std::vector<Task> tasks;
+  std::vector<FunctionSpec> specs;
+  FunctionSet functions;
+
+  /// Distinct sources across all tasks, ascending.
+  std::vector<NodeId> DistinctSources() const;
+
+  /// Rebuilds `functions` from `tasks`/`specs` (call after editing specs).
+  void RebuildFunctions();
+};
+
+/// Draws a workload over `topology` per `spec`. Destinations are sampled
+/// without replacement; a destination is never its own source. When a hop
+/// bucket runs out of unused nodes, the draw falls back to the nearest
+/// non-empty bucket (and, as a last resort, to any unused node), so the
+/// requested source count is always met when the network is large enough.
+Workload GenerateWorkload(const Topology& topology, const WorkloadSpec& spec);
+
+/// Returns a copy of `workload` with `source` added to `destination`'s task
+/// with the given weight; used by the dynamic-update experiments.
+Workload WithSourceAdded(const Workload& workload, NodeId source,
+                         NodeId destination, double weight);
+
+/// Returns a copy with `source` removed from `destination`'s task.
+Workload WithSourceRemoved(const Workload& workload, NodeId source,
+                           NodeId destination);
+
+}  // namespace m2m
+
+#endif  // M2M_WORKLOAD_WORKLOAD_H_

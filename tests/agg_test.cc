@@ -1,0 +1,286 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "agg/aggregate_function.h"
+#include "agg/partial_record.h"
+#include "common/rng.h"
+
+namespace m2m {
+namespace {
+
+FunctionSpec MakeSpec(AggregateKind kind,
+                      std::vector<std::pair<NodeId, double>> weights) {
+  FunctionSpec spec;
+  spec.kind = kind;
+  spec.weights = std::move(weights);
+  return spec;
+}
+
+TEST(PartialRecordTest, AddAndSubtractFieldwise) {
+  PartialRecord a{{1.0, 2.0, 3.0}};
+  PartialRecord b{{0.5, -1.0, 2.0}};
+  EXPECT_EQ(AddFields(a, b), (PartialRecord{{1.5, 1.0, 5.0}}));
+  EXPECT_EQ(SubtractFields(a, b), (PartialRecord{{0.5, 3.0, 1.0}}));
+}
+
+TEST(WeightedSumTest, EvaluatesExactly) {
+  auto fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedSum, {{1, 2.0}, {2, 0.5}, {3, 1.0}}));
+  PartialRecord acc = fn->PreAggregate(1, 10.0);
+  acc = fn->Merge(acc, fn->PreAggregate(2, 4.0));
+  acc = fn->Merge(acc, fn->PreAggregate(3, -1.0));
+  EXPECT_DOUBLE_EQ(fn->Evaluate(acc), 2.0 * 10.0 + 0.5 * 4.0 - 1.0);
+  EXPECT_DOUBLE_EQ(fn->Direct({{1, 10.0}, {2, 4.0}, {3, -1.0}}),
+                   fn->Evaluate(acc));
+}
+
+TEST(WeightedSumTest, WireSizes) {
+  auto fn =
+      MakeAggregateFunction(MakeSpec(AggregateKind::kWeightedSum, {{1, 1.0}}));
+  EXPECT_EQ(fn->partial_record_bytes(), 4);
+  EXPECT_EQ(kRawUnitBytes, 6);
+}
+
+TEST(WeightedAverageTest, EvaluatesExactly) {
+  auto fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedAverage, {{1, 2.0}, {2, 4.0}}));
+  PartialRecord acc =
+      fn->Merge(fn->PreAggregate(1, 3.0), fn->PreAggregate(2, 5.0));
+  EXPECT_DOUBLE_EQ(fn->Evaluate(acc), (2.0 * 3.0 + 4.0 * 5.0) / 2.0);
+}
+
+TEST(WeightedAverageTest, PartialCarriesCount) {
+  auto fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedAverage, {{1, 1.0}, {2, 1.0}}));
+  PartialRecord r = fn->PreAggregate(1, 7.0);
+  EXPECT_DOUBLE_EQ(r.fields[1], 1.0);
+  EXPECT_EQ(fn->partial_record_bytes(), 6);
+}
+
+TEST(WeightedStdDevTest, MatchesDirectFormula) {
+  auto fn = MakeAggregateFunction(MakeSpec(
+      AggregateKind::kWeightedStdDev, {{1, 1.0}, {2, 1.0}, {3, 1.0}}));
+  PartialRecord acc = fn->PreAggregate(1, 2.0);
+  acc = fn->Merge(acc, fn->PreAggregate(2, 4.0));
+  acc = fn->Merge(acc, fn->PreAggregate(3, 9.0));
+  double mean = (2.0 + 4.0 + 9.0) / 3.0;
+  double var =
+      ((2 - mean) * (2 - mean) + (4 - mean) * (4 - mean) +
+       (9 - mean) * (9 - mean)) /
+      3.0;
+  EXPECT_NEAR(fn->Evaluate(acc), std::sqrt(var), 1e-12);
+  EXPECT_NEAR(fn->Direct({{1, 2.0}, {2, 4.0}, {3, 9.0}}), std::sqrt(var),
+              1e-12);
+  EXPECT_EQ(fn->partial_record_bytes(), 10);
+}
+
+TEST(ExtremumTest, MinAndMax) {
+  auto min_fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kMin, {{1, 1.0}, {2, 1.0}, {3, 1.0}}));
+  auto max_fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kMax, {{1, 1.0}, {2, 1.0}, {3, 1.0}}));
+  PartialRecord lo = min_fn->Merge(
+      min_fn->Merge(min_fn->PreAggregate(1, 5.0), min_fn->PreAggregate(2, -2.0)),
+      min_fn->PreAggregate(3, 8.0));
+  PartialRecord hi = max_fn->Merge(
+      max_fn->Merge(max_fn->PreAggregate(1, 5.0), max_fn->PreAggregate(2, -2.0)),
+      max_fn->PreAggregate(3, 8.0));
+  EXPECT_DOUBLE_EQ(min_fn->Evaluate(lo), -2.0);
+  EXPECT_DOUBLE_EQ(max_fn->Evaluate(hi), 8.0);
+  EXPECT_FALSE(min_fn->SupportsDeltas());
+  EXPECT_FALSE(max_fn->SupportsLinearDeltas());
+}
+
+TEST(CountTest, CountsReportingSources) {
+  auto fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kCount, {{1, 1.0}, {2, 1.0}, {3, 1.0}}));
+  PartialRecord acc = fn->Merge(
+      fn->Merge(fn->PreAggregate(1, 5.0), fn->PreAggregate(2, -2.0)),
+      fn->PreAggregate(3, 0.0));
+  EXPECT_DOUBLE_EQ(fn->Evaluate(acc), 3.0);
+  EXPECT_EQ(fn->partial_record_bytes(), 2);
+  EXPECT_TRUE(fn->SupportsDeltas());
+}
+
+TEST(CountAboveTest, CountsThresholdCrossings) {
+  FunctionSpec spec = MakeSpec(AggregateKind::kCountAbove,
+                               {{1, 1.0}, {2, 1.0}, {3, 1.0}});
+  spec.threshold = 10.0;
+  auto fn = MakeAggregateFunction(spec);
+  PartialRecord acc = fn->Merge(
+      fn->Merge(fn->PreAggregate(1, 15.0), fn->PreAggregate(2, 5.0)),
+      fn->PreAggregate(3, 10.5));
+  EXPECT_DOUBLE_EQ(fn->Evaluate(acc), 2.0);
+  EXPECT_DOUBLE_EQ(fn->Direct({{1, 15.0}, {2, 5.0}, {3, 10.5}}), 2.0);
+  // Threshold is strict.
+  EXPECT_DOUBLE_EQ(fn->PreAggregate(1, 10.0).fields[0], 0.0);
+  EXPECT_FALSE(fn->SupportsLinearDeltas());
+}
+
+TEST(CountAboveTest, DeltaTracksIndicatorFlips) {
+  FunctionSpec spec = MakeSpec(AggregateKind::kCountAbove, {{1, 1.0}});
+  spec.threshold = 10.0;
+  auto fn = MakeAggregateFunction(spec);
+  // 5 -> 15 crosses the threshold upward: delta +1.
+  PartialRecord delta = fn->DeltaPreAggregate(1, 5.0, 15.0);
+  EXPECT_DOUBLE_EQ(delta.fields[0], 1.0);
+  // 15 -> 12 stays above: delta 0.
+  EXPECT_DOUBLE_EQ(fn->DeltaPreAggregate(1, 15.0, 12.0).fields[0], 0.0);
+  // 12 -> 3 crosses downward: delta -1.
+  EXPECT_DOUBLE_EQ(fn->DeltaPreAggregate(1, 12.0, 3.0).fields[0], -1.0);
+}
+
+TEST(ArgMaxTest, ReportsHottestSource) {
+  auto fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kArgMax, {{4, 1.0}, {9, 1.0}, {2, 1.0}}));
+  PartialRecord acc = fn->Merge(
+      fn->Merge(fn->PreAggregate(4, 5.0), fn->PreAggregate(9, 8.0)),
+      fn->PreAggregate(2, -1.0));
+  EXPECT_DOUBLE_EQ(fn->Evaluate(acc), 9.0);
+  EXPECT_DOUBLE_EQ(fn->Direct({{4, 5.0}, {9, 8.0}, {2, -1.0}}), 9.0);
+  EXPECT_EQ(fn->partial_record_bytes(), 6);
+  EXPECT_FALSE(fn->SupportsDeltas());
+}
+
+TEST(ArgMaxTest, TiesBreakTowardSmallerId) {
+  auto fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kArgMax, {{4, 1.0}, {9, 1.0}}));
+  PartialRecord a = fn->PreAggregate(4, 7.0);
+  PartialRecord b = fn->PreAggregate(9, 7.0);
+  EXPECT_DOUBLE_EQ(fn->Evaluate(fn->Merge(a, b)), 4.0);
+  EXPECT_DOUBLE_EQ(fn->Evaluate(fn->Merge(b, a)), 4.0);
+}
+
+TEST(AggregateFunctionTest, MergeIsAssociativeAndCommutative) {
+  Rng rng(77);
+  for (AggregateKind kind :
+       {AggregateKind::kWeightedSum, AggregateKind::kWeightedAverage,
+        AggregateKind::kWeightedStdDev, AggregateKind::kMin,
+        AggregateKind::kMax}) {
+    auto fn = MakeAggregateFunction(
+        MakeSpec(kind, {{1, 1.5}, {2, 0.7}, {3, 2.0}}));
+    for (int trial = 0; trial < 50; ++trial) {
+      PartialRecord a = fn->PreAggregate(1, rng.UniformDouble(-10, 10));
+      PartialRecord b = fn->PreAggregate(2, rng.UniformDouble(-10, 10));
+      PartialRecord c = fn->PreAggregate(3, rng.UniformDouble(-10, 10));
+      PartialRecord left = fn->Merge(fn->Merge(a, b), c);
+      PartialRecord right = fn->Merge(a, fn->Merge(b, c));
+      for (size_t f = 0; f < left.fields.size(); ++f) {
+        EXPECT_NEAR(left.fields[f], right.fields[f], 1e-9) << ToString(kind);
+      }
+      PartialRecord ab = fn->Merge(a, b);
+      PartialRecord ba = fn->Merge(b, a);
+      for (size_t f = 0; f < ab.fields.size(); ++f) {
+        EXPECT_NEAR(ab.fields[f], ba.fields[f], 1e-12) << ToString(kind);
+      }
+    }
+  }
+}
+
+TEST(AggregateFunctionTest, DeltaPreAggregateTracksChange) {
+  Rng rng(78);
+  for (AggregateKind kind :
+       {AggregateKind::kWeightedSum, AggregateKind::kWeightedAverage,
+        AggregateKind::kWeightedStdDev}) {
+    auto fn = MakeAggregateFunction(MakeSpec(kind, {{1, 1.5}, {2, 0.7}}));
+    for (int trial = 0; trial < 20; ++trial) {
+      double v1 = rng.UniformDouble(-10, 10);
+      double v1_new = rng.UniformDouble(-10, 10);
+      double v2 = rng.UniformDouble(-10, 10);
+      PartialRecord before =
+          fn->Merge(fn->PreAggregate(1, v1), fn->PreAggregate(2, v2));
+      PartialRecord after = fn->ApplyDelta(
+          before, fn->DeltaPreAggregate(1, v1, v1_new));
+      PartialRecord expected =
+          fn->Merge(fn->PreAggregate(1, v1_new), fn->PreAggregate(2, v2));
+      for (size_t f = 0; f < after.fields.size(); ++f) {
+        EXPECT_NEAR(after.fields[f], expected.fields[f], 1e-9)
+            << ToString(kind);
+      }
+    }
+  }
+}
+
+TEST(AggregateFunctionTest, LinearDeltaMatchesFullDelta) {
+  Rng rng(79);
+  for (AggregateKind kind :
+       {AggregateKind::kWeightedSum, AggregateKind::kWeightedAverage}) {
+    auto fn = MakeAggregateFunction(MakeSpec(kind, {{1, 1.5}, {2, 0.7}}));
+    ASSERT_TRUE(fn->SupportsLinearDeltas());
+    for (int trial = 0; trial < 20; ++trial) {
+      double old_v = rng.UniformDouble(-10, 10);
+      double new_v = rng.UniformDouble(-10, 10);
+      PartialRecord full = fn->DeltaPreAggregate(1, old_v, new_v);
+      PartialRecord linear = fn->LinearDeltaPreAggregate(1, new_v - old_v);
+      for (size_t f = 0; f < full.fields.size(); ++f) {
+        EXPECT_NEAR(full.fields[f], linear.fields[f], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(AggregateFunctionTest, StdDevHasNoLinearDelta) {
+  auto fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedStdDev, {{1, 1.0}}));
+  EXPECT_FALSE(fn->SupportsLinearDeltas());
+  EXPECT_DEATH(fn->LinearDeltaPreAggregate(1, 0.5), "linear delta");
+}
+
+TEST(AggregateFunctionTest, SuppressionErrorBounds) {
+  auto sum = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedSum, {{1, 2.0}, {2, -3.0}}));
+  EXPECT_DOUBLE_EQ(sum->SuppressionErrorBound(0.5), 0.5 * (2.0 + 3.0));
+  auto avg = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedAverage, {{1, 2.0}, {2, 3.0}}));
+  EXPECT_DOUBLE_EQ(avg->SuppressionErrorBound(1.0), (2.0 + 3.0) / 2.0);
+  auto stddev = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedStdDev, {{1, 1.0}}));
+  EXPECT_DEATH(stddev->SuppressionErrorBound(1.0), "error bound");
+}
+
+TEST(AggregateFunctionTest, WeightForReportsStoredWeights) {
+  auto sum = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedSum, {{1, 2.5}, {2, -3.0}}));
+  EXPECT_DOUBLE_EQ(sum->WeightFor(1), 2.5);
+  EXPECT_DOUBLE_EQ(sum->WeightFor(2), -3.0);
+  EXPECT_DEATH(sum->WeightFor(9), "not a source");
+  auto min_fn =
+      MakeAggregateFunction(MakeSpec(AggregateKind::kMin, {{1, 7.0}}));
+  EXPECT_DOUBLE_EQ(min_fn->WeightFor(1), 1.0);  // Extrema are unweighted.
+}
+
+TEST(AggregateFunctionTest, UnknownSourceAborts) {
+  auto fn =
+      MakeAggregateFunction(MakeSpec(AggregateKind::kWeightedSum, {{1, 1.0}}));
+  EXPECT_DEATH(fn->PreAggregate(9, 1.0), "not a source");
+}
+
+TEST(AggregateFunctionTest, SourcesAreSortedAndComplete) {
+  auto fn = MakeAggregateFunction(
+      MakeSpec(AggregateKind::kWeightedSum, {{5, 1.0}, {1, 2.0}, {3, 0.5}}));
+  EXPECT_EQ(fn->sources(), (std::vector<NodeId>{1, 3, 5}));
+}
+
+TEST(FunctionSetTest, SetGetContains) {
+  FunctionSet set;
+  EXPECT_FALSE(set.Contains(4));
+  set.Set(4, MakeAggregateFunction(
+                 MakeSpec(AggregateKind::kWeightedSum, {{1, 1.0}})));
+  EXPECT_TRUE(set.Contains(4));
+  EXPECT_EQ(set.Get(4).name(), "weighted_sum");
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_DEATH(set.Get(5), "no aggregation function");
+}
+
+TEST(AggregateKindTest, ToStringCoversAllKinds) {
+  EXPECT_EQ(ToString(AggregateKind::kWeightedSum), "weighted_sum");
+  EXPECT_EQ(ToString(AggregateKind::kWeightedAverage), "weighted_average");
+  EXPECT_EQ(ToString(AggregateKind::kWeightedStdDev), "weighted_stddev");
+  EXPECT_EQ(ToString(AggregateKind::kMin), "min");
+  EXPECT_EQ(ToString(AggregateKind::kMax), "max");
+}
+
+}  // namespace
+}  // namespace m2m

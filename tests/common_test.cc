@@ -1,0 +1,282 @@
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/relation.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace m2m {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  EXPECT_EQ(SplitMix64(42), SplitMix64(42));
+  EXPECT_NE(SplitMix64(42), SplitMix64(43));
+}
+
+TEST(SplitMix64Test, MixesNearbyInputs) {
+  // Consecutive inputs should differ in many bits.
+  uint64_t a = SplitMix64(1000);
+  uint64_t b = SplitMix64(1001);
+  int differing = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing, 16);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.UniformDouble(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(7);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(8);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.Add(rng.Gaussian());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ShuffleChangesOrderEventually) {
+  Rng rng(10);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // Probability 1/10! of flaking.
+}
+
+TEST(RngTest, SampleDiscreteHonorsZeroWeights) {
+  Rng rng(11);
+  std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.SampleDiscrete(weights), 1u);
+  }
+}
+
+TEST(RngTest, SampleDiscreteProportions) {
+  Rng rng(12);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) ones += (rng.SampleDiscrete(weights) == 1);
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.75, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(13);
+  Rng fork = a.Fork(1);
+  Rng b(13);
+  Rng fork_b = b.Fork(1);
+  // Forks of identical parents with identical labels agree...
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fork.Next(), fork_b.Next());
+  // ...and differ for different labels.
+  Rng c(13);
+  Rng fork_c = c.Fork(2);
+  Rng d(13);
+  Rng fork_d = d.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) equal += (fork_c.Next() == fork_d.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RunningStatTest, Empty) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat stat;
+  stat.Add(4.0);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 4.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSequence) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 4.0);  // Population variance.
+  EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStatTest, MergeMatchesCombinedStream) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.UniformDouble(-5.0, 5.0);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Add(3.0);
+  RunningStat empty;
+  stat.Merge(empty);
+  EXPECT_EQ(stat.count(), 2u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+  empty.Merge(stat);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> samples{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> samples{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 25.0), 2.5);
+}
+
+TEST(TableTest, PrintsAlignedColumnsAndCsv) {
+  Table table({"x", "value"});
+  table.AddRow({"1", Table::Num(3.14159, 2)});
+  table.AddRow({"10", Table::Num(2.0, 2)});
+  std::ostringstream text;
+  table.Print(text);
+  EXPECT_NE(text.str().find("3.14"), std::string::npos);
+  EXPECT_NE(text.str().find("value"), std::string::npos);
+  std::ostringstream csv;
+  table.PrintCsv(csv);
+  EXPECT_NE(csv.str().find("x,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("1,3.14"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, NumPrecision) {
+  EXPECT_EQ(Table::Num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(RelationTest, TasksToPairsFlattens) {
+  std::vector<Task> tasks{{10, {1, 2}}, {20, {2, 3}}};
+  std::vector<SourceDestPair> pairs = TasksToPairs(tasks);
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0], (SourceDestPair{1, 10}));
+  EXPECT_EQ(pairs[3], (SourceDestPair{3, 20}));
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH({ M2M_CHECK(1 == 2) << "context"; }, "CHECK failed");
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  M2M_CHECK(true);
+  M2M_CHECK_EQ(2 + 2, 4);
+  M2M_CHECK_LT(1, 2);
+  SUCCEED();
+}
+
+TEST(IdsTest, DirectedEdgeOrderingAndHash) {
+  DirectedEdge a{1, 2};
+  DirectedEdge b{2, 1};
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_NE(DirectedEdgeHash()(a), DirectedEdgeHash()(b));
+}
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+Workload MakeWorkload(const Topology& topology, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.destination_count = 8;
+  spec.sources_per_destination = 6;
+  spec.kind = AggregateKind::kWeightedAverage;
+  spec.seed = seed;
+  return GenerateWorkload(topology, spec);
+}
+
+TEST(DeploymentTest, AccumulatesRoundStatistics) {
+  Topology topology = MakeGreatDuckIslandLike();
+  DeploymentOptions options;
+  options.change_probability = 0.3;
+  options.seed = 5;
+  Deployment deployment(topology, MakeWorkload(topology, 601), {}, options);
+  deployment.Run(15);
+  const DeploymentReport& report = deployment.report();
+  EXPECT_EQ(report.rounds, 15);
+  EXPECT_EQ(report.round_energy_mj.count(), 15u);
+  EXPECT_GT(report.round_energy_mj.mean(), 0.0);
+  EXPECT_GT(report.round_messages.mean(), 0.0);
+  EXPECT_EQ(report.workload_changes, 0);  // No churn configured.
+}
+
+TEST(DeploymentTest, SuppressionCheaperThanFullRecompute) {
+  Topology topology = MakeGreatDuckIslandLike();
+  double energies[2];
+  for (bool suppression : {false, true}) {
+    DeploymentOptions options;
+    options.change_probability = 0.1;
+    options.use_suppression = suppression;
+    options.seed = 6;
+    Deployment deployment(topology, MakeWorkload(topology, 602), {},
+                          options);
+    deployment.Run(10);
+    energies[suppression ? 1 : 0] =
+        deployment.report().round_energy_mj.mean();
+  }
+  EXPECT_LT(energies[1], energies[0]);
+}
+
+TEST(DeploymentTest, ChurnTriggersIncrementalUpdates) {
+  Topology topology = MakeGreatDuckIslandLike();
+  DeploymentOptions options;
+  options.change_probability = 0.2;
+  options.workload_churn_probability = 0.5;
+  options.seed = 7;
+  Deployment deployment(topology, MakeWorkload(topology, 603), {}, options);
+  deployment.Run(20);
+  const DeploymentReport& report = deployment.report();
+  EXPECT_GT(report.workload_changes, 0);
+  EXPECT_GT(report.edges_reused, 0);
+  EXPECT_GT(report.nodes_redisseminated, 0);
+  EXPECT_GT(report.dissemination_energy_mj, 0.0);
+  // Corollary 1 locality: far more edges reused than re-optimized.
+  EXPECT_GT(report.edges_reused, 5 * report.edges_reoptimized);
+  // The workload actually evolved.
+  EXPECT_EQ(deployment.workload().tasks.size(), 8u);
+}
+
+TEST(DeploymentTest, FailureSamplingRecordsDelivery) {
+  Topology topology = MakeGreatDuckIslandLike();
+  DeploymentOptions options;
+  options.change_probability = 0.2;
+  options.sample_link_failures = true;
+  options.seed = 8;
+  Deployment deployment(topology, MakeWorkload(topology, 604), {}, options);
+  deployment.Run(10);
+  const DeploymentReport& report = deployment.report();
+  EXPECT_EQ(report.contribution_delivery_pct.count(), 10u);
+  EXPECT_GT(report.contribution_delivery_pct.mean(), 0.0);
+  EXPECT_LE(report.contribution_delivery_pct.max(), 100.0);
+}
+
+TEST(DeploymentTest, ThresholdSuppressionReducesEnergyFurther) {
+  Topology topology = MakeGreatDuckIslandLike();
+  double means[2];
+  for (int i = 0; i < 2; ++i) {
+    DeploymentOptions options;
+    options.change_probability = 1.0;  // Every reading drifts.
+    options.use_suppression = true;
+    options.suppression_epsilon = i == 0 ? 0.0 : 3.0;
+    options.seed = 11;
+    Deployment deployment(topology, MakeWorkload(topology, 607), {},
+                          options);
+    deployment.Run(10);
+    means[i] = deployment.report().round_energy_mj.mean();
+  }
+  EXPECT_LT(means[1], means[0]);
+  EXPECT_GT(means[1], 0.0);
+}
+
+TEST(DeploymentTest, DeterministicInSeed) {
+  Topology topology = MakeGreatDuckIslandLike();
+  double means[2];
+  for (int i = 0; i < 2; ++i) {
+    DeploymentOptions options;
+    options.change_probability = 0.25;
+    options.workload_churn_probability = 0.3;
+    options.seed = 9;
+    Deployment deployment(topology, MakeWorkload(topology, 605), {},
+                          options);
+    deployment.Run(12);
+    means[i] = deployment.report().round_energy_mj.mean();
+  }
+  EXPECT_DOUBLE_EQ(means[0], means[1]);
+}
+
+TEST(DeploymentTest, StepReturnsVerifiedValues) {
+  Topology topology = MakeGreatDuckIslandLike();
+  DeploymentOptions options;
+  options.change_probability = 1.0;
+  options.seed = 10;
+  Workload workload = MakeWorkload(topology, 606);
+  Deployment deployment(topology, workload, {}, options);
+  RoundResult result = deployment.Step();
+  EXPECT_EQ(result.destination_values.size(), workload.tasks.size());
+}
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,89 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "export/dot.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  ExportTest() : topology_(MakeGreatDuckIslandLike()) {
+    WorkloadSpec spec;
+    spec.destination_count = 6;
+    spec.sources_per_destination = 5;
+    spec.seed = 71;
+    workload_ = GenerateWorkload(topology_, spec);
+    system_ = std::make_unique<System>(topology_, workload_);
+  }
+
+  Topology topology_;
+  Workload workload_;
+  std::unique_ptr<System> system_;
+};
+
+TEST_F(ExportTest, TopologyDotHasAllNodesAndLinks) {
+  std::string dot = TopologyToDot(topology_);
+  EXPECT_NE(dot.find("graph topology {"), std::string::npos);
+  for (NodeId n = 0; n < topology_.node_count(); ++n) {
+    EXPECT_NE(dot.find("n" + std::to_string(n) + " [pos="),
+              std::string::npos);
+  }
+  // One undirected edge line per link.
+  size_t count = 0;
+  for (size_t at = dot.find(" -- "); at != std::string::npos;
+       at = dot.find(" -- ", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<size_t>(topology_.link_count()));
+}
+
+TEST_F(ExportTest, TreeDotMarksSourceAndDestinations) {
+  NodeId source = workload_.tasks[0].sources[0];
+  std::string dot =
+      MulticastTreeToDot(system_->forest(), topology_, source);
+  EXPECT_NE(dot.find("digraph tree_" + std::to_string(source)),
+            std::string::npos);
+  EXPECT_NE(dot.find("n" + std::to_string(source) + " [shape=box]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST_F(ExportTest, PlanDotLabelsEveryEdge) {
+  std::string dot = PlanToDot(system_->plan(), topology_);
+  size_t count = 0;
+  for (size_t at = dot.find(" -> "); at != std::string::npos;
+       at = dot.find(" -> ", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, system_->forest().edges().size());
+  EXPECT_NE(dot.find("label="), std::string::npos);
+}
+
+TEST_F(ExportTest, PlanJsonContainsTotalsAndEdges) {
+  std::string json = PlanToJson(system_->plan());
+  EXPECT_NE(json.find("\"strategy\": \"optimal\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_payload_bytes\": " +
+                      std::to_string(system_->plan().TotalPayloadBytes())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"edges\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"payload_bytes\""), std::string::npos);
+}
+
+TEST_F(ExportTest, WorkloadJsonListsEveryTask) {
+  std::string json = WorkloadToJson(workload_);
+  for (const Task& task : workload_.tasks) {
+    EXPECT_NE(json.find("\"destination\": " +
+                        std::to_string(task.destination)),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("\"kind\": \"weighted_average\""), std::string::npos);
+  EXPECT_NE(json.find("\"weight\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace m2m {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser flags = Parse({"--name=alice", "--count=5", "--ratio=0.5"});
+  EXPECT_EQ(flags.GetString("name", "bob", ""), "alice");
+  EXPECT_EQ(flags.GetInt("count", 1, ""), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 1.0, ""), 0.5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser flags = Parse({"--name", "alice", "--count", "7"});
+  EXPECT_EQ(flags.GetString("name", "bob", ""), "alice");
+  EXPECT_EQ(flags.GetInt("count", 1, ""), 7);
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  FlagParser flags = Parse({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(flags.GetBool("verbose", false, ""));
+  EXPECT_FALSE(flags.GetBool("quiet", true, ""));
+  EXPECT_TRUE(flags.GetBool("missing", true, ""));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetString("name", "bob", ""), "bob");
+  EXPECT_EQ(flags.GetInt("count", 42, ""), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 2.5, ""), 2.5);
+}
+
+TEST(FlagsTest, NegativeAndScientificNumbers) {
+  FlagParser flags = Parse({"--offset=-3", "--epsilon=1e-3"});
+  EXPECT_EQ(flags.GetInt("offset", 0, ""), -3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("epsilon", 0.0, ""), 1e-3);
+}
+
+TEST(FlagsTest, MalformedNumberAborts) {
+  FlagParser flags = Parse({"--count=five"});
+  EXPECT_DEATH(flags.GetInt("count", 1, ""), "expects an integer");
+}
+
+TEST(FlagsTest, HelpDetected) {
+  EXPECT_TRUE(Parse({"--help"}).help_requested());
+  EXPECT_TRUE(Parse({"-h"}).help_requested());
+  EXPECT_FALSE(Parse({"--x=1"}).help_requested());
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  FlagParser flags = Parse({"input.txt", "--count=2", "other"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.txt", "other"}));
+}
+
+TEST(FlagsTest, UnconsumedFlagsReported) {
+  FlagParser flags = Parse({"--known=1", "--typo=2"});
+  flags.GetInt("known", 0, "");
+  std::vector<std::string> unknown = flags.UnconsumedFlags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, UsageListsRegisteredFlags) {
+  FlagParser flags = Parse({});
+  flags.GetInt("count", 42, "how many things");
+  std::string usage = flags.Usage("test program");
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many things"), std::string::npos);
+  EXPECT_NE(usage.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "flow/max_flow.h"
+
+namespace m2m {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow flow(2);
+  int e = flow.AddEdge(0, 1, 5);
+  EXPECT_EQ(flow.Solve(0, 1), 5);
+  EXPECT_EQ(flow.flow(e), 5);
+}
+
+TEST(MaxFlowTest, SerialEdgesBottleneck) {
+  MaxFlow flow(3);
+  flow.AddEdge(0, 1, 10);
+  int e = flow.AddEdge(1, 2, 3);
+  EXPECT_EQ(flow.Solve(0, 2), 3);
+  EXPECT_EQ(flow.flow(e), 3);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 4);
+  flow.AddEdge(1, 3, 4);
+  flow.AddEdge(0, 2, 7);
+  flow.AddEdge(2, 3, 5);
+  EXPECT_EQ(flow.Solve(0, 3), 9);
+}
+
+TEST(MaxFlowTest, ClassicDiamondWithCrossEdge) {
+  // Standard textbook instance where augmenting through the cross edge
+  // matters.
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 10);
+  flow.AddEdge(0, 2, 10);
+  flow.AddEdge(1, 2, 1);
+  flow.AddEdge(1, 3, 8);
+  flow.AddEdge(2, 3, 10);
+  EXPECT_EQ(flow.Solve(0, 3), 18);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 5);
+  flow.AddEdge(2, 3, 5);
+  EXPECT_EQ(flow.Solve(0, 3), 0);
+}
+
+TEST(MaxFlowTest, MinCutSideSeparatesSourceFromSink) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 2);
+  flow.AddEdge(1, 2, 1);  // The bottleneck.
+  flow.AddEdge(2, 3, 2);
+  EXPECT_EQ(flow.Solve(0, 3), 1);
+  std::vector<bool> side = flow.MinCutSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlowTest, ZeroCapacityEdgeIgnored) {
+  MaxFlow flow(2);
+  flow.AddEdge(0, 1, 0);
+  EXPECT_EQ(flow.Solve(0, 1), 0);
+}
+
+TEST(MaxFlowTest, BipartiteMatchingViaUnitCapacities) {
+  // 3x3 bipartite graph with a perfect matching of size 3.
+  // U = {2,3,4}, V = {5,6,7}, s=0, t=1.
+  MaxFlow flow(8);
+  for (int u = 2; u <= 4; ++u) flow.AddEdge(0, u, 1);
+  for (int v = 5; v <= 7; ++v) flow.AddEdge(v, 1, 1);
+  flow.AddEdge(2, 5, 1);
+  flow.AddEdge(2, 6, 1);
+  flow.AddEdge(3, 5, 1);
+  flow.AddEdge(4, 7, 1);
+  EXPECT_EQ(flow.Solve(0, 1), 3);
+}
+
+TEST(MaxFlowTest, InfinityNeverSaturates) {
+  MaxFlow flow(3);
+  flow.AddEdge(0, 1, MaxFlow::kInfinity);
+  flow.AddEdge(1, 2, 123);
+  EXPECT_EQ(flow.Solve(0, 2), 123);
+}
+
+TEST(MaxFlowTest, SolveTwiceAborts) {
+  MaxFlow flow(2);
+  flow.AddEdge(0, 1, 1);
+  flow.Solve(0, 1);
+  EXPECT_DEATH(flow.Solve(0, 1), "once");
+}
+
+TEST(MaxFlowTest, AddEdgeAfterSolveAborts) {
+  MaxFlow flow(2);
+  flow.AddEdge(0, 1, 1);
+  flow.Solve(0, 1);
+  EXPECT_DEATH(flow.AddEdge(0, 1, 1), "frozen");
+}
+
+}  // namespace
+}  // namespace m2m

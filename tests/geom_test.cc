@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "geom/point.h"
+
+namespace m2m {
+namespace {
+
+TEST(PointTest, DistanceKnownTriangle) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, DistanceIsSymmetric) {
+  Point a{1.5, -2.0};
+  Point b{-3.0, 7.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(PointTest, DistanceToSelfIsZero) {
+  Point p{12.0, 9.0};
+  EXPECT_DOUBLE_EQ(Distance(p, p), 0.0);
+}
+
+TEST(AreaTest, ContainsBoundaryAndInterior) {
+  Area area{10.0, 20.0};
+  EXPECT_TRUE(area.Contains({0.0, 0.0}));
+  EXPECT_TRUE(area.Contains({10.0, 20.0}));
+  EXPECT_TRUE(area.Contains({5.0, 5.0}));
+  EXPECT_FALSE(area.Contains({-0.1, 5.0}));
+  EXPECT_FALSE(area.Contains({5.0, 20.1}));
+}
+
+TEST(AreaTest, ClampPullsOutsidePointsIn) {
+  Area area{10.0, 20.0};
+  EXPECT_EQ(area.Clamp({-5.0, 25.0}), (Point{0.0, 20.0}));
+  EXPECT_EQ(area.Clamp({15.0, -3.0}), (Point{10.0, 0.0}));
+  EXPECT_EQ(area.Clamp({4.0, 4.0}), (Point{4.0, 4.0}));
+}
+
+TEST(AreaTest, SizeIsWidthTimesHeight) {
+  EXPECT_DOUBLE_EQ((Area{106.0, 203.0}).size(), 106.0 * 203.0);
+}
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,182 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "mac/csma.h"
+#include "mac/tdma_executor.h"
+#include "plan/tdma.h"
+#include "sim/readings.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+struct Env {
+  Env(uint64_t seed, int destinations, int sources)
+      : topology(MakeGreatDuckIslandLike()) {
+    WorkloadSpec spec;
+    spec.destination_count = destinations;
+    spec.sources_per_destination = sources;
+    spec.seed = seed;
+    workload = GenerateWorkload(topology, spec);
+    system = std::make_unique<System>(topology, workload);
+  }
+
+  Topology topology;
+  Workload workload;
+  std::unique_ptr<System> system;
+
+  std::shared_ptr<const CompiledPlan> compiled() const {
+    return std::make_shared<CompiledPlan>(system->compiled());
+  }
+};
+
+TEST(CsmaTest, DeliversEveryHopOnModestWorkload) {
+  Env env(91, 8, 6);
+  CsmaSimulator mac(env.compiled(), env.topology, EnergyModel{});
+  MacRoundResult result = mac.RunRound(1);
+  // Total physical hops in the plan.
+  int64_t expected_hops = 0;
+  for (const MessageSchedule::Message& m :
+       env.system->compiled().schedule().messages()) {
+    expected_hops +=
+        env.system->forest().edges()[m.edge_index].hop_length();
+  }
+  EXPECT_EQ(result.hops_delivered, expected_hops);
+  EXPECT_EQ(result.hops_failed, 0);
+  EXPECT_GT(result.completion_ms, 0.0);
+}
+
+TEST(CsmaTest, DeterministicInSeed) {
+  Env env(92, 8, 6);
+  CsmaSimulator mac(env.compiled(), env.topology, EnergyModel{});
+  MacRoundResult a = mac.RunRound(7);
+  MacRoundResult b = mac.RunRound(7);
+  EXPECT_DOUBLE_EQ(a.energy_mj, b.energy_mj);
+  EXPECT_DOUBLE_EQ(a.completion_ms, b.completion_ms);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.collisions, b.collisions);
+  MacRoundResult c = mac.RunRound(8);
+  // Different contention outcomes with a different seed (almost surely).
+  EXPECT_NE(a.attempts + a.busy_backoffs, c.attempts + c.busy_backoffs);
+}
+
+TEST(CsmaTest, EnergyAtLeastAnalyticModel) {
+  Env env(93, 10, 8);
+  PlanExecutor executor(env.compiled(), env.workload.functions,
+                        EnergyModel{});
+  ReadingGenerator readings(env.topology.node_count(), 5);
+  double analytic = executor.RunRound(readings.values()).energy_mj;
+  CsmaSimulator mac(env.compiled(), env.topology, EnergyModel{});
+  MacRoundResult result = mac.RunRound(3);
+  // MAC adds acks, retries, and corrupted receptions on top of the
+  // analytic payload cost.
+  EXPECT_GE(result.energy_mj, analytic);
+  // But within a small factor when delivery succeeds.
+  if (result.hops_failed == 0) {
+    EXPECT_LT(result.energy_mj, 3.0 * analytic);
+  }
+}
+
+TEST(CsmaTest, NodeEnergySumsToTotal) {
+  Env env(94, 8, 6);
+  CsmaSimulator mac(env.compiled(), env.topology, EnergyModel{});
+  MacRoundResult result = mac.RunRound(11);
+  double per_node = 0.0;
+  for (double e : result.node_energy_mj) per_node += e;
+  EXPECT_NEAR(per_node, result.energy_mj, 1e-9);
+}
+
+TEST(CsmaTest, ContentionGrowsWithWorkload) {
+  Env small(95, 5, 4);
+  Env large(95, 20, 15);
+  CsmaSimulator small_mac(small.compiled(), small.topology, EnergyModel{});
+  CsmaSimulator large_mac(large.compiled(), large.topology, EnergyModel{});
+  MacRoundResult small_result = small_mac.RunRound(2);
+  MacRoundResult large_result = large_mac.RunRound(2);
+  EXPECT_GT(large_result.attempts, small_result.attempts);
+  EXPECT_GT(large_result.busy_backoffs + large_result.collisions,
+            small_result.busy_backoffs + small_result.collisions);
+  EXPECT_GT(large_result.completion_ms, small_result.completion_ms);
+}
+
+TEST(CsmaTest, CompletionTimeRespectsSerialDependencies) {
+  // A line network where one destination aggregates the far end: hops must
+  // serialize, so completion >= hops * frame time.
+  std::vector<Point> positions;
+  for (int i = 0; i < 8; ++i) positions.push_back({i * 40.0, 0.0});
+  Topology line(std::move(positions), 50.0);
+  Workload wl;
+  wl.tasks.push_back(Task{7, {0, 1, 2}});
+  FunctionSpec fn;
+  fn.kind = AggregateKind::kWeightedAverage;
+  fn.weights = {{0, 1.0}, {1, 1.0}, {2, 1.0}};
+  wl.specs.push_back(fn);
+  wl.RebuildFunctions();
+  System system(line, wl);
+  CsmaSimulator mac(std::make_shared<CompiledPlan>(system.compiled()), line,
+                    EnergyModel{});
+  MacRoundResult result = mac.RunRound(4);
+  EXPECT_EQ(result.hops_failed, 0);
+  CsmaConfig config;
+  // The value from node 0 crosses 7 hops in sequence.
+  double frame_ms = config.BytesToMs(8 + 8);
+  EXPECT_GE(result.completion_ms, 7 * frame_ms);
+}
+
+TEST(TdmaExecutorTest, DeterministicAndAccountsAllHops) {
+  Env env(96, 10, 8);
+  TdmaSchedule schedule =
+      BuildTdmaSchedule(env.system->compiled(), env.topology);
+  TdmaRoundResult a = ExecuteTdmaRound(schedule, env.system->compiled(),
+                                       env.topology, EnergyModel{});
+  TdmaRoundResult b = ExecuteTdmaRound(schedule, env.system->compiled(),
+                                       env.topology, EnergyModel{});
+  EXPECT_DOUBLE_EQ(a.energy_mj, b.energy_mj);
+  EXPECT_EQ(a.transmissions,
+            static_cast<int64_t>(schedule.assignments.size()));
+  EXPECT_GT(a.completion_ms, 0.0);
+  EXPECT_NEAR(a.energy_mj, a.data_energy_mj + a.listen_energy_mj, 1e-9);
+  double per_node = 0.0;
+  for (double e : a.node_energy_mj) per_node += e;
+  EXPECT_NEAR(per_node, a.energy_mj, 1e-9);
+}
+
+TEST(TdmaExecutorTest, CheaperAndFasterThanContendedCsma) {
+  // The point of compiling a schedule: no collisions, no retries, radios
+  // off outside assigned slots. On a contended workload TDMA should beat
+  // CSMA on energy (even before CSMA's always-on idle listening, which is
+  // not included in MacRoundResult.energy_mj).
+  Env env(97, 20, 15);
+  auto compiled = env.compiled();
+  TdmaSchedule schedule =
+      BuildTdmaSchedule(env.system->compiled(), env.topology);
+  TdmaRoundResult tdma = ExecuteTdmaRound(schedule, env.system->compiled(),
+                                          env.topology, EnergyModel{});
+  CsmaSimulator mac(compiled, env.topology, EnergyModel{});
+  MacRoundResult csma = mac.RunRound(5);
+  EXPECT_LT(tdma.energy_mj, csma.energy_mj);
+}
+
+TEST(TdmaExecutorTest, SlotLatencyScalesWithSlotCount) {
+  Env env(98, 8, 6);
+  TdmaSchedule schedule =
+      BuildTdmaSchedule(env.system->compiled(), env.topology);
+  TdmaRoundResult result = ExecuteTdmaRound(
+      schedule, env.system->compiled(), env.topology, EnergyModel{});
+  // completion = slots x fixed slot duration; the slot fits at least the
+  // 8-byte header (~1.67 ms at 38.4 kbps).
+  double slot_ms = result.completion_ms / schedule.slot_count;
+  EXPECT_GT(slot_ms, 1.6);
+  EXPECT_LT(slot_ms, 60.0);  // Bounded by the largest plausible frame.
+  // Doubling the bit rate halves the round.
+  TdmaRoundResult fast = ExecuteTdmaRound(schedule, env.system->compiled(),
+                                          env.topology, EnergyModel{},
+                                          /*bit_rate_bps=*/76800.0);
+  EXPECT_NEAR(fast.completion_ms, result.completion_ms / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace m2m

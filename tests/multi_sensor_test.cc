@@ -1,0 +1,175 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sim/readings.h"
+#include "topology/generator.h"
+#include "workload/multi_sensor.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+TEST(MultiSensorTest, VirtualNodesCoLocatedWithHosts) {
+  Topology base = MakeGreatDuckIslandLike();
+  MultiSensorNetwork network(base, {{5}, {5}, {12}});
+  const Topology& expanded = network.expanded_topology();
+  EXPECT_EQ(expanded.node_count(), base.node_count() + 3);
+  EXPECT_EQ(network.extra_sensor_count(), 3);
+  // Virtual ids follow the physical ids.
+  NodeId v0 = network.sensor_id(0);
+  EXPECT_EQ(v0, base.node_count());
+  EXPECT_EQ(network.HostOf(v0), 5);
+  EXPECT_TRUE(network.IsVirtual(v0));
+  EXPECT_FALSE(network.IsVirtual(5));
+  // Same position, hence same neighborhood plus the host itself.
+  EXPECT_EQ(expanded.position(v0), base.position(5));
+  EXPECT_TRUE(expanded.AreNeighbors(v0, 5));
+  for (NodeId n : base.neighbors(5)) {
+    EXPECT_TRUE(expanded.AreNeighbors(v0, n));
+  }
+}
+
+TEST(MultiSensorTest, LocalBusLinksIdentified) {
+  Topology base = MakeGreatDuckIslandLike();
+  MultiSensorNetwork network(base, {{5}, {5}, {12}});
+  NodeId v0 = network.sensor_id(0);
+  NodeId v1 = network.sensor_id(1);
+  NodeId v2 = network.sensor_id(2);
+  EXPECT_TRUE(network.IsLocalBusLink(v0, 5));
+  EXPECT_TRUE(network.IsLocalBusLink(5, v0));
+  EXPECT_TRUE(network.IsLocalBusLink(v0, v1));  // Same host.
+  EXPECT_FALSE(network.IsLocalBusLink(v0, v2));
+  EXPECT_FALSE(network.IsLocalBusLink(5, 12));
+  EXPECT_FALSE(network.IsLocalBusLink(v0, 12));
+}
+
+// A destination aggregating two sensors hosted on the SAME node: the plan
+// routes both readings, the local-bus hop is free, and the result is exact.
+TEST(MultiSensorTest, TwoReadingsPerNodeEndToEnd) {
+  Topology base = MakeGreatDuckIslandLike();
+  MultiSensorNetwork network(base, {{5}, {12}});
+  NodeId light_on_5 = network.sensor_id(0);     // Extra sensor on node 5.
+  NodeId moisture_on_12 = network.sensor_id(1);  // Extra sensor on node 12.
+
+  Workload workload;
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedAverage;
+  // Node 30 aggregates: node 5's own reading, 5's extra light sensor,
+  // and node 12's extra moisture sensor.
+  spec.weights = {{5, 1.0}, {light_on_5, 2.0}, {moisture_on_12, 0.5}};
+  workload.tasks.push_back(Task{30, {5, light_on_5, moisture_on_12}});
+  workload.specs.push_back(spec);
+  workload.RebuildFunctions();
+
+  System system(network.expanded_topology(), workload);
+  PlanExecutor executor = system.MakeExecutor();
+  executor.set_free_link([&network](NodeId a, NodeId b) {
+    return network.IsLocalBusLink(a, b);
+  });
+
+  ReadingGenerator readings(network.expanded_topology().node_count(), 61);
+  RoundResult result = executor.RunRound(readings.values());
+  std::unordered_map<NodeId, double> inputs;
+  for (NodeId s : workload.tasks[0].sources) inputs[s] = readings.values()[s];
+  EXPECT_NEAR(result.destination_values.at(30),
+              workload.functions.Get(30).Direct(inputs), 1e-9);
+  EXPECT_GT(result.energy_mj, 0.0);
+}
+
+TEST(MultiSensorTest, LocalBusHopsAreFree) {
+  // Destination co-located on the same host as the sensor: all hops are
+  // local bus, radio energy is zero.
+  Topology base = MakeGreatDuckIslandLike();
+  MultiSensorNetwork network(base, {{5}});
+  NodeId sensor = network.sensor_id(0);
+
+  Workload workload;
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.weights = {{sensor, 1.0}};
+  workload.tasks.push_back(Task{5, {sensor}});
+  workload.specs.push_back(spec);
+  workload.RebuildFunctions();
+
+  System system(network.expanded_topology(), workload);
+  PlanExecutor with_bus = system.MakeExecutor();
+  with_bus.set_free_link([&network](NodeId a, NodeId b) {
+    return network.IsLocalBusLink(a, b);
+  });
+  PlanExecutor without_bus = system.MakeExecutor();
+
+  ReadingGenerator readings(network.expanded_topology().node_count(), 62);
+  RoundResult free_result = with_bus.RunRound(readings.values());
+  RoundResult charged_result = without_bus.RunRound(readings.values());
+  EXPECT_DOUBLE_EQ(free_result.energy_mj, 0.0);
+  EXPECT_GT(charged_result.energy_mj, 0.0);
+  EXPECT_NEAR(free_result.destination_values.at(5),
+              readings.values()[sensor], 1e-9);
+}
+
+// The paper's other lifted assumption: "each node can be the destination
+// of at most one aggregation function, though this assumption is simple to
+// lift". A second function at the same physical node runs at a co-located
+// virtual destination.
+TEST(MultiSensorTest, TwoFunctionsAtOneDestinationNode) {
+  Topology base = MakeGreatDuckIslandLike();
+  MultiSensorNetwork network(base, {{30}});
+  NodeId second_slot = network.sensor_id(0);  // Virtual node hosted at 30.
+
+  Workload workload;
+  FunctionSpec avg;
+  avg.kind = AggregateKind::kWeightedAverage;
+  avg.weights = {{5, 1.0}, {12, 1.0}};
+  workload.tasks.push_back(Task{30, {5, 12}});
+  workload.specs.push_back(avg);
+  FunctionSpec max_fn;
+  max_fn.kind = AggregateKind::kMax;
+  max_fn.weights = {{5, 1.0}, {12, 1.0}, {7, 1.0}};
+  workload.tasks.push_back(Task{second_slot, {5, 12, 7}});
+  workload.specs.push_back(max_fn);
+  workload.RebuildFunctions();
+
+  System system(network.expanded_topology(), workload);
+  PlanExecutor executor = system.MakeExecutor();
+  executor.set_free_link([&network](NodeId a, NodeId b) {
+    return network.IsLocalBusLink(a, b);
+  });
+  ReadingGenerator readings(network.expanded_topology().node_count(), 65);
+  RoundResult result = executor.RunRound(readings.values());
+  // Both functions arrive at the same physical mote.
+  double expected_avg =
+      (readings.values()[5] + readings.values()[12]) / 2.0;
+  double expected_max = std::max(
+      {readings.values()[5], readings.values()[12], readings.values()[7]});
+  EXPECT_NEAR(result.destination_values.at(30), expected_avg, 1e-9);
+  EXPECT_NEAR(result.destination_values.at(second_slot), expected_max,
+              1e-9);
+}
+
+TEST(MultiSensorTest, GeneratedWorkloadOverExpandedTopology) {
+  // The whole pipeline runs with a mix of physical and virtual sources.
+  Topology base = MakeGreatDuckIslandLike();
+  std::vector<SensorSpec> sensors;
+  for (NodeId host = 0; host < 20; host += 2) sensors.push_back({host});
+  MultiSensorNetwork network(base, sensors);
+  WorkloadSpec spec;
+  spec.destination_count = 8;
+  spec.sources_per_destination = 6;
+  spec.seed = 63;
+  Workload workload =
+      GenerateWorkload(network.expanded_topology(), spec);
+  System system(network.expanded_topology(), workload);
+  PlanExecutor executor = system.MakeExecutor();
+  executor.set_free_link([&network](NodeId a, NodeId b) {
+    return network.IsLocalBusLink(a, b);
+  });
+  ReadingGenerator readings(network.expanded_topology().node_count(), 64);
+  RoundResult result = executor.RunRound(readings.values());
+  EXPECT_EQ(result.destination_values.size(), workload.tasks.size());
+}
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,274 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "plan/consistency.h"
+#include "plan/planner.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+struct TestEnvironment {
+  explicit TestEnvironment(WorkloadSpec spec)
+      : topology(MakeGreatDuckIslandLike()),
+        paths(topology),
+        workload(GenerateWorkload(topology, spec)),
+        forest(std::make_shared<MulticastForest>(paths, workload.tasks)) {}
+
+  Topology topology;
+  PathSystem paths;
+  Workload workload;
+  std::shared_ptr<const MulticastForest> forest;
+};
+
+WorkloadSpec DefaultSpec(uint64_t seed = 21) {
+  WorkloadSpec spec;
+  spec.destination_count = 12;
+  spec.sources_per_destination = 10;
+  spec.dispersion = 0.9;
+  spec.seed = seed;
+  return spec;
+}
+
+PlannerOptions WithStrategy(PlanStrategy strategy) {
+  PlannerOptions options;
+  options.strategy = strategy;
+  return options;
+}
+
+TEST(PlannerTest, EveryEdgePlanIsACover) {
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan plan = BuildPlan(env.forest, env.workload.functions, {});
+  for (size_t e = 0; e < env.forest->edges().size(); ++e) {
+    const ForestEdge& edge = env.forest->edges()[e];
+    const EdgePlan& edge_plan = plan.plan_for(static_cast<int>(e));
+    for (const SourceDestPair& pair : edge.pairs) {
+      EXPECT_TRUE(edge_plan.TransmitsRaw(pair.source) ||
+                  edge_plan.TransmitsAggregate(pair.destination))
+          << "uncovered pair on edge " << edge.edge.tail << "->"
+          << edge.edge.head;
+    }
+  }
+}
+
+TEST(PlannerTest, OptimalNeverWorsePerEdgeThanBaselines) {
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan optimal = BuildPlan(env.forest, env.workload.functions,
+                                 WithStrategy(PlanStrategy::kOptimal));
+  GlobalPlan multicast = BuildPlan(env.forest, env.workload.functions,
+                                   WithStrategy(PlanStrategy::kMulticastOnly));
+  GlobalPlan aggregation =
+      BuildPlan(env.forest, env.workload.functions,
+                WithStrategy(PlanStrategy::kAggregationOnly));
+  for (size_t e = 0; e < env.forest->edges().size(); ++e) {
+    int64_t opt = optimal.plan_for(static_cast<int>(e)).payload_bytes;
+    EXPECT_LE(opt, multicast.plan_for(static_cast<int>(e)).payload_bytes);
+    EXPECT_LE(opt, aggregation.plan_for(static_cast<int>(e)).payload_bytes);
+  }
+  EXPECT_LE(optimal.TotalPayloadBytes(), multicast.TotalPayloadBytes());
+  EXPECT_LE(optimal.TotalPayloadBytes(), aggregation.TotalPayloadBytes());
+}
+
+TEST(PlannerTest, OptimalStrictlyBeatsBaselinesOnRealWorkload) {
+  // With 12 weighted-average functions over dispersed sources, neither
+  // trivial cover should match the optimum exactly.
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan optimal = BuildPlan(env.forest, env.workload.functions, {});
+  GlobalPlan multicast = BuildPlan(env.forest, env.workload.functions,
+                                   WithStrategy(PlanStrategy::kMulticastOnly));
+  GlobalPlan aggregation =
+      BuildPlan(env.forest, env.workload.functions,
+                WithStrategy(PlanStrategy::kAggregationOnly));
+  EXPECT_LT(optimal.TotalPayloadBytes(), multicast.TotalPayloadBytes());
+  EXPECT_LT(optimal.TotalPayloadBytes(), aggregation.TotalPayloadBytes());
+}
+
+TEST(PlannerTest, MulticastPlanSendsEverythingRaw) {
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan plan = BuildPlan(env.forest, env.workload.functions,
+                              WithStrategy(PlanStrategy::kMulticastOnly));
+  for (size_t e = 0; e < env.forest->edges().size(); ++e) {
+    EXPECT_TRUE(plan.plan_for(static_cast<int>(e)).agg_destinations.empty());
+  }
+}
+
+TEST(PlannerTest, AggregationPlanAggregatesEverything) {
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan plan = BuildPlan(env.forest, env.workload.functions,
+                              WithStrategy(PlanStrategy::kAggregationOnly));
+  for (size_t e = 0; e < env.forest->edges().size(); ++e) {
+    EXPECT_TRUE(plan.plan_for(static_cast<int>(e)).raw_sources.empty());
+  }
+}
+
+// Theorem 1: independently optimal per-edge covers form a consistent global
+// plan.
+TEST(ConsistencyTest, OptimalPlanIsConsistentAcrossSeeds) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    TestEnvironment env(DefaultSpec(seed));
+    GlobalPlan plan = BuildPlan(env.forest, env.workload.functions, {});
+    std::vector<std::string> violations = FindConsistencyViolations(plan);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.front();
+  }
+}
+
+TEST(ConsistencyTest, BaselinePlansAreConsistentTrivially) {
+  TestEnvironment env(DefaultSpec());
+  for (PlanStrategy strategy :
+       {PlanStrategy::kMulticastOnly, PlanStrategy::kAggregationOnly}) {
+    GlobalPlan plan =
+        BuildPlan(env.forest, env.workload.functions, WithStrategy(strategy));
+    EXPECT_TRUE(ValidatePlanConsistency(plan)) << ToString(strategy);
+  }
+}
+
+TEST(ConsistencyTest, DetectsRawAfterAggregateViolation) {
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan plan = BuildPlan(env.forest, env.workload.functions, {});
+  // Find a route of length >= 2 whose first edge aggregates, then force the
+  // second edge to transmit the source raw.
+  std::vector<EdgePlan> plans = plan.edge_plans();
+  bool corrupted = false;
+  for (const Task& task : env.forest->tasks()) {
+    for (NodeId s : task.sources) {
+      if (s == task.destination || corrupted) continue;
+      const auto& route =
+          env.forest->Route(SourceDestPair{s, task.destination});
+      if (route.size() < 2) continue;
+      if (!plans[route[0]].TransmitsRaw(s) &&
+          !plans[route[1]].TransmitsRaw(s)) {
+        auto& raws = plans[route[1]].raw_sources;
+        raws.insert(std::lower_bound(raws.begin(), raws.end(), s), s);
+        corrupted = true;
+      }
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no aggregating route found to corrupt";
+  GlobalPlan bad(env.forest, std::move(plans), plan.options());
+  EXPECT_FALSE(ValidatePlanConsistency(bad));
+}
+
+TEST(PlannerTest, TiebreakSeedChangesOnlyTies) {
+  TestEnvironment env(DefaultSpec());
+  PlannerOptions a;
+  a.tiebreak_seed = 111;
+  PlannerOptions b;
+  b.tiebreak_seed = 222;
+  GlobalPlan plan_a = BuildPlan(env.forest, env.workload.functions, a);
+  GlobalPlan plan_b = BuildPlan(env.forest, env.workload.functions, b);
+  // Byte-optimal cost is seed-independent.
+  EXPECT_EQ(plan_a.TotalPayloadBytes(), plan_b.TotalPayloadBytes());
+  // And each remains individually consistent.
+  EXPECT_TRUE(ValidatePlanConsistency(plan_a));
+  EXPECT_TRUE(ValidatePlanConsistency(plan_b));
+}
+
+TEST(UpdatePlanTest, NoChangeReusesEverything) {
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan plan = BuildPlan(env.forest, env.workload.functions, {});
+  UpdateStats stats;
+  GlobalPlan updated =
+      UpdatePlan(plan, env.forest, env.workload.functions, &stats);
+  EXPECT_EQ(stats.edges_reoptimized, 0);
+  EXPECT_EQ(stats.edges_reused, stats.edges_total);
+  EXPECT_EQ(updated.edge_plans(), plan.edge_plans());
+}
+
+TEST(UpdatePlanTest, AddingSourceTouchesOnlyItsPath) {
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan plan = BuildPlan(env.forest, env.workload.functions, {});
+
+  // Add a fresh source to the first destination.
+  NodeId d = env.workload.tasks[0].destination;
+  NodeId fresh = kInvalidNode;
+  for (NodeId n = 0; n < env.topology.node_count(); ++n) {
+    if (n == d) continue;
+    const auto& sources = env.workload.tasks[0].sources;
+    if (std::find(sources.begin(), sources.end(), n) == sources.end()) {
+      fresh = n;
+      break;
+    }
+  }
+  ASSERT_NE(fresh, kInvalidNode);
+  Workload updated_wl = WithSourceAdded(env.workload, fresh, d, 1.0);
+  auto updated_forest =
+      std::make_shared<MulticastForest>(env.paths, updated_wl.tasks);
+
+  UpdateStats stats;
+  GlobalPlan incremental =
+      UpdatePlan(plan, updated_forest, updated_wl.functions, &stats);
+  // Corollary 1: only edges on the new source's path to d (plus edges whose
+  // pair sets changed) re-optimize; most of the network is untouched.
+  int path_edges = env.paths.HopDistance(fresh, d);
+  EXPECT_GT(stats.edges_reused, 0);
+  EXPECT_LE(stats.edges_reoptimized,
+            path_edges + static_cast<int>(updated_forest->edges().size()) -
+                static_cast<int>(env.forest->edges().size()) + path_edges);
+  // The incremental result must match a from-scratch rebuild exactly.
+  GlobalPlan full =
+      BuildPlan(updated_forest, updated_wl.functions, plan.options());
+  EXPECT_EQ(incremental.edge_plans(), full.edge_plans());
+  EXPECT_TRUE(ValidatePlanConsistency(incremental));
+}
+
+TEST(UpdatePlanTest, RemovingSourceMatchesRebuild) {
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan plan = BuildPlan(env.forest, env.workload.functions, {});
+  NodeId d = env.workload.tasks[0].destination;
+  NodeId victim = env.workload.tasks[0].sources[0];
+  Workload updated_wl = WithSourceRemoved(env.workload, victim, d);
+  auto updated_forest =
+      std::make_shared<MulticastForest>(env.paths, updated_wl.tasks);
+  UpdateStats stats;
+  GlobalPlan incremental =
+      UpdatePlan(plan, updated_forest, updated_wl.functions, &stats);
+  GlobalPlan full =
+      BuildPlan(updated_forest, updated_wl.functions, plan.options());
+  EXPECT_EQ(incremental.edge_plans(), full.edge_plans());
+  EXPECT_GT(stats.edges_reused, 0);
+}
+
+TEST(PlannerTest, PartialRecordSizesInfluenceCovers) {
+  // Weighted stddev partials (12 bytes with tag) are twice as heavy as raw
+  // units; the optimal plan should ship more raw than it would for
+  // weighted sums (6-byte partial units with tag = 8... i.e. cheaper).
+  WorkloadSpec sum_spec = DefaultSpec();
+  sum_spec.kind = AggregateKind::kWeightedSum;
+  WorkloadSpec stddev_spec = DefaultSpec();
+  stddev_spec.kind = AggregateKind::kWeightedStdDev;
+  TestEnvironment sum_env(sum_spec);
+  TestEnvironment stddev_env(stddev_spec);
+  GlobalPlan sum_plan =
+      BuildPlan(sum_env.forest, sum_env.workload.functions, {});
+  GlobalPlan stddev_plan =
+      BuildPlan(stddev_env.forest, stddev_env.workload.functions, {});
+  auto raw_units = [](const GlobalPlan& plan) {
+    int64_t total = 0;
+    for (const EdgePlan& p : plan.edge_plans()) {
+      total += static_cast<int64_t>(p.raw_sources.size());
+    }
+    return total;
+  };
+  // Same relation (same seed), heavier partials => at least as many raws.
+  EXPECT_GE(raw_units(stddev_plan), raw_units(sum_plan));
+}
+
+TEST(PlannerTest, ToStringCoversStrategies) {
+  EXPECT_EQ(ToString(PlanStrategy::kOptimal), "optimal");
+  EXPECT_EQ(ToString(PlanStrategy::kMulticastOnly), "multicast");
+  EXPECT_EQ(ToString(PlanStrategy::kAggregationOnly), "aggregation");
+}
+
+TEST(PlannerTest, TotalPhysicalPayloadWeighsHops) {
+  // With milestones disabled (all nodes), physical == logical payload.
+  TestEnvironment env(DefaultSpec());
+  GlobalPlan plan = BuildPlan(env.forest, env.workload.functions, {});
+  EXPECT_EQ(plan.TotalPayloadBytes(), plan.TotalPhysicalPayloadBytes());
+}
+
+}  // namespace
+}  // namespace m2m

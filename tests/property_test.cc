@@ -1,0 +1,161 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "runtime/network.h"
+#include "plan/consistency.h"
+#include "plan/messaging.h"
+#include "sim/readings.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+// Randomized invariants, run over a seed sweep via TEST_P. These guard the
+// paper's theorems on arbitrary workloads rather than hand-picked ones.
+class RandomWorkloadProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  RandomWorkloadProperty()
+      : topology_(MakeGreatDuckIslandLike()), paths_(topology_) {
+    Rng rng(GetParam());
+    WorkloadSpec spec;
+    spec.destination_count = 4 + static_cast<int>(rng.UniformInt(12));
+    spec.sources_per_destination = 3 + static_cast<int>(rng.UniformInt(15));
+    spec.dispersion = rng.UniformDouble();
+    spec.max_hops = 1 + static_cast<int>(rng.UniformInt(5));
+    spec.kind = rng.Bernoulli(0.5) ? AggregateKind::kWeightedAverage
+                                   : AggregateKind::kWeightedSum;
+    spec.seed = GetParam() * 13 + 1;
+    workload_ = GenerateWorkload(topology_, spec);
+    forest_ = std::make_shared<MulticastForest>(paths_, workload_.tasks);
+  }
+
+  Topology topology_;
+  PathSystem paths_;
+  Workload workload_;
+  std::shared_ptr<const MulticastForest> forest_;
+};
+
+TEST_P(RandomWorkloadProperty, Theorem1ConsistencyHolds) {
+  GlobalPlan plan = BuildPlan(forest_, workload_.functions, {});
+  std::vector<std::string> violations = FindConsistencyViolations(plan);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_P(RandomWorkloadProperty, OptimalNeverExceedsEitherBaselinePerEdge) {
+  PlannerOptions multicast;
+  multicast.strategy = PlanStrategy::kMulticastOnly;
+  PlannerOptions aggregation;
+  aggregation.strategy = PlanStrategy::kAggregationOnly;
+  GlobalPlan opt = BuildPlan(forest_, workload_.functions, {});
+  GlobalPlan mc = BuildPlan(forest_, workload_.functions, multicast);
+  GlobalPlan agg = BuildPlan(forest_, workload_.functions, aggregation);
+  for (size_t e = 0; e < forest_->edges().size(); ++e) {
+    int64_t o = opt.plan_for(static_cast<int>(e)).payload_bytes;
+    EXPECT_LE(o, mc.plan_for(static_cast<int>(e)).payload_bytes);
+    EXPECT_LE(o, agg.plan_for(static_cast<int>(e)).payload_bytes);
+  }
+}
+
+TEST_P(RandomWorkloadProperty, Theorem2NoWaitForCycles) {
+  GlobalPlan plan = BuildPlan(forest_, workload_.functions, {});
+  MessageSchedule schedule = MessageSchedule::Build(
+      plan, workload_.functions, MergePolicy::kGreedyMergePerEdge);
+  EXPECT_TRUE(schedule.UnitsAcyclic());
+  EXPECT_TRUE(schedule.MessagesAcyclic());
+}
+
+TEST_P(RandomWorkloadProperty, DistributedAggregationIsExact) {
+  GlobalPlan plan = BuildPlan(forest_, workload_.functions, {});
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload_.functions);
+  PlanExecutor executor(std::make_shared<CompiledPlan>(compiled),
+                        workload_.functions, EnergyModel{});
+  ReadingGenerator gen(topology_.node_count(), GetParam() + 999);
+  // RunRound CHECK-fails internally on any divergence.
+  RoundResult result = executor.RunRound(gen.values());
+  EXPECT_EQ(result.destination_values.size(), workload_.tasks.size());
+}
+
+TEST_P(RandomWorkloadProperty, SuppressionConvergesOverManyRounds) {
+  GlobalPlan plan = BuildPlan(forest_, workload_.functions, {});
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload_.functions);
+  PlanExecutor executor(std::make_shared<CompiledPlan>(compiled),
+                        workload_.functions, EnergyModel{});
+  ReadingGenerator gen(topology_.node_count(), GetParam() + 555);
+  executor.InitializeState(gen.values());
+  Rng rng(GetParam());
+  for (int round = 0; round < 8; ++round) {
+    double p = rng.UniformDouble();
+    std::vector<bool> changed = gen.Advance(p);
+    OverridePolicy policy = static_cast<OverridePolicy>(rng.UniformInt(4));
+    // RunSuppressedRound CHECK-fails if any maintained aggregate drifts.
+    executor.RunSuppressedRound(gen.values(), changed, policy);
+  }
+  SUCCEED();
+}
+
+TEST_P(RandomWorkloadProperty, DistributedRuntimeMatchesAnalytic) {
+  GlobalPlan plan = BuildPlan(forest_, workload_.functions, {});
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload_.functions);
+  PlanExecutor executor(std::make_shared<CompiledPlan>(compiled),
+                        workload_.functions, EnergyModel{});
+  ReadingGenerator gen(topology_.node_count(), GetParam() + 321);
+  RoundResult analytic = executor.RunRound(gen.values());
+  RuntimeNetwork network(compiled, workload_.functions);
+  RuntimeNetwork::Result distributed = network.RunRound(gen.values());
+  ASSERT_EQ(distributed.destination_values.size(),
+            analytic.destination_values.size());
+  for (const auto& [d, value] : analytic.destination_values) {
+    EXPECT_NEAR(distributed.destination_values.at(d), value,
+                1e-4 * std::max(1.0, std::fabs(value)));
+  }
+}
+
+TEST_P(RandomWorkloadProperty, StateBoundedByTreeSizes) {
+  GlobalPlan plan = BuildPlan(forest_, workload_.functions, {});
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload_.functions);
+  StateTotals totals = compiled.ComputeStateTotals();
+  int64_t bound = std::min(totals.sum_multicast_tree_sizes,
+                           totals.sum_aggregation_tree_sizes);
+  EXPECT_LE(totals.total(), 6 * bound);
+}
+
+TEST_P(RandomWorkloadProperty, MulticastTreeLeavesAreDestinations) {
+  EXPECT_TRUE(forest_->CheckMinimality());
+  EXPECT_TRUE(forest_->CheckSharing());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, RandomWorkloadProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// Milestone sweep: Theorem 1 consistency also holds on virtual edges for
+// any global milestone predicate.
+class MilestoneProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(MilestoneProperty, ConsistencyOnVirtualEdges) {
+  Topology topo = MakeGreatDuckIslandLike();
+  LinkStabilityModel stability(topo, 33);
+  WorkloadSpec spec;
+  spec.destination_count = 10;
+  spec.sources_per_destination = 8;
+  spec.seed = 77;
+  Workload wl = GenerateWorkload(topo, spec);
+  SystemOptions options;
+  options.milestones =
+      MilestoneSelector::StabilityThreshold(topo, stability, GetParam());
+  System system(topo, wl, options);
+  EXPECT_TRUE(ValidatePlanConsistency(system.plan()));
+  ReadingGenerator gen(topo.node_count(), 78);
+  RoundResult result = system.MakeExecutor().RunRound(gen.values());
+  EXPECT_EQ(result.destination_values.size(), wl.tasks.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, MilestoneProperty,
+                         ::testing::Values(0.0, 0.82, 0.86, 0.90, 2.0));
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,233 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "plan/dissemination.h"
+#include "plan/planner.h"
+#include "plan/serialization.h"
+#include "sim/base_station.h"
+#include "sim/executor.h"
+#include "sim/readings.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+struct Env {
+  explicit Env(uint64_t seed)
+      : topology(MakeGreatDuckIslandLike()), paths(topology) {
+    WorkloadSpec spec;
+    spec.destination_count = 10;
+    spec.sources_per_destination = 8;
+    spec.seed = seed;
+    workload = GenerateWorkload(topology, spec);
+    forest = std::make_shared<MulticastForest>(paths, workload.tasks);
+    plan = std::make_shared<GlobalPlan>(
+        BuildPlan(forest, workload.functions, {}));
+    compiled = std::make_shared<CompiledPlan>(
+        CompiledPlan::Compile(*plan, workload.functions));
+  }
+
+  Topology topology;
+  PathSystem paths;
+  Workload workload;
+  std::shared_ptr<const MulticastForest> forest;
+  std::shared_ptr<GlobalPlan> plan;
+  std::shared_ptr<CompiledPlan> compiled;
+};
+
+TEST(SerializationTest, RoundtripPreservesTables) {
+  Env env(61);
+  for (NodeId n = 0; n < env.compiled->node_count(); ++n) {
+    const NodeState& original = env.compiled->state(n);
+    std::vector<uint8_t> image =
+        EncodeNodeState(original, env.workload.functions);
+    DecodedNodeState decoded = DecodeNodeState(image);
+    ASSERT_EQ(decoded.state.raw_table.size(), original.raw_table.size());
+    ASSERT_EQ(decoded.state.preagg_table.size(),
+              original.preagg_table.size());
+    ASSERT_EQ(decoded.state.partial_table.size(),
+              original.partial_table.size());
+    ASSERT_EQ(decoded.state.outgoing_table.size(),
+              original.outgoing_table.size());
+    EXPECT_EQ(decoded.state.is_destination, original.is_destination);
+    for (size_t i = 0; i < original.raw_table.size(); ++i) {
+      EXPECT_EQ(decoded.state.raw_table[i].source,
+                original.raw_table[i].source);
+    }
+    for (size_t i = 0; i < original.preagg_table.size(); ++i) {
+      EXPECT_EQ(decoded.state.preagg_table[i].source,
+                original.preagg_table[i].source);
+      EXPECT_EQ(decoded.state.preagg_table[i].destination,
+                original.preagg_table[i].destination);
+      const AggregateFunction& fn =
+          env.workload.functions.Get(original.preagg_table[i].destination);
+      EXPECT_NEAR(decoded.preagg_meta[i].weight,
+                  fn.WeightFor(original.preagg_table[i].source), 1e-6);
+      EXPECT_EQ(decoded.preagg_meta[i].kind,
+                static_cast<uint8_t>(fn.kind()));
+    }
+    for (size_t i = 0; i < original.partial_table.size(); ++i) {
+      EXPECT_EQ(decoded.state.partial_table[i].destination,
+                original.partial_table[i].destination);
+      EXPECT_EQ(decoded.state.partial_table[i].expected_contributions,
+                original.partial_table[i].expected_contributions);
+      EXPECT_EQ(decoded.state.partial_table[i].message_id == -1,
+                original.partial_table[i].message_id == -1);
+    }
+    for (size_t i = 0; i < original.outgoing_table.size(); ++i) {
+      EXPECT_EQ(decoded.state.outgoing_table[i].unit_count,
+                original.outgoing_table[i].unit_count);
+      EXPECT_EQ(decoded.state.outgoing_table[i].recipient,
+                original.outgoing_table[i].recipient);
+    }
+  }
+}
+
+TEST(SerializationTest, LocalMessageIdsReferenceOutgoingTable) {
+  Env env(62);
+  for (NodeId n = 0; n < env.compiled->node_count(); ++n) {
+    std::vector<uint8_t> image =
+        EncodeNodeState(env.compiled->state(n), env.workload.functions);
+    DecodedNodeState decoded = DecodeNodeState(image);
+    int outgoing = static_cast<int>(decoded.state.outgoing_table.size());
+    for (const RawTableEntry& entry : decoded.state.raw_table) {
+      EXPECT_GE(entry.message_id, 0);
+      EXPECT_LT(entry.message_id, outgoing);
+    }
+    for (const PartialTableEntry& entry : decoded.state.partial_table) {
+      EXPECT_LT(entry.message_id, outgoing);
+    }
+  }
+}
+
+TEST(SerializationTest, ImagesAreStableAcrossRecompilation) {
+  Env a(63);
+  Env b(63);
+  std::vector<std::vector<uint8_t>> images_a =
+      EncodeAllNodeStates(*a.compiled, a.workload.functions);
+  std::vector<std::vector<uint8_t>> images_b =
+      EncodeAllNodeStates(*b.compiled, b.workload.functions);
+  EXPECT_EQ(images_a, images_b);
+}
+
+TEST(DisseminationTest, FullCoversAllParticipatingNodes) {
+  Env env(64);
+  NodeId base = PickBaseStation(env.topology);
+  DisseminationCost cost = ComputeFullDissemination(
+      *env.compiled, env.workload.functions, env.paths, base,
+      EnergyModel{});
+  EXPECT_GT(cost.nodes_updated, 0);
+  EXPECT_GT(cost.state_bytes, 0);
+  EXPECT_GT(cost.energy_mj, 0.0);
+  EXPECT_GT(cost.packets, 0);
+  // No more nodes than exist.
+  EXPECT_LE(cost.nodes_updated, env.topology.node_count());
+}
+
+TEST(DisseminationTest, IncrementalIsZeroForIdenticalPlans) {
+  Env env(65);
+  NodeId base = PickBaseStation(env.topology);
+  DisseminationCost cost = ComputeIncrementalDissemination(
+      *env.compiled, env.workload.functions, *env.compiled,
+      env.workload.functions, env.paths, base, EnergyModel{});
+  EXPECT_EQ(cost.nodes_updated, 0);
+  EXPECT_EQ(cost.energy_mj, 0.0);
+}
+
+TEST(DisseminationTest, LocalizedChangeUpdatesFewNodes) {
+  Env env(66);
+  NodeId base = PickBaseStation(env.topology);
+  // Add one source to one destination.
+  NodeId d = env.workload.tasks[0].destination;
+  NodeId fresh = kInvalidNode;
+  for (NodeId n = 0; n < env.topology.node_count(); ++n) {
+    const auto& sources = env.workload.tasks[0].sources;
+    if (n != d &&
+        std::find(sources.begin(), sources.end(), n) == sources.end()) {
+      fresh = n;
+      break;
+    }
+  }
+  Workload updated = WithSourceAdded(env.workload, fresh, d, 1.0);
+  auto updated_forest =
+      std::make_shared<MulticastForest>(env.paths, updated.tasks);
+  GlobalPlan updated_plan =
+      UpdatePlan(*env.plan, updated_forest, updated.functions);
+  CompiledPlan updated_compiled =
+      CompiledPlan::Compile(updated_plan, updated.functions);
+
+  DisseminationCost full = ComputeFullDissemination(
+      updated_compiled, updated.functions, env.paths, base, EnergyModel{});
+  DisseminationCost incremental = ComputeIncrementalDissemination(
+      *env.compiled, env.workload.functions, updated_compiled,
+      updated.functions, env.paths, base, EnergyModel{});
+  EXPECT_LT(incremental.nodes_updated, full.nodes_updated);
+  EXPECT_LT(incremental.energy_mj, full.energy_mj);
+  EXPECT_GT(incremental.nodes_updated, 0);
+  // Corollary 1 locality: far fewer nodes than the whole plan.
+  EXPECT_LE(incremental.nodes_updated, full.nodes_updated / 2);
+}
+
+TEST(BaseStationTest, PickIsDeterministicCornerNode) {
+  Topology topo = MakeGreatDuckIslandLike();
+  NodeId base = PickBaseStation(topo);
+  EXPECT_EQ(base, PickBaseStation(topo));
+  // No node is strictly closer to the origin corner.
+  double base_dist = DistanceSquared(topo.position(base), Point{0, 0});
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    EXPECT_GE(DistanceSquared(topo.position(n), Point{0, 0}),
+              base_dist - 1e-12);
+  }
+}
+
+TEST(BaseStationTest, RoundChargesBothDirections) {
+  Env env(67);
+  NodeId base = PickBaseStation(env.topology);
+  BaseStationRoundResult result = SimulateBaseStationRound(
+      env.topology, env.paths, env.workload, base, EnergyModel{});
+  EXPECT_GT(result.uplink_mj, 0.0);
+  EXPECT_GT(result.downlink_mj, 0.0);
+  EXPECT_NEAR(result.energy_mj, result.uplink_mj + result.downlink_mj,
+              1e-12);
+  double per_node = 0.0;
+  for (double e : result.node_energy_mj) per_node += e;
+  EXPECT_NEAR(per_node, result.energy_mj, 1e-9);
+}
+
+TEST(BaseStationTest, BottleneckConcentratesNearBaseStation) {
+  Env env(68);
+  NodeId base = PickBaseStation(env.topology);
+  BaseStationRoundResult result = SimulateBaseStationRound(
+      env.topology, env.paths, env.workload, base, EnergyModel{});
+  // The hottest node is the base station or one of its radio neighbors.
+  NodeId hottest = 0;
+  for (NodeId n = 1; n < env.topology.node_count(); ++n) {
+    if (result.node_energy_mj[n] > result.node_energy_mj[hottest]) {
+      hottest = n;
+    }
+  }
+  EXPECT_TRUE(hottest == base || env.topology.AreNeighbors(hottest, base))
+      << "hottest node " << hottest << " is not near base " << base;
+}
+
+TEST(BaseStationTest, InNetworkControlAvoidsTheBottleneck) {
+  Env env(69);
+  NodeId base = PickBaseStation(env.topology);
+  BaseStationRoundResult bs = SimulateBaseStationRound(
+      env.topology, env.paths, env.workload, base, EnergyModel{});
+  PlanExecutor executor(env.compiled, env.workload.functions, EnergyModel{});
+  ReadingGenerator readings(env.topology.node_count(), 5);
+  RoundResult in_network = executor.RunRound(readings.values());
+  double bs_max = 0.0;
+  double in_max = 0.0;
+  for (double e : bs.node_energy_mj) bs_max = std::max(bs_max, e);
+  for (double e : in_network.node_energy_mj) in_max = std::max(in_max, e);
+  // The paper's bottleneck argument: the hottest node under out-of-network
+  // control burns substantially more than under in-network control.
+  EXPECT_GT(bs_max, 1.5 * in_max);
+}
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,309 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sim/readings.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+WorkloadSpec SuppressionSpec(uint64_t seed = 81) {
+  WorkloadSpec spec;
+  spec.destination_count = 10;
+  spec.sources_per_destination = 8;
+  spec.kind = AggregateKind::kWeightedAverage;  // Linear-delta capable.
+  spec.seed = seed;
+  return spec;
+}
+
+class SuppressionTest : public ::testing::Test {
+ protected:
+  SuppressionTest()
+      : topology_(MakeGreatDuckIslandLike()),
+        workload_(GenerateWorkload(topology_, SuppressionSpec())),
+        system_(topology_, workload_) {}
+
+  Topology topology_;
+  Workload workload_;
+  System system_;
+};
+
+TEST_F(SuppressionTest, NoChangeNoTraffic) {
+  PlanExecutor executor = system_.MakeExecutor();
+  ReadingGenerator gen(topology_.node_count(), 1);
+  executor.InitializeState(gen.values());
+  std::vector<bool> changed(topology_.node_count(), false);
+  RoundResult result = executor.RunSuppressedRound(gen.values(), changed,
+                                                   OverridePolicy::kNone);
+  EXPECT_EQ(result.energy_mj, 0.0);
+  EXPECT_EQ(result.messages, 0);
+  EXPECT_EQ(result.units, 0);
+}
+
+TEST_F(SuppressionTest, AllChangedMatchesFullRoundCost) {
+  PlanExecutor executor = system_.MakeExecutor();
+  ReadingGenerator gen(topology_.node_count(), 2);
+  executor.InitializeState(gen.values());
+  gen.Advance(1.0);
+  std::vector<bool> changed(topology_.node_count(), true);
+  RoundResult suppressed = executor.RunSuppressedRound(
+      gen.values(), changed, OverridePolicy::kNone);
+  RoundResult full = executor.RunRound(gen.values());
+  EXPECT_EQ(suppressed.messages, full.messages);
+  EXPECT_EQ(suppressed.units, full.units);
+  EXPECT_DOUBLE_EQ(suppressed.energy_mj, full.energy_mj);
+}
+
+TEST_F(SuppressionTest, MaintainedAggregatesTrackTruth) {
+  PlanExecutor executor = system_.MakeExecutor();
+  ReadingGenerator gen(topology_.node_count(), 3);
+  executor.InitializeState(gen.values());
+  for (int round = 0; round < 20; ++round) {
+    std::vector<bool> changed = gen.Advance(0.15);
+    RoundResult result = executor.RunSuppressedRound(
+        gen.values(), changed, OverridePolicy::kNone);
+    for (const Task& task : workload_.tasks) {
+      std::unordered_map<NodeId, double> inputs;
+      for (NodeId s : task.sources) inputs[s] = gen.values()[s];
+      EXPECT_NEAR(result.destination_values.at(task.destination),
+                  workload_.functions.Get(task.destination).Direct(inputs),
+                  1e-6);
+    }
+  }
+}
+
+TEST_F(SuppressionTest, PartialChangeCostsLessThanFull) {
+  PlanExecutor executor = system_.MakeExecutor();
+  ReadingGenerator gen(topology_.node_count(), 4);
+  executor.InitializeState(gen.values());
+  RoundResult full = executor.RunRound(gen.values());
+  std::vector<bool> changed = gen.Advance(0.1);
+  RoundResult suppressed = executor.RunSuppressedRound(
+      gen.values(), changed, OverridePolicy::kNone);
+  EXPECT_LT(suppressed.energy_mj, full.energy_mj);
+}
+
+TEST_F(SuppressionTest, SuppressedNeverExceedsFullWithoutOverride) {
+  PlanExecutor executor = system_.MakeExecutor();
+  ReadingGenerator gen(topology_.node_count(), 5);
+  executor.InitializeState(gen.values());
+  RoundResult full = executor.RunRound(gen.values());
+  for (double p : {0.05, 0.3, 0.7}) {
+    std::vector<bool> changed = gen.Advance(p);
+    RoundResult suppressed = executor.RunSuppressedRound(
+        gen.values(), changed, OverridePolicy::kNone);
+    EXPECT_LE(suppressed.energy_mj, full.energy_mj + 1e-9) << "p=" << p;
+  }
+}
+
+TEST_F(SuppressionTest, OverridePoliciesKeepAggregatesCorrect) {
+  for (OverridePolicy policy :
+       {OverridePolicy::kConservative, OverridePolicy::kMedium,
+        OverridePolicy::kAggressive}) {
+    PlanExecutor executor = system_.MakeExecutor();
+    ReadingGenerator gen(topology_.node_count(), 6);
+    executor.InitializeState(gen.values());
+    for (int round = 0; round < 10; ++round) {
+      std::vector<bool> changed = gen.Advance(0.1);
+      RoundResult result =
+          executor.RunSuppressedRound(gen.values(), changed, policy);
+      for (const Task& task : workload_.tasks) {
+        std::unordered_map<NodeId, double> inputs;
+        for (NodeId s : task.sources) inputs[s] = gen.values()[s];
+        EXPECT_NEAR(result.destination_values.at(task.destination),
+                    workload_.functions.Get(task.destination).Direct(inputs),
+                    1e-6)
+            << ToString(policy);
+      }
+    }
+  }
+}
+
+TEST_F(SuppressionTest, AggressiveOverridesMostOften) {
+  // Aggressive judges values in isolation with the loosest threshold, so it
+  // overrides at least as often as the judicious conservative policy and
+  // the tighter-threshold medium policy. (Conservative and medium are not
+  // mutually ordered: they restrict different dimensions.)
+  int64_t counts[3] = {0, 0, 0};
+  OverridePolicy policies[3] = {OverridePolicy::kConservative,
+                                OverridePolicy::kMedium,
+                                OverridePolicy::kAggressive};
+  for (int i = 0; i < 3; ++i) {
+    PlanExecutor executor = system_.MakeExecutor();
+    ReadingGenerator gen(topology_.node_count(), 7);
+    executor.InitializeState(gen.values());
+    for (int round = 0; round < 10; ++round) {
+      std::vector<bool> changed = gen.Advance(0.1);
+      counts[i] += executor
+                       .RunSuppressedRound(gen.values(), changed, policies[i])
+                       .overrides;
+    }
+  }
+  EXPECT_LE(counts[0], counts[2]);
+  EXPECT_LE(counts[1], counts[2]);
+  EXPECT_GT(counts[2], 0);
+}
+
+TEST_F(SuppressionTest, OverrideCanSaveEnergyAtLowChangeRates) {
+  // With few changes, a changed value that the default plan would fold into
+  // several single-contribution partials is cheaper to forward raw.
+  double none_total = 0.0;
+  double aggressive_total = 0.0;
+  for (uint64_t seed : {8u, 9u, 10u, 11u}) {
+    for (OverridePolicy policy :
+         {OverridePolicy::kNone, OverridePolicy::kAggressive}) {
+      PlanExecutor executor = system_.MakeExecutor();
+      ReadingGenerator gen(topology_.node_count(), seed);
+      executor.InitializeState(gen.values());
+      double total = 0.0;
+      for (int round = 0; round < 10; ++round) {
+        std::vector<bool> changed = gen.Advance(0.05);
+        total += executor.RunSuppressedRound(gen.values(), changed, policy)
+                     .energy_mj;
+      }
+      (policy == OverridePolicy::kNone ? none_total : aggressive_total) +=
+          total;
+    }
+  }
+  EXPECT_LT(aggressive_total, none_total);
+}
+
+TEST_F(SuppressionTest, ReplicatedPreAggKeepsAggregatesCorrect) {
+  PlanExecutor executor = system_.MakeExecutor();
+  ReadingGenerator gen(topology_.node_count(), 31);
+  executor.InitializeState(gen.values());
+  for (int round = 0; round < 10; ++round) {
+    std::vector<bool> changed = gen.Advance(0.2);
+    RoundResult result = executor.RunSuppressedRound(
+        gen.values(), changed, OverridePolicy::kAggressive,
+        /*replicated_preagg=*/true);
+    for (const Task& task : workload_.tasks) {
+      std::unordered_map<NodeId, double> inputs;
+      for (NodeId s : task.sources) inputs[s] = gen.values()[s];
+      EXPECT_NEAR(result.destination_values.at(task.destination),
+                  workload_.functions.Get(task.destination).Direct(inputs),
+                  1e-6);
+    }
+  }
+}
+
+TEST_F(SuppressionTest, ReplicationCapsAggressiveDownsideAtHighChange) {
+  // At high change probability, an overridden raw value that can still be
+  // folded downstream costs no more than one that must multicast to every
+  // destination.
+  double sticky = 0.0;
+  double replicated = 0.0;
+  for (bool use_replication : {false, true}) {
+    PlanExecutor executor = system_.MakeExecutor();
+    ReadingGenerator gen(topology_.node_count(), 32);
+    executor.InitializeState(gen.values());
+    double total = 0.0;
+    for (int round = 0; round < 10; ++round) {
+      std::vector<bool> changed = gen.Advance(0.5);
+      total += executor
+                   .RunSuppressedRound(gen.values(), changed,
+                                       OverridePolicy::kAggressive,
+                                       use_replication)
+                   .energy_mj;
+    }
+    (use_replication ? replicated : sticky) = total;
+  }
+  EXPECT_LE(replicated, sticky + 1e-9);
+}
+
+TEST_F(SuppressionTest, ReplicatedEntriesCountedAndDeterministic) {
+  PlanExecutor a = system_.MakeExecutor();
+  PlanExecutor b = system_.MakeExecutor();
+  EXPECT_GT(a.CountReplicatedPreAggEntries(), 0);
+  EXPECT_EQ(a.CountReplicatedPreAggEntries(),
+            b.CountReplicatedPreAggEntries());
+}
+
+TEST_F(SuppressionTest, ThresholdSuppressionStaysWithinBound) {
+  PlanExecutor executor = system_.MakeExecutor();
+  ReadingGenerator gen(topology_.node_count(), 21, /*step_stddev=*/1.0);
+  executor.InitializeState(gen.values());
+  const double epsilon = 1.5;
+  for (int round = 0; round < 15; ++round) {
+    gen.Advance(1.0);
+    RoundResult result = executor.RunThresholdSuppressedRound(
+        gen.values(), epsilon, OverridePolicy::kNone);
+    // The executor CHECKs the bound internally; assert the observed error
+    // respects the loosest per-destination bound too.
+    double worst_bound = 0.0;
+    for (const Task& task : workload_.tasks) {
+      worst_bound = std::max(worst_bound,
+                             workload_.functions.Get(task.destination)
+                                 .SuppressionErrorBound(epsilon));
+    }
+    EXPECT_LE(result.max_abs_error, worst_bound + 1e-9);
+  }
+}
+
+TEST_F(SuppressionTest, LargerThresholdTransmitsLess) {
+  double tight_energy = 0.0;
+  double loose_energy = 0.0;
+  for (double epsilon : {0.5, 4.0}) {
+    PlanExecutor executor = system_.MakeExecutor();
+    ReadingGenerator gen(topology_.node_count(), 22, /*step_stddev=*/1.0);
+    executor.InitializeState(gen.values());
+    double total = 0.0;
+    for (int round = 0; round < 10; ++round) {
+      gen.Advance(1.0);
+      total += executor
+                   .RunThresholdSuppressedRound(gen.values(), epsilon,
+                                                OverridePolicy::kNone)
+                   .energy_mj;
+    }
+    (epsilon < 1.0 ? tight_energy : loose_energy) = total;
+  }
+  EXPECT_LT(loose_energy, tight_energy);
+  EXPECT_GT(tight_energy, 0.0);
+}
+
+TEST_F(SuppressionTest, ZeroThresholdIsExact) {
+  PlanExecutor executor = system_.MakeExecutor();
+  ReadingGenerator gen(topology_.node_count(), 23);
+  executor.InitializeState(gen.values());
+  gen.Advance(0.3);
+  RoundResult result = executor.RunThresholdSuppressedRound(
+      gen.values(), 0.0, OverridePolicy::kNone);
+  EXPECT_LT(result.max_abs_error, 1e-6);
+  for (const Task& task : workload_.tasks) {
+    std::unordered_map<NodeId, double> inputs;
+    for (NodeId s : task.sources) inputs[s] = gen.values()[s];
+    EXPECT_NEAR(result.destination_values.at(task.destination),
+                workload_.functions.Get(task.destination).Direct(inputs),
+                1e-6);
+  }
+}
+
+TEST_F(SuppressionTest, RequiresInitializeState) {
+  PlanExecutor executor = system_.MakeExecutor();
+  std::vector<double> readings(topology_.node_count(), 1.0);
+  std::vector<bool> changed(topology_.node_count(), false);
+  EXPECT_DEATH(executor.RunSuppressedRound(readings, changed,
+                                           OverridePolicy::kNone),
+               "InitializeState");
+}
+
+TEST(SuppressionRequirementsTest, NonLinearFunctionsRejected) {
+  Topology topo = MakeGreatDuckIslandLike();
+  WorkloadSpec spec = SuppressionSpec();
+  spec.kind = AggregateKind::kMax;
+  Workload wl = GenerateWorkload(topo, spec);
+  System system(topo, wl);
+  PlanExecutor executor = system.MakeExecutor();
+  ReadingGenerator gen(topo.node_count(), 12);
+  executor.InitializeState(gen.values());
+  std::vector<bool> changed(topo.node_count(), false);
+  EXPECT_DEATH(executor.RunSuppressedRound(gen.values(), changed,
+                                           OverridePolicy::kNone),
+               "linear-delta");
+}
+
+}  // namespace
+}  // namespace m2m

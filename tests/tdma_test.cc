@@ -1,0 +1,113 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "plan/tdma.h"
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+System MakeSystem(uint64_t seed, int destinations, int sources,
+                  PlanStrategy strategy = PlanStrategy::kOptimal) {
+  Topology topology = MakeGreatDuckIslandLike();
+  WorkloadSpec spec;
+  spec.destination_count = destinations;
+  spec.sources_per_destination = sources;
+  spec.seed = seed;
+  Workload workload = GenerateWorkload(topology, spec);
+  SystemOptions options;
+  options.planner.strategy = strategy;
+  return System(topology, workload, options);
+}
+
+TEST(TdmaTest, ScheduleCoversEveryHopExactlyOnce) {
+  System system = MakeSystem(21, 8, 6);
+  TdmaSchedule schedule =
+      BuildTdmaSchedule(system.compiled(), system.topology());
+  int64_t expected_hops = 0;
+  for (const MessageSchedule::Message& m :
+       system.compiled().schedule().messages()) {
+    expected_hops += system.forest().edges()[m.edge_index].hop_length();
+  }
+  EXPECT_EQ(static_cast<int64_t>(schedule.assignments.size()),
+            expected_hops);
+  EXPECT_GT(schedule.slot_count, 0);
+}
+
+TEST(TdmaTest, ValidatorAcceptsBuiltSchedules) {
+  for (uint64_t seed : {22u, 23u, 24u}) {
+    System system = MakeSystem(seed, 10, 8);
+    TdmaSchedule schedule =
+        BuildTdmaSchedule(system.compiled(), system.topology());
+    EXPECT_TRUE(
+        ValidateTdmaSchedule(schedule, system.compiled(), system.topology()));
+  }
+}
+
+TEST(TdmaTest, ValidatorRejectsInterferenceViolation) {
+  System system = MakeSystem(25, 8, 6);
+  TdmaSchedule schedule =
+      BuildTdmaSchedule(system.compiled(), system.topology());
+  ASSERT_GE(schedule.assignments.size(), 2u);
+  // Force two assignments that share a sender into the same slot.
+  TdmaSchedule corrupted = schedule;
+  corrupted.assignments[1].slot = corrupted.assignments[0].slot;
+  corrupted.assignments[1].sender = corrupted.assignments[0].sender;
+  EXPECT_FALSE(ValidateTdmaSchedule(corrupted, system.compiled(),
+                                    system.topology()));
+}
+
+TEST(TdmaTest, ListeningFarBelowIdleListening) {
+  System system = MakeSystem(26, 12, 10);
+  TdmaSchedule schedule =
+      BuildTdmaSchedule(system.compiled(), system.topology());
+  // Scheduled listening = one slot per received hop; idle listening = every
+  // node awake for every slot. The whole point of the schedule.
+  EXPECT_LT(schedule.total_listen_slots(),
+            schedule.unscheduled_listen_slots() / 4);
+}
+
+TEST(TdmaTest, SlotCountAtLeastCriticalPath) {
+  // Serial line: one destination aggregating across the whole line — slots
+  // must be at least the longest chain of dependent hops.
+  std::vector<Point> positions;
+  for (int i = 0; i < 6; ++i) positions.push_back({i * 40.0, 0.0});
+  Topology line(std::move(positions), 50.0);
+  Workload wl;
+  wl.tasks.push_back(Task{5, {0}});
+  FunctionSpec fn;
+  fn.kind = AggregateKind::kWeightedSum;
+  fn.weights = {{0, 1.0}};
+  wl.specs.push_back(fn);
+  wl.RebuildFunctions();
+  System system(line, wl);
+  TdmaSchedule schedule = BuildTdmaSchedule(system.compiled(), line);
+  EXPECT_GE(schedule.slot_count, 5);  // Five serial hops from 0 to 5.
+}
+
+TEST(TdmaTest, SpatialReuseKeepsSlotsBelowHopCount) {
+  // On a large workload many hops are interference-disjoint, so the
+  // schedule should pack multiple transmissions per slot.
+  System system = MakeSystem(27, 14, 12);
+  TdmaSchedule schedule =
+      BuildTdmaSchedule(system.compiled(), system.topology());
+  EXPECT_LT(schedule.slot_count,
+            static_cast<int>(schedule.assignments.size()));
+}
+
+TEST(TdmaTest, WorksForBaselinePlans) {
+  for (PlanStrategy strategy :
+       {PlanStrategy::kMulticastOnly, PlanStrategy::kAggregationOnly}) {
+    System system = MakeSystem(28, 8, 6, strategy);
+    TdmaSchedule schedule =
+        BuildTdmaSchedule(system.compiled(), system.topology());
+    EXPECT_TRUE(
+        ValidateTdmaSchedule(schedule, system.compiled(), system.topology()));
+  }
+}
+
+}  // namespace
+}  // namespace m2m

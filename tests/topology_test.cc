@@ -1,0 +1,121 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+#include "topology/topology.h"
+
+namespace m2m {
+namespace {
+
+Topology MakeLine(int n, double spacing, double range) {
+  std::vector<Point> positions;
+  for (int i = 0; i < n; ++i) positions.push_back({i * spacing, 0.0});
+  return Topology(std::move(positions), range);
+}
+
+TEST(TopologyTest, LineAdjacency) {
+  Topology line = MakeLine(5, 10.0, 10.0);
+  EXPECT_EQ(line.node_count(), 5);
+  EXPECT_EQ(line.link_count(), 4);
+  EXPECT_TRUE(line.AreNeighbors(0, 1));
+  EXPECT_FALSE(line.AreNeighbors(0, 2));
+  EXPECT_EQ(line.neighbors(2), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(TopologyTest, RangeBoundaryIsInclusive) {
+  Topology pair({{0.0, 0.0}, {50.0, 0.0}}, 50.0);
+  EXPECT_TRUE(pair.AreNeighbors(0, 1));
+  Topology apart({{0.0, 0.0}, {50.001, 0.0}}, 50.0);
+  EXPECT_FALSE(apart.AreNeighbors(0, 1));
+}
+
+TEST(TopologyTest, HopDistancesOnLine) {
+  Topology line = MakeLine(6, 10.0, 10.0);
+  std::vector<int> dist = line.HopDistancesFrom(0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(dist[i], i);
+  EXPECT_EQ(line.NodesAtHopDistance(0, 3), (std::vector<NodeId>{3}));
+}
+
+TEST(TopologyTest, DisconnectedGraphDetected) {
+  Topology split({{0.0, 0.0}, {5.0, 0.0}, {100.0, 0.0}}, 10.0);
+  EXPECT_FALSE(split.IsConnected());
+  std::vector<int> dist = split.HopDistancesFrom(0);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(TopologyTest, AverageDegreeOnGrid) {
+  // 3x3 grid, spacing 10, range 10: inner node has 4 neighbors.
+  Topology grid = MakeGrid(3, 3, 10.0, 10.0);
+  EXPECT_EQ(grid.node_count(), 9);
+  EXPECT_EQ(grid.link_count(), 12);
+  EXPECT_DOUBLE_EQ(grid.average_degree(), 24.0 / 9.0);
+  EXPECT_EQ(grid.neighbors(4).size(), 4u);  // Center of the grid.
+}
+
+TEST(TopologyTest, GridWithDiagonalRange) {
+  // Range covering diagonals adds 4 links per cell.
+  Topology grid = MakeGrid(3, 3, 10.0, 15.0);
+  EXPECT_EQ(grid.neighbors(4).size(), 8u);
+}
+
+TEST(GeneratorTest, GreatDuckIslandLikeMatchesPaperSetup) {
+  Topology gdi = MakeGreatDuckIslandLike();
+  EXPECT_EQ(gdi.node_count(), 68);
+  EXPECT_DOUBLE_EQ(gdi.radio_range_m(), 50.0);
+  EXPECT_TRUE(gdi.IsConnected());
+  for (NodeId n = 0; n < gdi.node_count(); ++n) {
+    const Point& p = gdi.position(n);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 106.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 203.0);
+  }
+  // Dense enough for the paper's 20-sources-per-destination workloads.
+  EXPECT_GT(gdi.average_degree(), 8.0);
+}
+
+TEST(GeneratorTest, GreatDuckIslandLikeIsDeterministic) {
+  Topology a = MakeGreatDuckIslandLike(11);
+  Topology b = MakeGreatDuckIslandLike(11);
+  EXPECT_EQ(a.positions(), b.positions());
+  Topology c = MakeGreatDuckIslandLike(12);
+  EXPECT_NE(a.positions(), c.positions());
+}
+
+TEST(GeneratorTest, UniformRandomIsConnectedAndInBounds) {
+  Area area{200.0, 200.0};
+  Topology topo = MakeUniformRandom(60, area, 50.0, 99);
+  EXPECT_EQ(topo.node_count(), 60);
+  EXPECT_TRUE(topo.IsConnected());
+}
+
+TEST(GeneratorTest, ClusteredIsConnected) {
+  Topology topo =
+      MakeClustered(50, 4, Area{300.0, 300.0}, 20.0, 50.0, 123);
+  EXPECT_EQ(topo.node_count(), 50);
+  EXPECT_TRUE(topo.IsConnected());
+}
+
+TEST(GeneratorTest, ScalingSeriesKeepsDensity) {
+  std::vector<Topology> series = MakeScalingSeries({50, 100, 150}, 7);
+  ASSERT_EQ(series.size(), 3u);
+  for (const Topology& t : series) {
+    EXPECT_TRUE(t.IsConnected());
+  }
+  EXPECT_EQ(series[0].node_count(), 50);
+  EXPECT_EQ(series[2].node_count(), 150);
+  // Density held roughly constant => average degree within a factor ~2.
+  double d0 = series[0].average_degree();
+  double d2 = series[2].average_degree();
+  EXPECT_LT(std::max(d0, d2) / std::min(d0, d2), 2.5);
+}
+
+TEST(TopologyTest, OutOfRangeNodeIdAborts) {
+  Topology line = MakeLine(3, 10.0, 10.0);
+  EXPECT_DEATH(line.position(3), "out of range");
+  EXPECT_DEATH(line.neighbors(-1), "out of range");
+}
+
+}  // namespace
+}  // namespace m2m

@@ -1,0 +1,189 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : topology_(MakeGreatDuckIslandLike()) {}
+
+  WorkloadSpec BaseSpec() {
+    WorkloadSpec spec;
+    spec.destination_count = 10;
+    spec.sources_per_destination = 8;
+    spec.dispersion = 0.9;
+    spec.max_hops = 4;
+    spec.seed = 5;
+    return spec;
+  }
+
+  Topology topology_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedShape) {
+  Workload wl = GenerateWorkload(topology_, BaseSpec());
+  EXPECT_EQ(wl.tasks.size(), 10u);
+  std::set<NodeId> destinations;
+  for (const Task& task : wl.tasks) {
+    EXPECT_EQ(task.sources.size(), 8u);
+    EXPECT_TRUE(destinations.insert(task.destination).second)
+        << "duplicate destination";
+    std::set<NodeId> unique(task.sources.begin(), task.sources.end());
+    EXPECT_EQ(unique.size(), task.sources.size()) << "duplicate source";
+    EXPECT_FALSE(unique.contains(task.destination))
+        << "destination is its own source";
+    EXPECT_TRUE(wl.functions.Contains(task.destination));
+  }
+}
+
+TEST_F(WorkloadTest, IsDeterministicInSeed) {
+  Workload a = GenerateWorkload(topology_, BaseSpec());
+  Workload b = GenerateWorkload(topology_, BaseSpec());
+  EXPECT_EQ(a.tasks, b.tasks);
+  WorkloadSpec other = BaseSpec();
+  other.seed = 6;
+  Workload c = GenerateWorkload(topology_, other);
+  EXPECT_NE(a.tasks, c.tasks);
+}
+
+TEST_F(WorkloadTest, ZeroDispersionKeepsSourcesAdjacent) {
+  WorkloadSpec spec = BaseSpec();
+  spec.dispersion = 0.0;
+  spec.sources_per_destination = 4;  // Small enough to fit in one hop.
+  Workload wl = GenerateWorkload(topology_, spec);
+  for (const Task& task : wl.tasks) {
+    std::vector<int> dist = topology_.HopDistancesFrom(task.destination);
+    for (NodeId s : task.sources) {
+      EXPECT_EQ(dist[s], 1) << "source " << s << " for destination "
+                            << task.destination;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, HighDispersionReachesFartherOnAverage) {
+  WorkloadSpec near = BaseSpec();
+  near.dispersion = 0.0;
+  near.sources_per_destination = 4;
+  WorkloadSpec far = BaseSpec();
+  far.dispersion = 1.0;
+  far.sources_per_destination = 4;
+  auto mean_hops = [&](const Workload& wl) {
+    double total = 0.0;
+    int count = 0;
+    for (const Task& task : wl.tasks) {
+      std::vector<int> dist = topology_.HopDistancesFrom(task.destination);
+      for (NodeId s : task.sources) {
+        total += dist[s];
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_LT(mean_hops(GenerateWorkload(topology_, near)),
+            mean_hops(GenerateWorkload(topology_, far)));
+}
+
+TEST_F(WorkloadTest, DispersionStaysWithinMaxHopsWhenPossible) {
+  WorkloadSpec spec = BaseSpec();
+  spec.dispersion = 1.0;
+  spec.max_hops = 3;
+  spec.sources_per_destination = 6;
+  Workload wl = GenerateWorkload(topology_, spec);
+  for (const Task& task : wl.tasks) {
+    std::vector<int> dist = topology_.HopDistancesFrom(task.destination);
+    for (NodeId s : task.sources) {
+      EXPECT_LE(dist[s], 3);
+      EXPECT_GE(dist[s], 1);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, UniformSelectionSpansNetwork) {
+  WorkloadSpec spec = BaseSpec();
+  spec.selection = SourceSelection::kUniform;
+  spec.sources_per_destination = 30;
+  Workload wl = GenerateWorkload(topology_, spec);
+  for (const Task& task : wl.tasks) {
+    EXPECT_EQ(task.sources.size(), 30u);
+  }
+}
+
+TEST_F(WorkloadTest, WeightsWithinConfiguredRange) {
+  WorkloadSpec spec = BaseSpec();
+  spec.weight_min = 2.0;
+  spec.weight_max = 3.0;
+  Workload wl = GenerateWorkload(topology_, spec);
+  for (const FunctionSpec& fn_spec : wl.specs) {
+    for (const auto& [source, weight] : fn_spec.weights) {
+      EXPECT_GE(weight, 2.0);
+      EXPECT_LT(weight, 3.0);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, DistinctSourcesIsSortedUnion) {
+  Workload wl = GenerateWorkload(topology_, BaseSpec());
+  std::vector<NodeId> sources = wl.DistinctSources();
+  EXPECT_TRUE(std::is_sorted(sources.begin(), sources.end()));
+  std::set<NodeId> expected;
+  for (const Task& task : wl.tasks) {
+    expected.insert(task.sources.begin(), task.sources.end());
+  }
+  EXPECT_EQ(sources.size(), expected.size());
+}
+
+TEST_F(WorkloadTest, WithSourceAddedExtendsTaskAndFunction) {
+  Workload wl = GenerateWorkload(topology_, BaseSpec());
+  NodeId d = wl.tasks[0].destination;
+  NodeId fresh = kInvalidNode;
+  for (NodeId n = 0; n < topology_.node_count(); ++n) {
+    if (n != d && std::find(wl.tasks[0].sources.begin(),
+                            wl.tasks[0].sources.end(),
+                            n) == wl.tasks[0].sources.end()) {
+      fresh = n;
+      break;
+    }
+  }
+  ASSERT_NE(fresh, kInvalidNode);
+  Workload updated = WithSourceAdded(wl, fresh, d, 1.25);
+  EXPECT_EQ(updated.tasks[0].sources.size(), wl.tasks[0].sources.size() + 1);
+  EXPECT_TRUE(std::binary_search(updated.tasks[0].sources.begin(),
+                                 updated.tasks[0].sources.end(), fresh));
+  // The new source participates in the function.
+  auto sources = updated.functions.Get(d).sources();
+  EXPECT_TRUE(std::binary_search(sources.begin(), sources.end(), fresh));
+}
+
+TEST_F(WorkloadTest, WithSourceRemovedShrinksTask) {
+  Workload wl = GenerateWorkload(topology_, BaseSpec());
+  NodeId d = wl.tasks[0].destination;
+  NodeId victim = wl.tasks[0].sources[0];
+  Workload updated = WithSourceRemoved(wl, victim, d);
+  EXPECT_EQ(updated.tasks[0].sources.size(), wl.tasks[0].sources.size() - 1);
+  auto sources = updated.functions.Get(d).sources();
+  EXPECT_FALSE(std::binary_search(sources.begin(), sources.end(), victim));
+}
+
+TEST_F(WorkloadTest, MutatorsValidateArguments) {
+  Workload wl = GenerateWorkload(topology_, BaseSpec());
+  NodeId d = wl.tasks[0].destination;
+  EXPECT_DEATH(WithSourceAdded(wl, wl.tasks[0].sources[0], d, 1.0),
+               "already present");
+  EXPECT_DEATH(WithSourceRemoved(wl, 9999, d), "not present");
+}
+
+TEST_F(WorkloadTest, TooManySourcesAborts) {
+  WorkloadSpec spec = BaseSpec();
+  spec.selection = SourceSelection::kUniform;
+  spec.sources_per_destination = topology_.node_count();  // > n-1.
+  EXPECT_DEATH(GenerateWorkload(topology_, spec), "too small");
+}
+
+}  // namespace
+}  // namespace m2m
