@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/base_station.cc" "bench/CMakeFiles/base_station.dir/base_station.cc.o" "gcc" "bench/CMakeFiles/base_station.dir/base_station.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m2m_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/m2m_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m2m_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/m2m_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/export/CMakeFiles/m2m_export.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/m2m_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/m2m_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/m2m_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/m2m_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/m2m_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/m2m_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cover/CMakeFiles/m2m_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/m2m_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/m2m_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

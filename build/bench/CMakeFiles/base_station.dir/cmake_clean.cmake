@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_station.dir/base_station.cc.o"
+  "CMakeFiles/base_station.dir/base_station.cc.o.d"
+  "base_station"
+  "base_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_ablation.dir/broadcast_ablation.cc.o"
+  "CMakeFiles/broadcast_ablation.dir/broadcast_ablation.cc.o.d"
+  "broadcast_ablation"
+  "broadcast_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_num_destinations.dir/fig3_num_destinations.cc.o"
+  "CMakeFiles/fig3_num_destinations.dir/fig3_num_destinations.cc.o.d"
+  "fig3_num_destinations"
+  "fig3_num_destinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_num_destinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_num_destinations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sources_per_destination.dir/fig4_sources_per_destination.cc.o"
+  "CMakeFiles/fig4_sources_per_destination.dir/fig4_sources_per_destination.cc.o.d"
+  "fig4_sources_per_destination"
+  "fig4_sources_per_destination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sources_per_destination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_sources_per_destination.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dispersion.dir/fig5_dispersion.cc.o"
+  "CMakeFiles/fig5_dispersion.dir/fig5_dispersion.cc.o.d"
+  "fig5_dispersion"
+  "fig5_dispersion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_override_policies.dir/fig7_override_policies.cc.o"
+  "CMakeFiles/fig7_override_policies.dir/fig7_override_policies.cc.o.d"
+  "fig7_override_policies"
+  "fig7_override_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_override_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

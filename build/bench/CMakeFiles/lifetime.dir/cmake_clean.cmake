@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime.dir/lifetime.cc.o"
+  "CMakeFiles/lifetime.dir/lifetime.cc.o.d"
+  "lifetime"
+  "lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

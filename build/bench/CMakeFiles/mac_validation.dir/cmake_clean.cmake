@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_validation.dir/mac_validation.cc.o"
+  "CMakeFiles/mac_validation.dir/mac_validation.cc.o.d"
+  "mac_validation"
+  "mac_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_ablation.dir/merge_ablation.cc.o"
+  "CMakeFiles/merge_ablation.dir/merge_ablation.cc.o.d"
+  "merge_ablation"
+  "merge_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milestone_ablation.dir/milestone_ablation.cc.o"
+  "CMakeFiles/milestone_ablation.dir/milestone_ablation.cc.o.d"
+  "milestone_ablation"
+  "milestone_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milestone_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/override_replication.dir/override_replication.cc.o"
+  "CMakeFiles/override_replication.dir/override_replication.cc.o.d"
+  "override_replication"
+  "override_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/override_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

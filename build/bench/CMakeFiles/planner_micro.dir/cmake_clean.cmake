@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_micro.dir/planner_micro.cc.o"
+  "CMakeFiles/planner_micro.dir/planner_micro.cc.o.d"
+  "planner_micro"
+  "planner_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_backbone.dir/routing_backbone.cc.o"
+  "CMakeFiles/routing_backbone.dir/routing_backbone.cc.o.d"
+  "routing_backbone"
+  "routing_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

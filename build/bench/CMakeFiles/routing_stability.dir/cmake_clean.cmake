@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_stability.dir/routing_stability.cc.o"
+  "CMakeFiles/routing_stability.dir/routing_stability.cc.o.d"
+  "routing_stability"
+  "routing_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_validation.dir/runtime_validation.cc.o"
+  "CMakeFiles/runtime_validation.dir/runtime_validation.cc.o.d"
+  "runtime_validation"
+  "runtime_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

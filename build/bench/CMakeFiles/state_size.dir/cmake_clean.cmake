@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_size.dir/state_size.cc.o"
+  "CMakeFiles/state_size.dir/state_size.cc.o.d"
+  "state_size"
+  "state_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suppression_precision.dir/suppression_precision.cc.o"
+  "CMakeFiles/suppression_precision.dir/suppression_precision.cc.o.d"
+  "suppression_precision"
+  "suppression_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suppression_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_report.dir/variance_report.cc.o"
+  "CMakeFiles/variance_report.dir/variance_report.cc.o.d"
+  "variance_report"
+  "variance_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

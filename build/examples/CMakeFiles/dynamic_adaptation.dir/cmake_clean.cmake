@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_adaptation.dir/dynamic_adaptation.cpp.o"
+  "CMakeFiles/dynamic_adaptation.dir/dynamic_adaptation.cpp.o.d"
+  "dynamic_adaptation"
+  "dynamic_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_explorer.dir/m2m_explorer.cpp.o"
+  "CMakeFiles/m2m_explorer.dir/m2m_explorer.cpp.o.d"
+  "m2m_explorer"
+  "m2m_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

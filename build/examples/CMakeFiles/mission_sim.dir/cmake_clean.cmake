@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_sim.dir/mission_sim.cpp.o"
+  "CMakeFiles/mission_sim.dir/mission_sim.cpp.o.d"
+  "mission_sim"
+  "mission_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sapflux_control.dir/sapflux_control.cpp.o"
+  "CMakeFiles/sapflux_control.dir/sapflux_control.cpp.o.d"
+  "sapflux_control"
+  "sapflux_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sapflux_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildlife_cameras.dir/wildlife_cameras.cpp.o"
+  "CMakeFiles/wildlife_cameras.dir/wildlife_cameras.cpp.o.d"
+  "wildlife_cameras"
+  "wildlife_cameras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildlife_cameras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wildlife_cameras.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geom")
+subdirs("topology")
+subdirs("routing")
+subdirs("agg")
+subdirs("flow")
+subdirs("cover")
+subdirs("workload")
+subdirs("plan")
+subdirs("mac")
+subdirs("sim")
+subdirs("runtime")
+subdirs("export")
+subdirs("core")

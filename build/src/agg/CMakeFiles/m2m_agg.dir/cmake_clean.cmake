@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_agg.dir/aggregate_function.cc.o"
+  "CMakeFiles/m2m_agg.dir/aggregate_function.cc.o.d"
+  "libm2m_agg.a"
+  "libm2m_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

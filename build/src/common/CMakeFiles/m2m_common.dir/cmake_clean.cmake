@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_common.dir/bytes.cc.o"
+  "CMakeFiles/m2m_common.dir/bytes.cc.o.d"
+  "CMakeFiles/m2m_common.dir/flags.cc.o"
+  "CMakeFiles/m2m_common.dir/flags.cc.o.d"
+  "CMakeFiles/m2m_common.dir/relation.cc.o"
+  "CMakeFiles/m2m_common.dir/relation.cc.o.d"
+  "CMakeFiles/m2m_common.dir/rng.cc.o"
+  "CMakeFiles/m2m_common.dir/rng.cc.o.d"
+  "CMakeFiles/m2m_common.dir/stats.cc.o"
+  "CMakeFiles/m2m_common.dir/stats.cc.o.d"
+  "CMakeFiles/m2m_common.dir/table.cc.o"
+  "CMakeFiles/m2m_common.dir/table.cc.o.d"
+  "libm2m_common.a"
+  "libm2m_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_core.dir/deployment.cc.o"
+  "CMakeFiles/m2m_core.dir/deployment.cc.o.d"
+  "CMakeFiles/m2m_core.dir/system.cc.o"
+  "CMakeFiles/m2m_core.dir/system.cc.o.d"
+  "libm2m_core.a"
+  "libm2m_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_cover.dir/bipartite_cover.cc.o"
+  "CMakeFiles/m2m_cover.dir/bipartite_cover.cc.o.d"
+  "libm2m_cover.a"
+  "libm2m_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_export.dir/dot.cc.o"
+  "CMakeFiles/m2m_export.dir/dot.cc.o.d"
+  "libm2m_export.a"
+  "libm2m_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

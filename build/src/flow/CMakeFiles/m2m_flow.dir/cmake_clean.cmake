@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_flow.dir/max_flow.cc.o"
+  "CMakeFiles/m2m_flow.dir/max_flow.cc.o.d"
+  "libm2m_flow.a"
+  "libm2m_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

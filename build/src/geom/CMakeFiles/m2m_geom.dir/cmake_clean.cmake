@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_geom.dir/point.cc.o"
+  "CMakeFiles/m2m_geom.dir/point.cc.o.d"
+  "libm2m_geom.a"
+  "libm2m_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

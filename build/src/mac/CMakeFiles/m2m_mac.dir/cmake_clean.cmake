@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_mac.dir/csma.cc.o"
+  "CMakeFiles/m2m_mac.dir/csma.cc.o.d"
+  "CMakeFiles/m2m_mac.dir/tdma_executor.cc.o"
+  "CMakeFiles/m2m_mac.dir/tdma_executor.cc.o.d"
+  "libm2m_mac.a"
+  "libm2m_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/consistency.cc" "src/plan/CMakeFiles/m2m_plan.dir/consistency.cc.o" "gcc" "src/plan/CMakeFiles/m2m_plan.dir/consistency.cc.o.d"
+  "/root/repo/src/plan/dissemination.cc" "src/plan/CMakeFiles/m2m_plan.dir/dissemination.cc.o" "gcc" "src/plan/CMakeFiles/m2m_plan.dir/dissemination.cc.o.d"
+  "/root/repo/src/plan/edge_plan.cc" "src/plan/CMakeFiles/m2m_plan.dir/edge_plan.cc.o" "gcc" "src/plan/CMakeFiles/m2m_plan.dir/edge_plan.cc.o.d"
+  "/root/repo/src/plan/messaging.cc" "src/plan/CMakeFiles/m2m_plan.dir/messaging.cc.o" "gcc" "src/plan/CMakeFiles/m2m_plan.dir/messaging.cc.o.d"
+  "/root/repo/src/plan/node_tables.cc" "src/plan/CMakeFiles/m2m_plan.dir/node_tables.cc.o" "gcc" "src/plan/CMakeFiles/m2m_plan.dir/node_tables.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/plan/CMakeFiles/m2m_plan.dir/planner.cc.o" "gcc" "src/plan/CMakeFiles/m2m_plan.dir/planner.cc.o.d"
+  "/root/repo/src/plan/serialization.cc" "src/plan/CMakeFiles/m2m_plan.dir/serialization.cc.o" "gcc" "src/plan/CMakeFiles/m2m_plan.dir/serialization.cc.o.d"
+  "/root/repo/src/plan/tdma.cc" "src/plan/CMakeFiles/m2m_plan.dir/tdma.cc.o" "gcc" "src/plan/CMakeFiles/m2m_plan.dir/tdma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/m2m_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/m2m_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/m2m_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cover/CMakeFiles/m2m_cover.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/m2m_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/m2m_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/m2m_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

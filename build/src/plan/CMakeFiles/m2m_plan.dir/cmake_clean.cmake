@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_plan.dir/consistency.cc.o"
+  "CMakeFiles/m2m_plan.dir/consistency.cc.o.d"
+  "CMakeFiles/m2m_plan.dir/dissemination.cc.o"
+  "CMakeFiles/m2m_plan.dir/dissemination.cc.o.d"
+  "CMakeFiles/m2m_plan.dir/edge_plan.cc.o"
+  "CMakeFiles/m2m_plan.dir/edge_plan.cc.o.d"
+  "CMakeFiles/m2m_plan.dir/messaging.cc.o"
+  "CMakeFiles/m2m_plan.dir/messaging.cc.o.d"
+  "CMakeFiles/m2m_plan.dir/node_tables.cc.o"
+  "CMakeFiles/m2m_plan.dir/node_tables.cc.o.d"
+  "CMakeFiles/m2m_plan.dir/planner.cc.o"
+  "CMakeFiles/m2m_plan.dir/planner.cc.o.d"
+  "CMakeFiles/m2m_plan.dir/serialization.cc.o"
+  "CMakeFiles/m2m_plan.dir/serialization.cc.o.d"
+  "CMakeFiles/m2m_plan.dir/tdma.cc.o"
+  "CMakeFiles/m2m_plan.dir/tdma.cc.o.d"
+  "libm2m_plan.a"
+  "libm2m_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/backbone.cc" "src/routing/CMakeFiles/m2m_routing.dir/backbone.cc.o" "gcc" "src/routing/CMakeFiles/m2m_routing.dir/backbone.cc.o.d"
+  "/root/repo/src/routing/milestones.cc" "src/routing/CMakeFiles/m2m_routing.dir/milestones.cc.o" "gcc" "src/routing/CMakeFiles/m2m_routing.dir/milestones.cc.o.d"
+  "/root/repo/src/routing/multicast.cc" "src/routing/CMakeFiles/m2m_routing.dir/multicast.cc.o" "gcc" "src/routing/CMakeFiles/m2m_routing.dir/multicast.cc.o.d"
+  "/root/repo/src/routing/path_system.cc" "src/routing/CMakeFiles/m2m_routing.dir/path_system.cc.o" "gcc" "src/routing/CMakeFiles/m2m_routing.dir/path_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/m2m_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/m2m_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/m2m_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_routing.dir/backbone.cc.o"
+  "CMakeFiles/m2m_routing.dir/backbone.cc.o.d"
+  "CMakeFiles/m2m_routing.dir/milestones.cc.o"
+  "CMakeFiles/m2m_routing.dir/milestones.cc.o.d"
+  "CMakeFiles/m2m_routing.dir/multicast.cc.o"
+  "CMakeFiles/m2m_routing.dir/multicast.cc.o.d"
+  "CMakeFiles/m2m_routing.dir/path_system.cc.o"
+  "CMakeFiles/m2m_routing.dir/path_system.cc.o.d"
+  "libm2m_routing.a"
+  "libm2m_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_runtime.dir/network.cc.o"
+  "CMakeFiles/m2m_runtime.dir/network.cc.o.d"
+  "CMakeFiles/m2m_runtime.dir/node_runtime.cc.o"
+  "CMakeFiles/m2m_runtime.dir/node_runtime.cc.o.d"
+  "CMakeFiles/m2m_runtime.dir/wire_functions.cc.o"
+  "CMakeFiles/m2m_runtime.dir/wire_functions.cc.o.d"
+  "libm2m_runtime.a"
+  "libm2m_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

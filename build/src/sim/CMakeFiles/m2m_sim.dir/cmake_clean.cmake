@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_sim.dir/base_station.cc.o"
+  "CMakeFiles/m2m_sim.dir/base_station.cc.o.d"
+  "CMakeFiles/m2m_sim.dir/energy_model.cc.o"
+  "CMakeFiles/m2m_sim.dir/energy_model.cc.o.d"
+  "CMakeFiles/m2m_sim.dir/executor.cc.o"
+  "CMakeFiles/m2m_sim.dir/executor.cc.o.d"
+  "CMakeFiles/m2m_sim.dir/failure.cc.o"
+  "CMakeFiles/m2m_sim.dir/failure.cc.o.d"
+  "CMakeFiles/m2m_sim.dir/flood.cc.o"
+  "CMakeFiles/m2m_sim.dir/flood.cc.o.d"
+  "CMakeFiles/m2m_sim.dir/readings.cc.o"
+  "CMakeFiles/m2m_sim.dir/readings.cc.o.d"
+  "libm2m_sim.a"
+  "libm2m_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/m2m_sim.dir/energy_model.cc.o: \
+ /root/repo/src/sim/energy_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sim/energy_model.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_topology.dir/generator.cc.o"
+  "CMakeFiles/m2m_topology.dir/generator.cc.o.d"
+  "CMakeFiles/m2m_topology.dir/topology.cc.o"
+  "CMakeFiles/m2m_topology.dir/topology.cc.o.d"
+  "libm2m_topology.a"
+  "libm2m_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/multi_sensor.cc" "src/workload/CMakeFiles/m2m_workload.dir/multi_sensor.cc.o" "gcc" "src/workload/CMakeFiles/m2m_workload.dir/multi_sensor.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/m2m_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/m2m_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/m2m_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/m2m_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/m2m_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/m2m_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

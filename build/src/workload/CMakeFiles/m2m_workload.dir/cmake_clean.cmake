@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2m_workload.dir/multi_sensor.cc.o"
+  "CMakeFiles/m2m_workload.dir/multi_sensor.cc.o.d"
+  "CMakeFiles/m2m_workload.dir/workload.cc.o"
+  "CMakeFiles/m2m_workload.dir/workload.cc.o.d"
+  "libm2m_workload.a"
+  "libm2m_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2m_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

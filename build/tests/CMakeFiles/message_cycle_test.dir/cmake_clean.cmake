@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_cycle_test.dir/message_cycle_test.cc.o"
+  "CMakeFiles/message_cycle_test.dir/message_cycle_test.cc.o.d"
+  "message_cycle_test"
+  "message_cycle_test.pdb"
+  "message_cycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_cycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messaging_test.dir/messaging_test.cc.o"
+  "CMakeFiles/messaging_test.dir/messaging_test.cc.o.d"
+  "messaging_test"
+  "messaging_test.pdb"
+  "messaging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messaging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

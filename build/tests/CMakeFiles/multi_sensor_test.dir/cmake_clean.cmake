@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sensor_test.dir/multi_sensor_test.cc.o"
+  "CMakeFiles/multi_sensor_test.dir/multi_sensor_test.cc.o.d"
+  "multi_sensor_test"
+  "multi_sensor_test.pdb"
+  "multi_sensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
