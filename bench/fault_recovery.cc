@@ -1,0 +1,117 @@
+// Fault-recovery experiment (paper section 3 / Corollary 1): how local is
+// re-planning after persistent failures, and what does transient loss cost
+// the ack/retry runtime? Part one sweeps the number of persistent fault
+// events and reports the fraction of per-edge solutions the incremental
+// re-plan reuses (always validated against a from-scratch plan). Part two
+// sweeps the per-attempt drop probability on flaky links and reports the
+// retry/energy overhead of a lossy round relative to a clean one.
+
+#include <memory>
+#include <utility>
+
+#include "harness.h"
+#include "sim/fault_schedule.h"
+
+int main() {
+  using namespace m2m;
+  Topology topology = MakeGreatDuckIslandLike();
+  WorkloadSpec spec;
+  spec.destination_count = 10;
+  spec.sources_per_destination = 8;
+  spec.seed = 4100;
+  Workload workload = GenerateWorkload(topology, spec);
+  std::vector<NodeId> destinations;
+  for (const Task& task : workload.tasks) {
+    destinations.push_back(task.destination);
+  }
+
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+
+  // Part 1: re-plan locality vs failure burst size.
+  Table locality({"fault_events", "edges", "reused", "reused_pct",
+                  "divergences"});
+  for (int events : {1, 2, 4, 8}) {
+    FaultScheduleOptions options;
+    options.rounds = 2;  // All events land in round 1.
+    options.transient_link_fraction = 0.0;
+    options.persistent_link_failures = events;
+    options.node_deaths = 0;  // Keep the workload fixed across rows.
+    options.seed = 900 + events;
+    FaultSchedule schedule =
+        FaultSchedule::Generate(topology, destinations, options);
+
+    Topology masked = Topology::WithFailures(
+        topology, schedule.FailedLinksThrough(options.rounds), {});
+    PathSystem masked_paths(masked);
+    UpdateStats stats;
+    GlobalPlan patched = ReplanForTopology(plan, masked_paths, workload.tasks,
+                                           workload.functions, &stats);
+    GlobalPlan fresh =
+        BuildPlan(patched.forest_ptr(), workload.functions, plan.options());
+    size_t divergences = FindPlanDivergence(patched, fresh).size();
+
+    locality.AddRow({std::to_string(events), std::to_string(stats.edges_total),
+                     std::to_string(stats.edges_reused),
+                     Table::Num(stats.edges_total == 0
+                                    ? 0.0
+                                    : 100.0 * stats.edges_reused /
+                                          stats.edges_total),
+                     std::to_string(divergences)});
+  }
+  bench::EmitTable("fault_recovery_locality",
+                   "GDI topology, 10 destinations x 8 sources; persistent "
+                   "link failures, incremental vs from-scratch re-plan",
+                   locality);
+
+  // Part 2: lossy-round overhead vs transient drop probability.
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload.functions);
+  ReadingGenerator readings(topology.node_count(), 1234);
+  RuntimeNetwork clean(compiled, workload.functions);
+  RuntimeNetwork::Result reference = clean.RunRound(readings.values());
+
+  Table overhead({"drop_prob", "attempts", "retx", "dup", "abandoned",
+                  "energy_mJ", "energy_x", "ticks"});
+  for (double drop : {0.0, 0.1, 0.3, 0.5}) {
+    FaultScheduleOptions options;
+    options.rounds = 2;
+    options.transient_link_fraction = 1.0;  // Every link flaky.
+    options.transient_drop_probability = drop;
+    options.persistent_link_failures = 0;
+    options.node_deaths = 0;
+    options.seed = 4242;
+    FaultSchedule schedule =
+        FaultSchedule::Generate(topology, destinations, options);
+
+    RuntimeNetwork network(compiled, workload.functions);
+    LossyLinkModel links;
+    links.attempt_delivers = [&schedule](NodeId from, NodeId to,
+                                         int attempt) {
+      return schedule.AttemptDelivers(1, from, to, attempt);
+    };
+    RetryPolicy retry;
+    retry.max_attempts = 8;
+    RuntimeNetwork::LossyResult lossy =
+        network.RunRoundLossy(readings.values(), links, retry);
+
+    overhead.AddRow(
+        {Table::Num(drop), std::to_string(lossy.attempts),
+         std::to_string(lossy.retransmissions),
+         std::to_string(lossy.duplicates),
+         std::to_string(lossy.messages_abandoned),
+         Table::Num(lossy.energy_mj),
+         Table::Num(reference.energy_mj == 0.0
+                        ? 0.0
+                        : lossy.energy_mj / reference.energy_mj),
+         std::to_string(lossy.final_tick)});
+  }
+  bench::EmitTable("fault_recovery_overhead",
+                   "GDI topology, all links flaky for one round; "
+                   "stop-and-wait ack/retry, 8 attempts, clean-round energy "
+                   "baseline " +
+                       Table::Num(reference.energy_mj) + " mJ",
+                   overhead);
+  return 0;
+}

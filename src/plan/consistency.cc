@@ -44,4 +44,63 @@ bool ValidatePlanConsistency(const GlobalPlan& plan) {
   return FindConsistencyViolations(plan).empty();
 }
 
+namespace {
+
+std::string EdgeLabel(const ForestEdge& edge) {
+  std::ostringstream os;
+  os << edge.edge.tail << "->" << edge.edge.head;
+  return os.str();
+}
+
+std::string NodeList(const std::vector<NodeId>& nodes) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) os << ",";
+    os << nodes[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> FindPlanDivergence(const GlobalPlan& patched,
+                                            const GlobalPlan& fresh) {
+  std::vector<std::string> differences;
+  const auto& fresh_edges = fresh.forest().edges();
+  for (size_t e = 0; e < fresh_edges.size(); ++e) {
+    int patched_index = patched.forest().EdgeIndexOf(fresh_edges[e].edge);
+    if (patched_index < 0) {
+      differences.push_back("patched plan is missing edge " +
+                            EdgeLabel(fresh_edges[e]));
+      continue;
+    }
+    const EdgePlan& p = patched.plan_for(patched_index);
+    const EdgePlan& f = fresh.plan_for(static_cast<int>(e));
+    if (p.raw_sources != f.raw_sources) {
+      differences.push_back("edge " + EdgeLabel(fresh_edges[e]) +
+                            " raw sources differ: patched " +
+                            NodeList(p.raw_sources) + " vs fresh " +
+                            NodeList(f.raw_sources));
+    }
+    if (p.agg_destinations != f.agg_destinations) {
+      differences.push_back("edge " + EdgeLabel(fresh_edges[e]) +
+                            " aggregated destinations differ: patched " +
+                            NodeList(p.agg_destinations) + " vs fresh " +
+                            NodeList(f.agg_destinations));
+    }
+  }
+  for (const ForestEdge& edge : patched.forest().edges()) {
+    if (fresh.forest().EdgeIndexOf(edge.edge) < 0) {
+      differences.push_back("patched plan has extra edge " + EdgeLabel(edge));
+    }
+  }
+  return differences;
+}
+
+bool PlansEquivalent(const GlobalPlan& a, const GlobalPlan& b) {
+  return FindPlanDivergence(a, b).empty();
+}
+
 }  // namespace m2m

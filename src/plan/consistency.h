@@ -19,6 +19,18 @@ std::vector<std::string> FindConsistencyViolations(const GlobalPlan& plan);
 /// True iff FindConsistencyViolations is empty.
 bool ValidatePlanConsistency(const GlobalPlan& plan);
 
+/// Compares two plans edge by edge, keyed on the milestone-level directed
+/// edge: both must cover the same edge set, and matching edges must carry
+/// identical raw-source / aggregated-destination choices. Returns
+/// human-readable differences (empty = the plans are the same). This is the
+/// Corollary 1 check: a local re-plan (UpdatePlan / ReplanForTopology)
+/// after a topology change must equal a from-scratch global re-plan.
+std::vector<std::string> FindPlanDivergence(const GlobalPlan& patched,
+                                            const GlobalPlan& fresh);
+
+/// True iff FindPlanDivergence is empty.
+bool PlansEquivalent(const GlobalPlan& a, const GlobalPlan& b);
+
 }  // namespace m2m
 
 #endif  // M2M_PLAN_CONSISTENCY_H_

@@ -201,4 +201,13 @@ GlobalPlan UpdatePlan(const GlobalPlan& old_plan,
   return GlobalPlan(std::move(forest), std::move(plans), options);
 }
 
+GlobalPlan ReplanForTopology(const GlobalPlan& old_plan,
+                             const PathSystem& paths,
+                             std::vector<Task> tasks,
+                             const FunctionSet& functions,
+                             UpdateStats* stats) {
+  auto forest = std::make_shared<MulticastForest>(paths, std::move(tasks));
+  return UpdatePlan(old_plan, std::move(forest), functions, stats);
+}
+
 }  // namespace m2m

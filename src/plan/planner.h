@@ -94,6 +94,18 @@ GlobalPlan UpdatePlan(const GlobalPlan& old_plan,
                       const FunctionSet& functions,
                       UpdateStats* stats = nullptr);
 
+/// Local re-plan after a topology or membership change (paper section 3 /
+/// Corollary 1): rebuilds the multicast forest over the (possibly
+/// failure-masked) `paths` for the surviving `tasks`, then re-solves only
+/// the edges whose single-edge instances changed. Because per-edge optima
+/// are independent, the patched plan equals a from-scratch BuildPlan —
+/// validate with FindPlanDivergence when it matters.
+GlobalPlan ReplanForTopology(const GlobalPlan& old_plan,
+                             const PathSystem& paths,
+                             std::vector<Task> tasks,
+                             const FunctionSet& functions,
+                             UpdateStats* stats = nullptr);
+
 }  // namespace m2m
 
 #endif  // M2M_PLAN_PLANNER_H_

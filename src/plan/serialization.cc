@@ -57,20 +57,91 @@ std::vector<uint8_t> EncodeNodeState(const NodeState& state,
 }
 
 DecodedNodeState DecodeNodeState(const std::vector<uint8_t>& bytes) {
-  ByteReader reader(bytes);
+  std::optional<DecodedNodeState> decoded = TryDecodeNodeState(bytes);
+  M2M_CHECK(decoded.has_value()) << "malformed node state image";
+  return *std::move(decoded);
+}
+
+namespace {
+
+/// Error-flagged reader: instead of CHECK-failing like ByteReader, a read
+/// past the end latches `ok = false` and returns zeros, letting decode
+/// loops bail out without crashing on hostile input.
+class SafeByteReader {
+ public:
+  explicit SafeByteReader(const std::vector<uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  bool ok = true;
+
+  uint8_t ReadU8() {
+    if (cursor_ >= bytes_.size()) {
+      ok = false;
+      return 0;
+    }
+    return bytes_[cursor_++];
+  }
+
+  uint64_t ReadVarint() {
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t byte = ReadU8();
+      if (!ok) return 0;
+      value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return value;
+    }
+    ok = false;  // Varint longer than 64 bits.
+    return 0;
+  }
+
+  float ReadF32() {
+    uint32_t raw = 0;
+    for (int i = 0; i < 4; ++i) {
+      raw |= static_cast<uint32_t>(ReadU8()) << (8 * i);
+    }
+    float value = 0.0f;
+    static_assert(sizeof(value) == sizeof(raw));
+    __builtin_memcpy(&value, &raw, sizeof(value));
+    return value;
+  }
+
+  /// Varint that must fit a non-negative int32 (node ids, counts).
+  int32_t ReadSmall() {
+    uint64_t value = ReadVarint();
+    if (value > 0x7fffffff) ok = false;
+    return ok ? static_cast<int32_t>(value) : 0;
+  }
+
+  bool AtEnd() const { return cursor_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - cursor_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::optional<DecodedNodeState> TryDecodeNodeState(
+    const std::vector<uint8_t>& bytes) {
+  SafeByteReader reader(bytes);
   DecodedNodeState decoded;
   uint64_t raw_count = reader.ReadVarint();
-  for (uint64_t i = 0; i < raw_count; ++i) {
+  // Every entry occupies at least two bytes; a count beyond the remaining
+  // bytes is corrupt and must not drive the reserve/loop below.
+  if (!reader.ok || raw_count > reader.remaining()) return std::nullopt;
+  for (uint64_t i = 0; i < raw_count && reader.ok; ++i) {
     RawTableEntry entry;
-    entry.source = static_cast<NodeId>(reader.ReadVarint());
-    entry.message_id = static_cast<int>(reader.ReadVarint());
+    entry.source = reader.ReadSmall();
+    entry.message_id = reader.ReadSmall();
     decoded.state.raw_table.push_back(entry);
   }
   uint64_t preagg_count = reader.ReadVarint();
-  for (uint64_t i = 0; i < preagg_count; ++i) {
+  if (!reader.ok || preagg_count > reader.remaining()) return std::nullopt;
+  for (uint64_t i = 0; i < preagg_count && reader.ok; ++i) {
     PreAggTableEntry entry;
-    entry.source = static_cast<NodeId>(reader.ReadVarint());
-    entry.destination = static_cast<NodeId>(reader.ReadVarint());
+    entry.source = reader.ReadSmall();
+    entry.destination = reader.ReadSmall();
     DecodedPreAggMeta meta;
     meta.kind = reader.ReadU8();
     meta.weight = reader.ReadF32();
@@ -79,28 +150,80 @@ DecodedNodeState DecodeNodeState(const std::vector<uint8_t>& bytes) {
     decoded.state.preagg_table.push_back(entry);
   }
   uint64_t partial_count = reader.ReadVarint();
-  for (uint64_t i = 0; i < partial_count; ++i) {
+  if (!reader.ok || partial_count > reader.remaining()) return std::nullopt;
+  for (uint64_t i = 0; i < partial_count && reader.ok; ++i) {
     PartialTableEntry entry;
-    entry.destination = static_cast<NodeId>(reader.ReadVarint());
-    entry.expected_contributions = static_cast<int>(reader.ReadVarint());
-    uint64_t local_plus1 = reader.ReadVarint();
-    entry.message_id = local_plus1 == 0
-                           ? -1
-                           : static_cast<int>(local_plus1 - 1);
+    entry.destination = reader.ReadSmall();
+    entry.expected_contributions = reader.ReadSmall();
+    int32_t local_plus1 = reader.ReadSmall();
+    entry.message_id = local_plus1 - 1;
     decoded.partial_kinds.push_back(reader.ReadU8());
     decoded.state.partial_table.push_back(entry);
   }
   uint64_t outgoing_count = reader.ReadVarint();
-  for (uint64_t i = 0; i < outgoing_count; ++i) {
+  if (!reader.ok || outgoing_count > reader.remaining()) return std::nullopt;
+  for (uint64_t i = 0; i < outgoing_count && reader.ok; ++i) {
     OutgoingMessageEntry entry;
     entry.message_id = static_cast<int>(i);
-    entry.unit_count = static_cast<int>(reader.ReadVarint());
-    entry.recipient = static_cast<NodeId>(reader.ReadVarint());
+    entry.unit_count = reader.ReadSmall();
+    entry.recipient = reader.ReadSmall();
     decoded.state.outgoing_table.push_back(entry);
   }
   decoded.state.is_destination = reader.ReadU8() != 0;
-  M2M_CHECK(reader.AtEnd()) << "trailing bytes in node state image";
+  if (!reader.ok || !reader.AtEnd()) return std::nullopt;
+
+  // Cross-table validation: message references must land in the outgoing
+  // table, or the runtime would index out of bounds.
+  const int outgoing = static_cast<int>(decoded.state.outgoing_table.size());
+  for (const RawTableEntry& entry : decoded.state.raw_table) {
+    if (entry.message_id < 0 || entry.message_id >= outgoing) {
+      return std::nullopt;
+    }
+  }
+  for (const PartialTableEntry& entry : decoded.state.partial_table) {
+    if (entry.message_id < -1 || entry.message_id >= outgoing) {
+      return std::nullopt;
+    }
+    if (entry.expected_contributions < 1) return std::nullopt;
+  }
   return decoded;
+}
+
+std::vector<uint8_t> EncodeDecodedNodeState(const DecodedNodeState& decoded) {
+  M2M_CHECK_EQ(decoded.preagg_meta.size(), decoded.state.preagg_table.size());
+  M2M_CHECK_EQ(decoded.partial_kinds.size(),
+               decoded.state.partial_table.size());
+  ByteWriter writer;
+  writer.WriteVarint(decoded.state.raw_table.size());
+  for (const RawTableEntry& entry : decoded.state.raw_table) {
+    writer.WriteVarint(static_cast<uint64_t>(entry.source));
+    writer.WriteVarint(static_cast<uint64_t>(entry.message_id));
+  }
+  writer.WriteVarint(decoded.state.preagg_table.size());
+  for (size_t i = 0; i < decoded.state.preagg_table.size(); ++i) {
+    const PreAggTableEntry& entry = decoded.state.preagg_table[i];
+    const DecodedPreAggMeta& meta = decoded.preagg_meta[i];
+    writer.WriteVarint(static_cast<uint64_t>(entry.source));
+    writer.WriteVarint(static_cast<uint64_t>(entry.destination));
+    writer.WriteU8(meta.kind);
+    writer.WriteF32(meta.weight);
+    writer.WriteF32(meta.param);
+  }
+  writer.WriteVarint(decoded.state.partial_table.size());
+  for (size_t i = 0; i < decoded.state.partial_table.size(); ++i) {
+    const PartialTableEntry& entry = decoded.state.partial_table[i];
+    writer.WriteVarint(static_cast<uint64_t>(entry.destination));
+    writer.WriteVarint(static_cast<uint64_t>(entry.expected_contributions));
+    writer.WriteVarint(static_cast<uint64_t>(entry.message_id + 1));
+    writer.WriteU8(decoded.partial_kinds[i]);
+  }
+  writer.WriteVarint(decoded.state.outgoing_table.size());
+  for (const OutgoingMessageEntry& entry : decoded.state.outgoing_table) {
+    writer.WriteVarint(static_cast<uint64_t>(entry.unit_count));
+    writer.WriteVarint(static_cast<uint64_t>(entry.recipient));
+  }
+  writer.WriteU8(decoded.state.is_destination ? 1 : 0);
+  return writer.bytes();
 }
 
 std::vector<std::vector<uint8_t>> EncodeAllNodeStates(

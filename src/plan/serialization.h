@@ -2,6 +2,7 @@
 #define M2M_PLAN_SERIALIZATION_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "agg/aggregate_function.h"
@@ -53,6 +54,19 @@ struct DecodedNodeState {
 };
 
 DecodedNodeState DecodeNodeState(const std::vector<uint8_t>& bytes);
+
+/// Bounds-checked decode for untrusted bytes (a mote must survive a
+/// corrupted dissemination packet): returns nullopt instead of
+/// CHECK-failing on truncated or structurally invalid images. Validates
+/// that node ids and counts are in range, that raw/partial entries
+/// reference the outgoing table, and that the image is consumed exactly.
+std::optional<DecodedNodeState> TryDecodeNodeState(
+    const std::vector<uint8_t>& bytes);
+
+/// Re-encodes a decoded image from its own stored function metadata (the
+/// inverse of DecodeNodeState, needing no FunctionSet). For any image
+/// produced by EncodeNodeState, decode + re-encode is byte-identical.
+std::vector<uint8_t> EncodeDecodedNodeState(const DecodedNodeState& decoded);
 
 /// Wire images for every node of a compiled plan, indexed by node id.
 std::vector<std::vector<uint8_t>> EncodeAllNodeStates(

@@ -1,11 +1,22 @@
 #include "runtime/network.h"
 
 #include <deque>
+#include <map>
+#include <sstream>
 
 #include "common/check.h"
 #include "plan/serialization.h"
 
 namespace m2m {
+
+std::string EventTrace::ToString() const {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
 
 RuntimeNetwork::RuntimeNetwork(const CompiledPlan& compiled,
                                const FunctionSet& functions) {
@@ -13,6 +24,7 @@ RuntimeNetwork::RuntimeNetwork(const CompiledPlan& compiled,
       EncodeAllNodeStates(compiled, functions);
   nodes_.reserve(images.size());
   message_hops_.resize(images.size());
+  message_segments_.resize(images.size());
   for (NodeId n = 0; n < compiled.node_count(); ++n) {
     installed_image_bytes_ += static_cast<int64_t>(images[n].size());
     nodes_.emplace_back(n, images[n]);
@@ -22,6 +34,7 @@ RuntimeNetwork::RuntimeNetwork(const CompiledPlan& compiled,
          compiled.state(n).outgoing_table) {
       message_hops_[n].push_back(
           static_cast<int>(entry.segment.size()) - 1);
+      message_segments_[n].push_back(entry.segment);
     }
   }
 }
@@ -71,6 +84,160 @@ RuntimeNetwork::Result RuntimeNetwork::RunRound(
     M2M_CHECK(value.has_value())
         << "destination " << node.id() << " never completed its aggregate";
     result.destination_values[node.id()] = *value;
+  }
+  return result;
+}
+
+RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
+    const std::vector<double>& readings, const LossyLinkModel& links,
+    const RetryPolicy& retry, const EnergyModel& energy, EventTrace* trace) {
+  M2M_CHECK_EQ(readings.size(), nodes_.size());
+  M2M_CHECK(links.attempt_delivers != nullptr);
+  M2M_CHECK_GE(retry.max_attempts, 1);
+  M2M_CHECK_GE(retry.ack_timeout_ticks, 1);
+  M2M_CHECK_GE(retry.backoff_factor, 1);
+  auto alive = [&](NodeId n) {
+    return links.node_alive == nullptr || links.node_alive(n);
+  };
+  LossyResult result;
+
+  // One in-flight message instance per emitted packet; retransmissions
+  // reuse the instance with a bumped attempt counter.
+  struct Transfer {
+    NodeId sender = kInvalidNode;
+    NodeRuntime::OutgoingPacket packet;
+    int attempts_made = 0;
+    bool delivered_once = false;
+  };
+  std::vector<Transfer> transfers;
+  // tick -> transfer indices scheduled for (re)transmission, FIFO per tick.
+  std::map<int, std::vector<size_t>> agenda;
+  auto collect = [&](NodeRuntime& node, int tick) {
+    for (NodeRuntime::OutgoingPacket& packet : node.DrainReadyPackets()) {
+      transfers.push_back(Transfer{node.id(), std::move(packet)});
+      agenda[tick].push_back(transfers.size() - 1);
+    }
+  };
+
+  for (NodeRuntime& node : nodes_) {
+    if (!alive(node.id())) continue;
+    node.StartRound(readings[node.id()]);
+    collect(node, 0);
+  }
+
+  while (!agenda.empty()) {
+    auto agenda_it = agenda.begin();
+    const int tick = agenda_it->first;
+    result.final_tick = tick;
+    // Entries may be appended to this tick's list while we walk it (a
+    // delivery can trigger a same-tick... it cannot: triggered sends land
+    // at tick + 1 — but index-walk anyway so growth is safe).
+    for (size_t i = 0; i < agenda_it->second.size(); ++i) {
+      // A delivery below can push into `transfers` (reallocation), so go
+      // through the index, never a held reference.
+      const size_t index = agenda_it->second[i];
+      const NodeId sender = transfers[index].sender;
+      const int message_id = transfers[index].packet.local_message_id;
+      const NodeId packet_recipient = transfers[index].packet.recipient;
+      const std::vector<NodeId>& segment =
+          message_segments_[sender][message_id];
+      const int payload =
+          static_cast<int>(transfers[index].packet.payload.size());
+      const int attempt = ++transfers[index].attempts_made;
+      result.attempts += 1;
+      if (attempt > 1) result.retransmissions += 1;
+
+      // Data crosses the segment hop by hop; the first dead hop burns one
+      // transmit and stops the packet.
+      int hops_crossed = 0;
+      bool delivered = alive(packet_recipient);
+      if (delivered) {
+        for (size_t h = 0; h + 1 < segment.size(); ++h) {
+          if (!links.attempt_delivers(segment[h], segment[h + 1], attempt)) {
+            delivered = false;
+            break;
+          }
+          ++hops_crossed;
+        }
+      }
+      result.energy_mj += hops_crossed * energy.UnicastHopUj(payload) / 1000.0;
+      if (!delivered && hops_crossed + 2 <= static_cast<int>(segment.size())) {
+        result.energy_mj += energy.TxUj(payload) / 1000.0;
+      }
+
+      std::string outcome;
+      bool acked = false;
+      if (delivered) {
+        result.deliveries += 1;
+        result.payload_bytes += payload;
+        NodeRuntime& recipient = nodes_[packet_recipient];
+        bool fresh = recipient.OnReceiveOnce(
+            sender, message_id, transfers[index].packet.payload);
+        if (fresh) {
+          transfers[index].delivered_once = true;
+          collect(recipient, tick + 1);
+          outcome = "rx";
+        } else {
+          result.duplicates += 1;
+          outcome = "dup";
+        }
+        // Ack travels the segment in reverse; header-only payload.
+        acked = true;
+        int ack_hops = 0;
+        for (size_t h = segment.size() - 1; h > 0; --h) {
+          if (!links.attempt_delivers(segment[h], segment[h - 1], attempt)) {
+            acked = false;
+            break;
+          }
+          ++ack_hops;
+        }
+        result.energy_mj += ack_hops * energy.UnicastHopUj(0) / 1000.0;
+        if (!acked) {
+          result.energy_mj += energy.TxUj(0) / 1000.0;
+          result.acks_lost += 1;
+          outcome += "+acklost";
+        }
+      } else {
+        outcome = alive(packet_recipient)
+                      ? "drop@" + std::to_string(hops_crossed + 1)
+                      : "dead";
+      }
+
+      if (trace != nullptr) {
+        std::ostringstream line;
+        line << "t" << tick << " tx " << sender << ">" << packet_recipient
+             << " m" << message_id << " a" << attempt << " b" << payload
+             << " " << outcome;
+        trace->Append(line.str());
+      }
+
+      if (!acked) {
+        if (attempt < retry.max_attempts) {
+          int timeout = retry.ack_timeout_ticks;
+          for (int k = 1; k < attempt; ++k) timeout *= retry.backoff_factor;
+          agenda[tick + timeout].push_back(index);
+        } else if (!transfers[index].delivered_once) {
+          result.messages_abandoned += 1;
+          if (trace != nullptr) {
+            std::ostringstream line;
+            line << "t" << tick << " giveup " << sender << ">"
+                 << packet_recipient << " m" << message_id;
+            trace->Append(line.str());
+          }
+        }
+      }
+    }
+    agenda.erase(agenda_it);
+  }
+
+  for (const NodeRuntime& node : nodes_) {
+    if (!node.is_destination() || !alive(node.id())) continue;
+    std::optional<double> value = node.FinalValue();
+    if (value.has_value()) {
+      result.destination_values[node.id()] = *value;
+    } else {
+      result.incomplete_destinations.push_back(node.id());
+    }
   }
   return result;
 }

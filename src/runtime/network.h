@@ -2,6 +2,8 @@
 #define M2M_RUNTIME_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +13,34 @@
 #include "sim/energy_model.h"
 
 namespace m2m {
+
+/// Bounded-retransmission policy for lossy rounds: a sender retries an
+/// unacked message up to `max_attempts` total attempts, waiting
+/// `ack_timeout_ticks * backoff_factor^(attempt-1)` ticks between attempts
+/// (per-edge exponential backoff).
+struct RetryPolicy {
+  int max_attempts = 4;
+  int ack_timeout_ticks = 2;
+  int backoff_factor = 2;
+};
+
+/// Append-only log of runtime events (send/recv/ack/drop/...). Replaying
+/// the same fault schedule must reproduce this byte for byte — the
+/// determinism contract the differential fault tests assert.
+struct EventTrace {
+  std::vector<std::string> lines;
+  void Append(std::string line) { lines.push_back(std::move(line)); }
+  std::string ToString() const;
+};
+
+/// Link-layer behavior for one lossy round. `attempt_delivers` decides each
+/// one-hop transmission attempt (1-based attempt index, directed link); it
+/// must be a pure function for reproducibility. A null `node_alive` means
+/// every node is alive.
+struct LossyLinkModel {
+  std::function<bool(NodeId from, NodeId to, int attempt)> attempt_delivers;
+  std::function<bool(NodeId node)> node_alive;
+};
 
 /// Drives a fleet of NodeRuntimes through one round: installs the wire
 /// images a compiled plan serializes to, injects readings, and shuttles the
@@ -37,6 +67,37 @@ class RuntimeNetwork {
   Result RunRound(const std::vector<double>& readings,
                   const EnergyModel& energy = {});
 
+  /// Outcome of one round over lossy links with ack/retry recovery.
+  struct LossyResult {
+    /// Destinations whose aggregate completed (alive destinations only).
+    std::unordered_map<NodeId, double> destination_values;
+    /// Alive destinations that never completed (some contribution was lost
+    /// after all retries).
+    std::vector<NodeId> incomplete_destinations;
+    int64_t attempts = 0;         ///< Data transmission attempts.
+    int64_t deliveries = 0;       ///< Delivered data packets (incl. dups).
+    int64_t duplicates = 0;       ///< Deliveries suppressed as retransmits.
+    int64_t retransmissions = 0;  ///< Attempts beyond each message's first.
+    int64_t acks_lost = 0;        ///< Delivered packets whose ack dropped.
+    int64_t messages_abandoned = 0;  ///< Never delivered within the budget.
+    int64_t payload_bytes = 0;       ///< Payload bytes of delivered copies.
+    double energy_mj = 0.0;
+    int final_tick = 0;
+  };
+
+  /// Runs one round under `links` with stop-and-wait ack/retry per message
+  /// (paper section 3 failure handling: transient losses are absorbed by
+  /// the communication layer; only persistent changes require re-planning).
+  /// Time advances in ticks: a transmission takes one tick, an unacked
+  /// message retransmits after the policy's backoff. Dead nodes neither
+  /// start the round nor receive. Incomplete destinations are reported, not
+  /// CHECK-failed. Every event is appended to `trace` when non-null.
+  LossyResult RunRoundLossy(const std::vector<double>& readings,
+                            const LossyLinkModel& links,
+                            const RetryPolicy& retry = {},
+                            const EnergyModel& energy = {},
+                            EventTrace* trace = nullptr);
+
   /// Total bytes of all installed node images (the dissemination payload).
   int64_t installed_image_bytes() const { return installed_image_bytes_; }
 
@@ -44,6 +105,8 @@ class RuntimeNetwork {
   std::vector<NodeRuntime> nodes_;
   /// Physical hop count per (node, local message id).
   std::vector<std::vector<int>> message_hops_;
+  /// Physical segment (tail..head inclusive) per (node, local message id).
+  std::vector<std::vector<std::vector<NodeId>>> message_segments_;
   int64_t installed_image_bytes_ = 0;
 };
 

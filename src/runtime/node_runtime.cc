@@ -30,6 +30,7 @@ void NodeRuntime::StartRound(double reading) {
   complete_messages_.clear();
   pending_emits_.clear();
   final_value_.reset();
+  seen_packets_.clear();
 
   for (size_t i = 0; i < state_.state.partial_table.size(); ++i) {
     const PartialTableEntry& entry = state_.state.partial_table[i];
@@ -168,6 +169,15 @@ void NodeRuntime::OnReceive(const std::vector<uint8_t>& packet) {
     }
   }
   M2M_CHECK(reader.AtEnd()) << "trailing bytes in data packet";
+}
+
+bool NodeRuntime::OnReceiveOnce(NodeId sender, int sender_message_id,
+                                const std::vector<uint8_t>& packet) {
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(sender)) << 32) |
+                 static_cast<uint32_t>(sender_message_id);
+  if (!seen_packets_.insert(key).second) return false;
+  OnReceive(packet);
+  return true;
 }
 
 std::optional<double> NodeRuntime::FinalValue() const {

@@ -44,8 +44,17 @@ class NodeRuntime {
   void StartRound(double reading);
 
   /// Processes one incoming packet (payload produced by another node's
-  /// DrainReadyPackets).
+  /// DrainReadyPackets). Every call is assumed to be a fresh packet; use
+  /// OnReceiveOnce when the link layer may deliver duplicates.
   void OnReceive(const std::vector<uint8_t>& packet);
+
+  /// Duplicate-suppressing receive for lossy links: a retransmission of a
+  /// (sender, sender-local message id) pair already seen this round is
+  /// ignored (the sender repeats a message when its ack is lost, so the
+  /// receiver must treat packets idempotently). Returns true iff the packet
+  /// was fresh and processed.
+  bool OnReceiveOnce(NodeId sender, int sender_message_id,
+                     const std::vector<uint8_t>& packet);
 
   struct OutgoingPacket {
     int local_message_id = -1;
@@ -96,6 +105,8 @@ class NodeRuntime {
   std::set<int> complete_messages_;
   std::vector<int> pending_emits_;
   std::optional<double> final_value_;
+  /// (sender, sender-local message id) pairs received this round.
+  std::set<uint64_t> seen_packets_;
 };
 
 }  // namespace m2m

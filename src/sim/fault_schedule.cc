@@ -1,0 +1,277 @@
+#include "sim/fault_schedule.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace m2m {
+
+namespace {
+
+// Node ids fit comfortably in 21 bits for every deployment we model; the
+// packed keys below rely on that.
+constexpr int kIdBits = 21;
+
+uint64_t LinkKey(NodeId a, NodeId b) {
+  NodeId lo = std::min(a, b);
+  NodeId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << kIdBits) | static_cast<uint64_t>(hi);
+}
+
+uint64_t RoundLinkKey(int round, NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(round) << (2 * kIdBits)) | LinkKey(a, b);
+}
+
+// Live-subgraph connectivity: BFS over `adjacency` restricted to alive
+// nodes. Used to reject persistent faults that would partition survivors.
+bool AliveSubgraphConnected(
+    const std::vector<std::vector<NodeId>>& adjacency,
+    const std::vector<bool>& alive,
+    const std::unordered_set<uint64_t>& failed_links) {
+  const int n = static_cast<int>(adjacency.size());
+  NodeId start = kInvalidNode;
+  int alive_count = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!alive[u]) continue;
+    ++alive_count;
+    if (start == kInvalidNode) start = u;
+  }
+  if (alive_count <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::queue<NodeId> frontier;
+  seen[start] = true;
+  frontier.push(start);
+  int reached = 1;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency[u]) {
+      if (seen[v] || !alive[v] || failed_links.contains(LinkKey(u, v))) {
+        continue;
+      }
+      seen[v] = true;
+      ++reached;
+      frontier.push(v);
+    }
+  }
+  return reached == alive_count;
+}
+
+}  // namespace
+
+std::string ToString(FaultType type) {
+  switch (type) {
+    case FaultType::kTransientLink:
+      return "transient-link";
+    case FaultType::kPersistentLink:
+      return "persistent-link";
+    case FaultType::kNodeDeath:
+      return "node-death";
+  }
+  return "unknown";
+}
+
+FaultSchedule FaultSchedule::Generate(
+    const Topology& topology, const std::vector<NodeId>& protected_nodes,
+    const FaultScheduleOptions& options) {
+  M2M_CHECK_GE(options.rounds, 2);
+  FaultSchedule schedule;
+  schedule.options_ = options;
+  Rng rng(SplitMix64(options.seed ^ 0xfa017));
+
+  std::vector<bool> is_protected(topology.node_count(), false);
+  for (NodeId n : protected_nodes) is_protected[n] = true;
+
+  // Candidate persistent events, each with a random activation round; we
+  // walk them chronologically and accept one only if the alive subgraph
+  // stays connected, so every intermediate state is recoverable.
+  struct Candidate {
+    FaultEvent event;
+    uint64_t order;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<NodeId> death_pool;
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    if (!is_protected[n]) death_pool.push_back(n);
+  }
+  rng.Shuffle(death_pool);
+  int deaths = std::min<int>(options.node_deaths,
+                             static_cast<int>(death_pool.size()));
+  for (int i = 0; i < deaths; ++i) {
+    FaultEvent event;
+    event.round = 1 + static_cast<int>(rng.UniformInt(options.rounds - 1));
+    event.type = FaultType::kNodeDeath;
+    event.a = death_pool[i];
+    candidates.push_back(Candidate{event, rng.Next()});
+  }
+  std::vector<std::pair<NodeId, NodeId>> link_pool;
+  for (NodeId a = 0; a < topology.node_count(); ++a) {
+    for (NodeId b : topology.neighbors(a)) {
+      if (a < b) link_pool.emplace_back(a, b);
+    }
+  }
+  rng.Shuffle(link_pool);
+  int failures = std::min<int>(options.persistent_link_failures,
+                               static_cast<int>(link_pool.size()));
+  for (int i = 0; i < failures; ++i) {
+    FaultEvent event;
+    event.round = 1 + static_cast<int>(rng.UniformInt(options.rounds - 1));
+    event.type = FaultType::kPersistentLink;
+    event.a = link_pool[i].first;
+    event.b = link_pool[i].second;
+    candidates.push_back(Candidate{event, rng.Next()});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.event.round != y.event.round) {
+                return x.event.round < y.event.round;
+              }
+              return x.order < y.order;
+            });
+
+  std::vector<bool> alive(topology.node_count(), true);
+  std::unordered_set<uint64_t> failed;
+  std::vector<std::vector<NodeId>> adjacency(topology.node_count());
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    adjacency[n] = topology.neighbors(n);
+  }
+  for (const Candidate& candidate : candidates) {
+    const FaultEvent& event = candidate.event;
+    if (event.type == FaultType::kNodeDeath) {
+      alive[event.a] = false;
+      if (!AliveSubgraphConnected(adjacency, alive, failed)) {
+        alive[event.a] = true;  // Would strand survivors; skip.
+        continue;
+      }
+    } else {
+      uint64_t key = LinkKey(event.a, event.b);
+      failed.insert(key);
+      if (!AliveSubgraphConnected(adjacency, alive, failed)) {
+        failed.erase(key);
+        continue;
+      }
+    }
+    schedule.events_.push_back(event);
+  }
+
+  // Transient flaky links, drawn per round from a forked stream so the
+  // persistent draw above doesn't shift them.
+  Rng transient_rng = rng.Fork(0x71a);
+  for (int round = 0; round < options.rounds; ++round) {
+    int flaky = 0;
+    for (const auto& [a, b] : link_pool) {
+      if (!transient_rng.Bernoulli(options.transient_link_fraction)) {
+        continue;
+      }
+      schedule.transient_.insert(RoundLinkKey(round, a, b));
+      FaultEvent event;
+      event.round = round;
+      event.type = FaultType::kTransientLink;
+      event.a = std::min(a, b);
+      event.b = std::max(a, b);
+      schedule.events_.push_back(event);
+      ++flaky;
+    }
+    (void)flaky;
+  }
+
+  std::sort(schedule.events_.begin(), schedule.events_.end(),
+            [](const FaultEvent& x, const FaultEvent& y) {
+              if (x.round != y.round) return x.round < y.round;
+              if (x.type != y.type) return x.type < y.type;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return schedule;
+}
+
+std::vector<FaultEvent> FaultSchedule::PersistentEventsAt(int round) const {
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& event : events_) {
+    if (event.round == round && event.type != FaultType::kTransientLink) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+bool FaultSchedule::NodeAliveAt(int round, NodeId n) const {
+  for (const FaultEvent& event : events_) {
+    if (event.type == FaultType::kNodeDeath && event.a == n &&
+        event.round <= round) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> FaultSchedule::DeadNodesThrough(int round) const {
+  std::vector<NodeId> out;
+  for (const FaultEvent& event : events_) {
+    if (event.type == FaultType::kNodeDeath && event.round <= round) {
+      out.push_back(event.a);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> FaultSchedule::FailedLinksThrough(
+    int round) const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (const FaultEvent& event : events_) {
+    if (event.type == FaultType::kPersistentLink && event.round <= round) {
+      out.emplace_back(event.a, event.b);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool FaultSchedule::AttemptDelivers(int round, NodeId from, NodeId to,
+                                    int attempt) const {
+  for (const FaultEvent& event : events_) {
+    if (event.round > round || event.type == FaultType::kTransientLink) {
+      continue;
+    }
+    if (event.type == FaultType::kNodeDeath &&
+        (event.a == from || event.a == to)) {
+      return false;
+    }
+    if (event.type == FaultType::kPersistentLink &&
+        LinkKey(event.a, event.b) == LinkKey(from, to)) {
+      return false;
+    }
+  }
+  if (!transient_.contains(RoundLinkKey(round, from, to))) return true;
+  // Stateless per-attempt draw: hash of (seed, round, directed link,
+  // attempt) to a uniform double. Direction matters so data and ack
+  // attempts over the same link draw independently.
+  uint64_t h = SplitMix64(
+      options_.seed ^
+      (static_cast<uint64_t>(round) << 48) ^
+      (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 26) ^
+      (static_cast<uint64_t>(static_cast<uint32_t>(to)) << 5) ^
+      static_cast<uint64_t>(attempt));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u >= options_.transient_drop_probability;
+}
+
+std::string FaultSchedule::Describe() const {
+  std::ostringstream os;
+  os << "fault-schedule seed=" << options_.seed
+     << " rounds=" << options_.rounds << " p_drop=";
+  os << options_.transient_drop_probability << "\n";
+  for (const FaultEvent& event : events_) {
+    os << "  r" << event.round << " " << ToString(event.type) << " "
+       << event.a;
+    if (event.b != kInvalidNode) os << "-" << event.b;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace m2m

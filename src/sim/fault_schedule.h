@@ -1,0 +1,101 @@
+#ifndef M2M_SIM_FAULT_SCHEDULE_H_
+#define M2M_SIM_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/topology.h"
+
+namespace m2m {
+
+/// Kind of injected fault (paper section 3 failure handling).
+enum class FaultType : uint8_t {
+  /// The link is flaky for one round: each transmission attempt across it
+  /// independently drops with the schedule's drop probability. Ack/retry at
+  /// the runtime layer recovers from these without touching the plan.
+  kTransientLink,
+  /// The link is down from `round` onward; recovery requires re-routing and
+  /// a (local, Corollary 1) re-plan.
+  kPersistentLink,
+  /// The node is dead from `round` onward: it neither transmits nor
+  /// receives, and it stops being a source. Recovery removes it from the
+  /// workload and re-plans.
+  kNodeDeath,
+};
+
+std::string ToString(FaultType type);
+
+/// One scheduled fault. Transient faults affect only their round;
+/// persistent faults take effect at the start of their round and last for
+/// the rest of the schedule.
+struct FaultEvent {
+  int round = 0;
+  FaultType type = FaultType::kTransientLink;
+  NodeId a = kInvalidNode;  ///< Link endpoint, or the dying node.
+  NodeId b = kInvalidNode;  ///< Other link endpoint; kInvalidNode for death.
+};
+
+struct FaultScheduleOptions {
+  /// Rounds the schedule covers; persistent events land in [1, rounds - 1].
+  int rounds = 6;
+  /// Expected fraction of links that are flaky in any given round.
+  double transient_link_fraction = 0.08;
+  /// Per-attempt drop probability on a flaky link.
+  double transient_drop_probability = 0.6;
+  int persistent_link_failures = 2;
+  int node_deaths = 1;
+  uint64_t seed = 1;
+};
+
+/// A reproducible schedule of link and node faults, deterministic in
+/// (topology, protected set, options). Persistent faults are generated so
+/// the surviving subgraph stays connected after every event — the network
+/// always *can* recover by re-planning — and nodes in `protected_nodes`
+/// (typically the destinations) never die.
+///
+/// Per-attempt delivery decisions are a pure hash of (seed, round, link,
+/// direction, attempt), so replaying the same schedule yields byte-identical
+/// behavior without any shared mutable RNG state.
+class FaultSchedule {
+ public:
+  static FaultSchedule Generate(const Topology& topology,
+                                const std::vector<NodeId>& protected_nodes,
+                                const FaultScheduleOptions& options);
+
+  const FaultScheduleOptions& options() const { return options_; }
+  /// All events, ordered by (round, type, ids).
+  const std::vector<FaultEvent>& events() const { return events_; }
+  /// Persistent events (link failures, deaths) taking effect at `round`.
+  std::vector<FaultEvent> PersistentEventsAt(int round) const;
+
+  /// True iff `n` has not died at or before `round`.
+  bool NodeAliveAt(int round, NodeId n) const;
+  std::vector<NodeId> DeadNodesThrough(int round) const;
+  /// Persistently failed links through `round`, as (lo, hi) pairs; excludes
+  /// links implied by node deaths.
+  std::vector<std::pair<NodeId, NodeId>> FailedLinksThrough(int round) const;
+
+  /// Whether transmission attempt `attempt` (1-based) from `from` to `to`
+  /// in `round` delivers. False for dead endpoints and persistently failed
+  /// links; Bernoulli(1 - drop_probability) on links flaky this round;
+  /// true otherwise. Rounds past options().rounds have no transient faults,
+  /// so a post-schedule round is deterministic given the persistent state.
+  bool AttemptDelivers(int round, NodeId from, NodeId to, int attempt) const;
+
+  /// Human-readable event list (stable across runs; used in event traces).
+  std::string Describe() const;
+
+ private:
+  FaultScheduleOptions options_;
+  std::vector<FaultEvent> events_;
+  /// (round, lo, hi) keys of links flaky in a specific round.
+  std::unordered_set<uint64_t> transient_;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_SIM_FAULT_SCHEDULE_H_

@@ -28,6 +28,36 @@ Topology::Topology(std::vector<Point> positions, double radio_range_m)
   for (auto& list : adjacency_) std::sort(list.begin(), list.end());
 }
 
+Topology Topology::WithFailures(
+    const Topology& base,
+    const std::vector<std::pair<NodeId, NodeId>>& failed_links,
+    const std::vector<NodeId>& dead_nodes) {
+  Topology masked;
+  masked.positions_ = base.positions_;
+  masked.radio_range_m_ = base.radio_range_m_;
+  std::vector<bool> dead(base.node_count(), false);
+  for (NodeId n : dead_nodes) {
+    base.CheckNode(n);
+    dead[n] = true;
+  }
+  auto link_failed = [&](NodeId a, NodeId b) {
+    for (const auto& [x, y] : failed_links) {
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    }
+    return false;
+  };
+  masked.adjacency_.resize(base.node_count());
+  for (NodeId a = 0; a < base.node_count(); ++a) {
+    if (dead[a]) continue;
+    for (NodeId b : base.adjacency_[a]) {
+      if (dead[b] || link_failed(a, b)) continue;
+      masked.adjacency_[a].push_back(b);
+      if (a < b) ++masked.link_count_;
+    }
+  }
+  return masked;
+}
+
 void Topology::CheckNode(NodeId n) const {
   M2M_CHECK(n >= 0 && n < node_count()) << "node id " << n << " out of range";
 }

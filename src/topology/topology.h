@@ -1,6 +1,7 @@
 #ifndef M2M_TOPOLOGY_TOPOLOGY_H_
 #define M2M_TOPOLOGY_TOPOLOGY_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -18,6 +19,15 @@ class Topology {
   /// Builds the connectivity graph. Positions are copied; radio_range_m must
   /// be positive.
   Topology(std::vector<Point> positions, double radio_range_m);
+
+  /// A failure-masked copy of `base`: same nodes and positions, minus the
+  /// given undirected links and every link incident to a dead node. Node
+  /// ids are preserved (dead nodes remain present but isolated), so plans
+  /// and runtimes indexed by id keep working across a re-plan.
+  static Topology WithFailures(
+      const Topology& base,
+      const std::vector<std::pair<NodeId, NodeId>>& failed_links,
+      const std::vector<NodeId>& dead_nodes);
 
   Topology(const Topology&) = default;
   Topology& operator=(const Topology&) = default;
@@ -49,6 +59,8 @@ class Topology {
   std::vector<NodeId> NodesAtHopDistance(NodeId origin, int hops) const;
 
  private:
+  Topology() = default;  // For WithFailures, which fills the fields itself.
+
   void CheckNode(NodeId n) const;
 
   std::vector<Point> positions_;

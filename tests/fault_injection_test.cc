@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "plan/consistency.h"
+#include "plan/node_tables.h"
+#include "plan/planner.h"
+#include "routing/multicast.h"
+#include "routing/path_system.h"
+#include "runtime/network.h"
+#include "sim/executor.h"
+#include "sim/fault_schedule.h"
+#include "sim/readings.h"
+#include "fault_test_util.h"
+#include "topology/generator.h"
+#include "topology/topology.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+using fault_test::Destinations;
+using fault_test::FaultRunResult;
+using fault_test::RunFaultSchedule;
+using fault_test::ValuesClose;
+
+Workload DefaultWorkload(const Topology& topology, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.destination_count = 5;
+  spec.sources_per_destination = 5;
+  spec.max_hops = 4;
+  spec.seed = seed;
+  return GenerateWorkload(topology, spec);
+}
+
+FaultSchedule DefaultSchedule(const Topology& topology,
+                              const Workload& workload, uint64_t seed) {
+  FaultScheduleOptions options;
+  options.rounds = 5;
+  options.transient_link_fraction = 0.06;
+  options.transient_drop_probability = 0.5;
+  options.persistent_link_failures = 2;
+  options.node_deaths = 1;
+  options.seed = seed;
+  return FaultSchedule::Generate(topology, Destinations(workload), options);
+}
+
+// The acceptance criterion of the fault-tolerant runtime, checked over many
+// seeded schedules: after every persistent fault has been absorbed by a
+// local re-plan and the transient window has passed, all alive destinations
+// converge to exactly the fault-free oracle over the surviving sources; and
+// replaying the same schedule reproduces the event trace byte for byte.
+class FaultDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultDifferential, ConvergesToOracleWithDeterministicTrace) {
+  const uint64_t seed = GetParam();
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, seed * 17 + 3);
+  FaultSchedule schedule = DefaultSchedule(topology, workload, seed);
+
+  FaultRunResult run = RunFaultSchedule(topology, workload, schedule,
+                                        /*readings_seed=*/seed + 1000);
+
+  EXPECT_TRUE(run.replan_divergences.empty())
+      << "Corollary 1 violated (seed " << seed
+      << "): " << run.replan_divergences.front();
+  EXPECT_TRUE(run.consistency_violations.empty())
+      << "seed " << seed << ": " << run.consistency_violations.front();
+  EXPECT_TRUE(run.value_mismatches.empty())
+      << "seed " << seed << ": " << run.value_mismatches.front();
+
+  // Convergence round: no transient faults remain, so every alive
+  // destination completes and matches the analytic oracle exactly (up to
+  // float merge order).
+  EXPECT_TRUE(run.unconverged_destinations.empty())
+      << "seed " << seed << ": destination "
+      << run.unconverged_destinations.front() << " did not converge";
+  ASSERT_EQ(run.final_values.size(), run.oracle_values.size());
+  for (const auto& [destination, value] : run.final_values) {
+    auto it = run.oracle_values.find(destination);
+    ASSERT_NE(it, run.oracle_values.end()) << "destination " << destination;
+    EXPECT_TRUE(ValuesClose(value, it->second))
+        << "seed " << seed << " destination " << destination << ": " << value
+        << " vs oracle " << it->second;
+  }
+
+  // Determinism: the same schedule replays to a byte-identical trace.
+  FaultRunResult replay = RunFaultSchedule(topology, workload, schedule,
+                                           /*readings_seed=*/seed + 1000);
+  EXPECT_EQ(run.trace, replay.trace) << "seed " << seed;
+  EXPECT_EQ(run.attempts, replay.attempts);
+  EXPECT_EQ(run.retransmissions, replay.retransmissions);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, FaultDifferential,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(FaultScheduleTest, GenerationIsDeterministic) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, 7);
+  FaultSchedule a = DefaultSchedule(topology, workload, 42);
+  FaultSchedule b = DefaultSchedule(topology, workload, 42);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_EQ(a.Describe(), b.Describe());
+  for (int round = 0; round < a.options().rounds; ++round) {
+    for (NodeId n = 0; n < topology.node_count(); ++n) {
+      for (NodeId m : topology.neighbors(n)) {
+        for (int attempt = 1; attempt <= 4; ++attempt) {
+          EXPECT_EQ(a.AttemptDelivers(round, n, m, attempt),
+                    b.AttemptDelivers(round, n, m, attempt));
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultScheduleTest, ProtectedNodesNeverDieAndSurvivorsStayConnected) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, 11);
+  std::vector<NodeId> destinations = Destinations(workload);
+  FaultScheduleOptions options;
+  options.rounds = 6;
+  options.persistent_link_failures = 4;
+  options.node_deaths = 3;
+  options.seed = 99;
+  FaultSchedule schedule =
+      FaultSchedule::Generate(topology, destinations, options);
+
+  std::vector<NodeId> dead = schedule.DeadNodesThrough(options.rounds);
+  for (NodeId d : destinations) {
+    EXPECT_EQ(std::find(dead.begin(), dead.end(), d), dead.end())
+        << "protected destination " << d << " died";
+  }
+
+  // The alive subgraph after all persistent faults must be connected (the
+  // generator's accept/reject invariant — recovery is always possible).
+  Topology masked = Topology::WithFailures(
+      topology, schedule.FailedLinksThrough(options.rounds), dead);
+  std::vector<bool> seen(masked.node_count(), false);
+  std::queue<NodeId> frontier;
+  NodeId start = kInvalidNode;
+  for (NodeId n = 0; n < masked.node_count(); ++n) {
+    if (std::find(dead.begin(), dead.end(), n) == dead.end()) {
+      start = n;
+      break;
+    }
+  }
+  ASSERT_NE(start, kInvalidNode);
+  seen[start] = true;
+  frontier.push(start);
+  while (!frontier.empty()) {
+    NodeId n = frontier.front();
+    frontier.pop();
+    for (NodeId m : masked.neighbors(n)) {
+      if (!seen[m]) {
+        seen[m] = true;
+        frontier.push(m);
+      }
+    }
+  }
+  for (NodeId n = 0; n < masked.node_count(); ++n) {
+    if (std::find(dead.begin(), dead.end(), n) == dead.end()) {
+      EXPECT_TRUE(seen[n]) << "alive node " << n << " disconnected";
+    }
+  }
+}
+
+// Corollary 1, asserted directly: after a persistent link failure and a node
+// death, re-solving only the affected edges yields the same plan as planning
+// from scratch, while reusing most per-edge solutions.
+TEST(LocalReplanTest, LocalReplanEqualsGlobalReplan) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, 5);
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+
+  // Fail a link that actually carries traffic (the first physical hop of
+  // the first planned edge) plus kill one source, so the re-plan is forced
+  // to re-route.
+  const ForestEdge& edge = plan.forest().edges().front();
+  ASSERT_GE(edge.segment.size(), 2u);
+  std::vector<std::pair<NodeId, NodeId>> failed_links = {
+      {edge.segment[0], edge.segment[1]}};
+  NodeId victim = workload.tasks.front().sources.front();
+  Workload survivors =
+      WithSourceRemoved(workload, victim, workload.tasks.front().destination);
+
+  Topology masked =
+      Topology::WithFailures(topology, failed_links, {victim});
+  PathSystem masked_paths(masked);
+  UpdateStats stats;
+  GlobalPlan patched = ReplanForTopology(plan, masked_paths, survivors.tasks,
+                                         survivors.functions, &stats);
+  GlobalPlan fresh =
+      BuildPlan(patched.forest_ptr(), survivors.functions, plan.options());
+
+  std::vector<std::string> divergence = FindPlanDivergence(patched, fresh);
+  EXPECT_TRUE(divergence.empty()) << divergence.front();
+  EXPECT_TRUE(PlansEquivalent(patched, fresh));
+  EXPECT_TRUE(ValidatePlanConsistency(patched));
+  EXPECT_EQ(stats.edges_total,
+            static_cast<int>(patched.forest().edges().size()));
+  // Locality: the failure touches a handful of routes; most edges keep
+  // their solutions.
+  EXPECT_GT(stats.edges_reused, 0);
+  EXPECT_EQ(stats.edges_reused + stats.edges_reoptimized, stats.edges_total);
+}
+
+// A round under heavy transient loss: retries must recover every message
+// (enough attempts for the drop rate), values must stay correct, and the
+// trace must replay identically.
+TEST(LossyRuntimeTest, RetriesRecoverFromHeavyTransientLoss) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, 21);
+  FaultScheduleOptions options;
+  options.rounds = 3;
+  options.transient_link_fraction = 0.5;
+  options.transient_drop_probability = 0.45;
+  options.persistent_link_failures = 0;
+  options.node_deaths = 0;
+  options.seed = 77;
+  FaultSchedule schedule =
+      FaultSchedule::Generate(topology, Destinations(workload), options);
+
+  RetryPolicy retry;
+  retry.max_attempts = 8;
+  FaultRunResult run =
+      RunFaultSchedule(topology, workload, schedule, 2024, retry);
+
+  EXPECT_GT(run.retransmissions, 0) << "loss model injected no retries";
+  EXPECT_TRUE(run.value_mismatches.empty())
+      << run.value_mismatches.front();
+  EXPECT_TRUE(run.unconverged_destinations.empty());
+  EXPECT_EQ(run.replans, 0);
+  for (const auto& [destination, value] : run.final_values) {
+    EXPECT_TRUE(ValuesClose(value, run.oracle_values.at(destination)));
+  }
+}
+
+// Lost acks force retransmission of already-delivered messages; the
+// receiver-side dedup must absorb the duplicates without corrupting any
+// aggregate (idempotent retransmission).
+TEST(LossyRuntimeTest, DuplicateDeliveriesAreSuppressed) {
+  // A 1x6 line: all data flows toward higher ids, all acks toward lower
+  // ids, so "drop the first attempt of every decreasing-id transmission"
+  // loses every first ack while delivering every data packet.
+  Topology topology = MakeGrid(6, 1, 10.0, 15.0);
+  Workload workload;
+  workload.tasks = {Task{5, {0, 1, 2}}};
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.weights = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  workload.specs = {spec};
+  workload.RebuildFunctions();
+
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload.functions);
+  RuntimeNetwork network(compiled, workload.functions);
+
+  LossyLinkModel links;
+  links.attempt_delivers = [](NodeId from, NodeId to, int attempt) {
+    return !(from > to && attempt == 1);
+  };
+
+  ReadingGenerator readings(topology.node_count(), 31);
+  RuntimeNetwork::LossyResult lossy =
+      network.RunRoundLossy(readings.values(), links);
+
+  EXPECT_GT(lossy.acks_lost, 0);
+  EXPECT_GT(lossy.retransmissions, 0);
+  EXPECT_GT(lossy.duplicates, 0);
+  EXPECT_EQ(lossy.messages_abandoned, 0);
+  EXPECT_TRUE(lossy.incomplete_destinations.empty());
+
+  double expected = 1.0 * readings.values()[0] + 2.0 * readings.values()[1] +
+                    3.0 * readings.values()[2];
+  ASSERT_EQ(lossy.destination_values.size(), 1u);
+  EXPECT_TRUE(ValuesClose(lossy.destination_values.at(5), expected));
+}
+
+// When the retry budget cannot beat a dead link mid-route, the affected
+// destination is reported incomplete (not CHECK-crashed) and untouched
+// destinations still complete.
+TEST(LossyRuntimeTest, ExhaustedRetriesReportIncompleteDestinations) {
+  Topology topology = MakeGrid(6, 1, 10.0, 15.0);
+  Workload workload;
+  workload.tasks = {Task{5, {0, 3}}};
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.weights = {{0, 1.0}, {3, 1.0}};
+  workload.specs = {spec};
+  workload.RebuildFunctions();
+
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload.functions);
+  RuntimeNetwork network(compiled, workload.functions);
+
+  // Link 0->1 never delivers: source 0's contribution can never reach 5.
+  LossyLinkModel links;
+  links.attempt_delivers = [](NodeId from, NodeId to, int) {
+    return !(from == 0 && to == 1);
+  };
+
+  ReadingGenerator readings(topology.node_count(), 8);
+  RuntimeNetwork::LossyResult lossy =
+      network.RunRoundLossy(readings.values(), links);
+
+  EXPECT_GT(lossy.messages_abandoned, 0);
+  ASSERT_EQ(lossy.incomplete_destinations.size(), 1u);
+  EXPECT_EQ(lossy.incomplete_destinations.front(), 5);
+  EXPECT_TRUE(lossy.destination_values.empty());
+}
+
+// Fault-free lossy execution must agree with the quiescence-based runtime
+// and the analytic executor — the lossy path is a strict generalization.
+TEST(LossyRuntimeTest, PerfectLinksMatchQuiescentRuntime) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, 3);
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload.functions);
+
+  ReadingGenerator readings(topology.node_count(), 12);
+  RuntimeNetwork lossless(compiled, workload.functions);
+  RuntimeNetwork::Result reference = lossless.RunRound(readings.values());
+
+  RuntimeNetwork network(compiled, workload.functions);
+  LossyLinkModel links;
+  links.attempt_delivers = [](NodeId, NodeId, int) { return true; };
+  RuntimeNetwork::LossyResult lossy =
+      network.RunRoundLossy(readings.values(), links);
+
+  EXPECT_EQ(lossy.retransmissions, 0);
+  EXPECT_EQ(lossy.duplicates, 0);
+  EXPECT_EQ(lossy.messages_abandoned, 0);
+  ASSERT_EQ(lossy.destination_values.size(),
+            reference.destination_values.size());
+  for (const auto& [destination, value] : reference.destination_values) {
+    EXPECT_TRUE(ValuesClose(lossy.destination_values.at(destination), value))
+        << "destination " << destination;
+  }
+}
+
+}  // namespace
+}  // namespace m2m

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/system.h"
+#include "cover/bipartite_cover.h"
 #include "runtime/network.h"
 #include "plan/consistency.h"
 #include "plan/messaging.h"
@@ -156,6 +157,104 @@ TEST_P(MilestoneProperty, ConsistencyOnVirtualEdges) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, MilestoneProperty,
                          ::testing::Values(0.0, 0.82, 0.86, 0.90, 2.0));
+
+// Brute-force check of the per-edge optimizer: on random small bipartite
+// instances, the flow-based solver must return exactly the minimum found by
+// enumerating all 2^(|U|+|V|) vertex subsets — and, because the weights
+// carry the section 2.3 tiebreaker perturbation, that minimum must be
+// *unique* (the property Theorem 1 needs for cross-edge consistency).
+class ExhaustiveCoverProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExhaustiveCoverProperty, SolverMatchesExhaustiveUniqueMinimum) {
+  Rng rng(GetParam() * 7919 + 17);
+  const int num_sources = 1 + static_cast<int>(rng.UniformInt(5));
+  const int num_destinations = 1 + static_cast<int>(rng.UniformInt(5));
+  const uint64_t tiebreak_seed = GetParam() + 0xc0ffee;
+
+  BipartiteInstance instance;
+  for (int i = 0; i < num_sources; ++i) {
+    const int byte_size = 1 + static_cast<int>(rng.UniformInt(40));
+    instance.sources.push_back(
+        {static_cast<NodeId>(100 + i),
+         PerturbedWeight(byte_size, 100 + i, false, tiebreak_seed)});
+  }
+  for (int j = 0; j < num_destinations; ++j) {
+    const int byte_size = 1 + static_cast<int>(rng.UniformInt(40));
+    instance.destinations.push_back(
+        {static_cast<NodeId>(200 + j),
+         PerturbedWeight(byte_size, 200 + j, true, tiebreak_seed)});
+  }
+  for (int i = 0; i < num_sources; ++i) {
+    for (int j = 0; j < num_destinations; ++j) {
+      if (rng.Bernoulli(0.5)) instance.edges.emplace_back(i, j);
+    }
+  }
+  if (instance.edges.empty()) instance.edges.emplace_back(0, 0);
+
+  CoverSolution solution = SolveMinWeightVertexCover(instance);
+  ASSERT_TRUE(IsVertexCover(instance, solution));
+  EXPECT_EQ(CoverWeight(instance, solution), solution.total_weight);
+
+  // Enumerate every subset pair; the solver's weight must be the global
+  // minimum, attained by exactly one cover.
+  int64_t best = -1;
+  int ties = 0;
+  uint32_t best_u = 0, best_v = 0;
+  for (uint32_t u = 0; u < (1u << num_sources); ++u) {
+    for (uint32_t v = 0; v < (1u << num_destinations); ++v) {
+      bool covers = true;
+      for (const auto& [s, d] : instance.edges) {
+        if (!((u >> s) & 1) && !((v >> d) & 1)) {
+          covers = false;
+          break;
+        }
+      }
+      if (!covers) continue;
+      int64_t weight = 0;
+      for (int i = 0; i < num_sources; ++i) {
+        if ((u >> i) & 1) weight += instance.sources[i].weight;
+      }
+      for (int j = 0; j < num_destinations; ++j) {
+        if ((v >> j) & 1) weight += instance.destinations[j].weight;
+      }
+      if (best < 0 || weight < best) {
+        best = weight;
+        ties = 1;
+        best_u = u;
+        best_v = v;
+      } else if (weight == best) {
+        ++ties;
+      }
+    }
+  }
+  ASSERT_GE(best, 0);
+  EXPECT_EQ(solution.total_weight, best);
+  EXPECT_EQ(ties, 1) << "perturbed weights failed to make the minimum unique";
+  for (int i = 0; i < num_sources; ++i) {
+    EXPECT_EQ(solution.source_in_cover[i], ((best_u >> i) & 1) != 0)
+        << "source " << i;
+  }
+  for (int j = 0; j < num_destinations; ++j) {
+    EXPECT_EQ(solution.destination_in_cover[j], ((best_v >> j) & 1) != 0)
+        << "destination " << j;
+  }
+
+  // The byte sizes ride in the weights' high bits: the total recovered from
+  // the optimal weight must match the chosen vertices' byte sizes.
+  int64_t chosen_weight = 0;
+  for (int i = 0; i < num_sources; ++i) {
+    if (solution.source_in_cover[i]) chosen_weight += instance.sources[i].weight;
+  }
+  for (int j = 0; j < num_destinations; ++j) {
+    if (solution.destination_in_cover[j]) {
+      chosen_weight += instance.destinations[j].weight;
+    }
+  }
+  EXPECT_EQ(WeightToBytes(chosen_weight), WeightToBytes(best));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallInstances, ExhaustiveCoverProperty,
+                         ::testing::Range<uint64_t>(1, 41));
 
 }  // namespace
 }  // namespace m2m

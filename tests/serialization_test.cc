@@ -1,7 +1,10 @@
+#include <algorithm>
 #include <memory>
+#include <optional>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "plan/dissemination.h"
 #include "plan/planner.h"
 #include "plan/serialization.h"
@@ -110,6 +113,106 @@ TEST(SerializationTest, ImagesAreStableAcrossRecompilation) {
   std::vector<std::vector<uint8_t>> images_b =
       EncodeAllNodeStates(*b.compiled, b.workload.functions);
   EXPECT_EQ(images_a, images_b);
+}
+
+// Fuzz-style robustness suite: node-state images arrive over the radio, so
+// the decoder must treat every buffer as hostile — reject malformed input
+// via TryDecodeNodeState's nullopt instead of crashing or over-allocating.
+
+TEST(SerializationFuzzTest, CanonicalImagesRoundTripByteIdentically) {
+  Env env(70);
+  for (NodeId n = 0; n < env.compiled->node_count(); ++n) {
+    std::vector<uint8_t> image =
+        EncodeNodeState(env.compiled->state(n), env.workload.functions);
+    std::optional<DecodedNodeState> decoded = TryDecodeNodeState(image);
+    ASSERT_TRUE(decoded.has_value()) << "node " << n;
+    EXPECT_EQ(EncodeDecodedNodeState(*decoded), image) << "node " << n;
+  }
+}
+
+TEST(SerializationFuzzTest, EveryTruncationIsRejected) {
+  Env env(71);
+  for (NodeId n = 0; n < std::min<NodeId>(env.compiled->node_count(), 12);
+       ++n) {
+    std::vector<uint8_t> image =
+        EncodeNodeState(env.compiled->state(n), env.workload.functions);
+    for (size_t len = 0; len < image.size(); ++len) {
+      std::vector<uint8_t> truncated(image.begin(), image.begin() + len);
+      EXPECT_FALSE(TryDecodeNodeState(truncated).has_value())
+          << "node " << n << " truncated to " << len << "/" << image.size()
+          << " bytes decoded successfully";
+    }
+  }
+}
+
+TEST(SerializationFuzzTest, SingleByteCorruptionNeverCrashes) {
+  Env env(72);
+  Rng rng(404);
+  int rejected = 0, accepted = 0;
+  for (NodeId n = 0; n < std::min<NodeId>(env.compiled->node_count(), 12);
+       ++n) {
+    std::vector<uint8_t> image =
+        EncodeNodeState(env.compiled->state(n), env.workload.functions);
+    for (int trial = 0; trial < 64; ++trial) {
+      std::vector<uint8_t> corrupted = image;
+      size_t pos = rng.UniformInt(corrupted.size());
+      corrupted[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+      // Must not crash; a flipped float/weight byte may still decode.
+      std::optional<DecodedNodeState> decoded = TryDecodeNodeState(corrupted);
+      if (decoded.has_value()) {
+        ++accepted;
+        // Whatever decodes must satisfy the cross-table invariants the
+        // runtime indexes by.
+        int outgoing = static_cast<int>(decoded->state.outgoing_table.size());
+        for (const RawTableEntry& entry : decoded->state.raw_table) {
+          ASSERT_GE(entry.message_id, 0);
+          ASSERT_LT(entry.message_id, outgoing);
+        }
+        for (const PartialTableEntry& entry : decoded->state.partial_table) {
+          ASSERT_GE(entry.message_id, -1);
+          ASSERT_LT(entry.message_id, outgoing);
+          ASSERT_GE(entry.expected_contributions, 1);
+        }
+      } else {
+        ++rejected;
+      }
+    }
+  }
+  // Sanity: corruption actually exercised both decoder outcomes.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(accepted, 0);
+}
+
+TEST(SerializationFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(505);
+  for (int trial = 0; trial < 512; ++trial) {
+    std::vector<uint8_t> garbage(rng.UniformInt(200));
+    for (uint8_t& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.UniformInt(256));
+    }
+    // Decode must terminate without crashing or over-allocating; most
+    // buffers are rejected, and any accepted one must be internally valid
+    // (byte-identity is not required here: varints are not canonical).
+    std::optional<DecodedNodeState> decoded = TryDecodeNodeState(garbage);
+    if (decoded.has_value()) {
+      int outgoing = static_cast<int>(decoded->state.outgoing_table.size());
+      for (const RawTableEntry& entry : decoded->state.raw_table) {
+        ASSERT_GE(entry.message_id, 0);
+        ASSERT_LT(entry.message_id, outgoing);
+      }
+      for (const PartialTableEntry& entry : decoded->state.partial_table) {
+        ASSERT_GE(entry.expected_contributions, 1);
+        ASSERT_LT(entry.message_id, outgoing);
+      }
+    }
+  }
+}
+
+TEST(SerializationFuzzTest, CountPrefixBeyondBufferIsRejected) {
+  // A claimed table size far beyond the remaining bytes must be rejected
+  // up front (no reserve/loop driven by the hostile count).
+  std::vector<uint8_t> image = {0xff, 0xff, 0xff, 0xff, 0x0f};
+  EXPECT_FALSE(TryDecodeNodeState(image).has_value());
 }
 
 TEST(DisseminationTest, FullCoversAllParticipatingNodes) {
