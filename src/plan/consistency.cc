@@ -1,6 +1,9 @@
 #include "plan/consistency.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "plan/serialization.h"
 
 namespace m2m {
 
@@ -101,6 +104,35 @@ std::vector<std::string> FindPlanDivergence(const GlobalPlan& patched,
 
 bool PlansEquivalent(const GlobalPlan& a, const GlobalPlan& b) {
   return FindPlanDivergence(a, b).empty();
+}
+
+std::vector<std::string> FindEpochTransitionHazards(
+    const CompiledPlan& old_compiled, const FunctionSet& old_functions,
+    const CompiledPlan& new_compiled, const FunctionSet& new_functions) {
+  std::vector<std::string> hazards;
+  if (old_compiled.plan_epoch() != new_compiled.plan_epoch()) {
+    return hazards;  // Distinct epochs: the runtime gate separates them.
+  }
+  std::vector<std::vector<uint8_t>> old_images =
+      EncodeAllNodeStates(old_compiled, old_functions);
+  std::vector<std::vector<uint8_t>> new_images =
+      EncodeAllNodeStates(new_compiled, new_functions);
+  const size_t nodes = std::min(old_images.size(), new_images.size());
+  if (old_images.size() != new_images.size()) {
+    std::ostringstream line;
+    line << "node counts differ under one epoch: " << old_images.size()
+         << " vs " << new_images.size();
+    hazards.push_back(line.str());
+  }
+  for (size_t n = 0; n < nodes; ++n) {
+    if (ImageContentsEqual(old_images[n], new_images[n])) continue;
+    std::ostringstream line;
+    line << "node " << n << ": tables changed but plan epoch stayed "
+         << new_compiled.plan_epoch()
+         << " (mixed rounds could merge records across plans)";
+    hazards.push_back(line.str());
+  }
+  return hazards;
 }
 
 }  // namespace m2m

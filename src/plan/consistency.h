@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "plan/node_tables.h"
 #include "plan/planner.h"
 
 namespace m2m {
@@ -30,6 +31,17 @@ std::vector<std::string> FindPlanDivergence(const GlobalPlan& patched,
 
 /// True iff FindPlanDivergence is empty.
 bool PlansEquivalent(const GlobalPlan& a, const GlobalPlan& b);
+
+/// Safe-transition precondition for the self-healing epoch protocol: if two
+/// plan generations differ in any node's installed tables, they must carry
+/// distinct plan epochs — otherwise the runtime's epoch gate cannot tell
+/// their packets apart and a mixed-generation round could silently merge
+/// partial records produced under different plans. Returns human-readable
+/// violations: one entry per content-changed node whenever the two compiled
+/// plans share an epoch (empty = the transition is safe to disseminate).
+std::vector<std::string> FindEpochTransitionHazards(
+    const CompiledPlan& old_compiled, const FunctionSet& old_functions,
+    const CompiledPlan& new_compiled, const FunctionSet& new_functions);
 
 }  // namespace m2m
 

@@ -73,7 +73,8 @@ DisseminationCost ComputeIncrementalDissemination(
   std::vector<std::vector<uint8_t>> new_images =
       EncodeAllNodeStates(new_compiled, new_functions);
   for (NodeId n = 0; n < new_compiled.node_count(); ++n) {
-    if (old_images[n] == new_images[n]) continue;
+    // Content comparison: an epoch advance alone does not re-ship tables.
+    if (ImageContentsEqual(old_images[n], new_images[n])) continue;
     if (ImageIsEmptyState(new_compiled.state(n))) {
       // The node dropped out of the plan; ship a (1-byte) clear command.
       ChargeImage(paths, base_station, n, 1, energy, cost);
@@ -82,6 +83,25 @@ DisseminationCost ComputeIncrementalDissemination(
     ChargeImage(paths, base_station, n, new_images[n].size(), energy, cost);
   }
   return cost;
+}
+
+std::vector<NodeImageDelta> DiffNodeImages(
+    const std::vector<std::vector<uint8_t>>& old_images,
+    const std::vector<std::vector<uint8_t>>& new_images) {
+  M2M_CHECK_EQ(old_images.size(), new_images.size());
+  // Wire image of a NodeState with no entries: epoch 0, four zero table
+  // counts, is_destination = 0.
+  static const std::vector<uint8_t> kEmptyImage(6, 0);
+  std::vector<NodeImageDelta> deltas;
+  for (size_t n = 0; n < new_images.size(); ++n) {
+    const bool changed = !ImageContentsEqual(old_images[n], new_images[n]);
+    const bool participates =
+        !ImageContentsEqual(old_images[n], kEmptyImage) ||
+        !ImageContentsEqual(new_images[n], kEmptyImage);
+    if (!participates) continue;
+    deltas.push_back(NodeImageDelta{static_cast<NodeId>(n), changed});
+  }
+  return deltas;
 }
 
 }  // namespace m2m

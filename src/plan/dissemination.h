@@ -2,6 +2,7 @@
 #define M2M_PLAN_DISSEMINATION_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "agg/aggregate_function.h"
 #include "plan/node_tables.h"
@@ -13,6 +14,30 @@ namespace m2m {
 /// Maximum plan bytes per radio packet during dissemination; larger node
 /// images are split across packets, each paying the message header.
 inline constexpr int kDisseminationPacketPayloadBytes = 64;
+
+/// Payload bytes of an epoch-bump control packet: a node whose table
+/// content survived a re-plan unchanged receives only the new epoch (a
+/// varint), not its full image. Sized for the 5-byte worst-case varint.
+inline constexpr int kEpochBumpPayloadBytes = 5;
+
+/// One node's entry in a plan-update diff (see DiffNodeImages).
+struct NodeImageDelta {
+  NodeId node = kInvalidNode;
+  /// True: ship the full new image (table content changed). False: table
+  /// content is unchanged and only the epoch advances (ship a bump).
+  bool ship_image = false;
+};
+
+/// Content-compares per-node images of two plan generations (epoch prefixes
+/// ignored) and returns, in ascending node order, every node that must hear
+/// about the new epoch: changed nodes as ship_image = true, unchanged but
+/// participating nodes (non-empty content in either generation) as
+/// ship_image = false. Nodes with empty content in both generations hold no
+/// state and are skipped entirely. This is the unit of work the
+/// self-healing dissemination protocol retries until acked.
+std::vector<NodeImageDelta> DiffNodeImages(
+    const std::vector<std::vector<uint8_t>>& old_images,
+    const std::vector<std::vector<uint8_t>>& new_images);
 
 /// Cost of installing plan state into the network from the base station.
 struct DisseminationCost {

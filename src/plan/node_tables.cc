@@ -18,7 +18,7 @@ using Contribution = std::pair<int, int>;
 
 CompiledPlan CompiledPlan::Compile(const GlobalPlan& plan,
                                    const FunctionSet& functions,
-                                   MergePolicy policy) {
+                                   MergePolicy policy, uint32_t plan_epoch) {
   const MulticastForest& forest = plan.forest();
   MessageSchedule schedule = MessageSchedule::Build(plan, functions, policy);
   std::vector<NodeState> states(forest.node_count());
@@ -131,7 +131,7 @@ CompiledPlan CompiledPlan::Compile(const GlobalPlan& plan,
   }
 
   return CompiledPlan(std::make_shared<GlobalPlan>(plan),
-                      std::move(schedule), std::move(states));
+                      std::move(schedule), std::move(states), plan_epoch);
 }
 
 const NodeState& CompiledPlan::state(NodeId node) const {

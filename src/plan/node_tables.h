@@ -1,6 +1,7 @@
 #ifndef M2M_PLAN_NODE_TABLES_H_
 #define M2M_PLAN_NODE_TABLES_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "agg/aggregate_function.h"
@@ -81,10 +82,15 @@ struct StateTotals {
 /// everything a node needs at runtime.
 class CompiledPlan {
  public:
+  /// `plan_epoch` versions the compiled tables for failure handling: every
+  /// base-station re-plan compiles with a bumped epoch, the epoch is stamped
+  /// into each node's wire image, and the runtime refuses to merge partials
+  /// across epochs (see docs/THEORY.md section 8).
   static CompiledPlan Compile(const GlobalPlan& plan,
                               const FunctionSet& functions,
                               MergePolicy policy =
-                                  MergePolicy::kGreedyMergePerEdge);
+                                  MergePolicy::kGreedyMergePerEdge,
+                              uint32_t plan_epoch = 0);
 
   CompiledPlan(const CompiledPlan&) = default;
   CompiledPlan& operator=(const CompiledPlan&) = default;
@@ -93,19 +99,23 @@ class CompiledPlan {
   const MessageSchedule& schedule() const { return schedule_; }
   const NodeState& state(NodeId node) const;
   int node_count() const { return static_cast<int>(states_.size()); }
+  uint32_t plan_epoch() const { return plan_epoch_; }
 
   StateTotals ComputeStateTotals() const;
 
  private:
   CompiledPlan(std::shared_ptr<const GlobalPlan> plan,
-               MessageSchedule schedule, std::vector<NodeState> states)
+               MessageSchedule schedule, std::vector<NodeState> states,
+               uint32_t plan_epoch)
       : plan_(std::move(plan)),
         schedule_(std::move(schedule)),
-        states_(std::move(states)) {}
+        states_(std::move(states)),
+        plan_epoch_(plan_epoch) {}
 
   std::shared_ptr<const GlobalPlan> plan_;
   MessageSchedule schedule_;
   std::vector<NodeState> states_;
+  uint32_t plan_epoch_ = 0;
 };
 
 }  // namespace m2m

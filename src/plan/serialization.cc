@@ -1,5 +1,6 @@
 #include "plan/serialization.h"
 
+#include <algorithm>
 #include <map>
 
 #include "common/bytes.h"
@@ -8,7 +9,8 @@
 namespace m2m {
 
 std::vector<uint8_t> EncodeNodeState(const NodeState& state,
-                                     const FunctionSet& functions) {
+                                     const FunctionSet& functions,
+                                     uint32_t plan_epoch) {
   // Global message id -> node-local outgoing index.
   std::map<int, int> local_id;
   for (size_t i = 0; i < state.outgoing_table.size(); ++i) {
@@ -22,6 +24,7 @@ std::vector<uint8_t> EncodeNodeState(const NodeState& state,
   };
 
   ByteWriter writer;
+  writer.WriteVarint(plan_epoch);
   writer.WriteVarint(state.raw_table.size());
   for (const RawTableEntry& entry : state.raw_table) {
     writer.WriteVarint(static_cast<uint64_t>(entry.source));
@@ -126,6 +129,9 @@ std::optional<DecodedNodeState> TryDecodeNodeState(
     const std::vector<uint8_t>& bytes) {
   SafeByteReader reader(bytes);
   DecodedNodeState decoded;
+  uint64_t epoch = reader.ReadVarint();
+  if (!reader.ok || epoch > 0xffffffffull) return std::nullopt;
+  decoded.plan_epoch = static_cast<uint32_t>(epoch);
   uint64_t raw_count = reader.ReadVarint();
   // Every entry occupies at least two bytes; a count beyond the remaining
   // bytes is corrupt and must not drive the reserve/loop below.
@@ -194,6 +200,7 @@ std::vector<uint8_t> EncodeDecodedNodeState(const DecodedNodeState& decoded) {
   M2M_CHECK_EQ(decoded.partial_kinds.size(),
                decoded.state.partial_table.size());
   ByteWriter writer;
+  writer.WriteVarint(decoded.plan_epoch);
   writer.WriteVarint(decoded.state.raw_table.size());
   for (const RawTableEntry& entry : decoded.state.raw_table) {
     writer.WriteVarint(static_cast<uint64_t>(entry.source));
@@ -231,9 +238,25 @@ std::vector<std::vector<uint8_t>> EncodeAllNodeStates(
   std::vector<std::vector<uint8_t>> images;
   images.reserve(compiled.node_count());
   for (NodeId n = 0; n < compiled.node_count(); ++n) {
-    images.push_back(EncodeNodeState(compiled.state(n), functions));
+    images.push_back(
+        EncodeNodeState(compiled.state(n), functions, compiled.plan_epoch()));
   }
   return images;
+}
+
+bool ImageContentsEqual(const std::vector<uint8_t>& a,
+                        const std::vector<uint8_t>& b) {
+  // Skip the leading epoch varint of each image.
+  auto body_start = [](const std::vector<uint8_t>& image) {
+    size_t i = 0;
+    while (i < image.size() && (image[i] & 0x80) != 0) ++i;
+    return std::min(i + 1, image.size());  // Past the varint's last byte.
+  };
+  size_t sa = body_start(a);
+  size_t sb = body_start(b);
+  if (a.size() - sa != b.size() - sb) return false;
+  return std::equal(a.begin() + static_cast<ptrdiff_t>(sa), a.end(),
+                    b.begin() + static_cast<ptrdiff_t>(sb));
 }
 
 }  // namespace m2m

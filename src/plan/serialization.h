@@ -20,6 +20,7 @@ namespace m2m {
 /// dissemination cheap after localized plan updates (Corollary 1).
 ///
 /// Layout (all multi-byte integers little-endian, counts as varints):
+///   varint plan_epoch
 ///   varint raw_count        { varint source; varint local_msg }*
 ///   varint preagg_count     { varint source; varint destination;
 ///                             u8 kind; f32 weight; f32 param }*
@@ -33,8 +34,14 @@ namespace m2m {
 /// (function kind + weight + kind parameter) and partial entries the merge/
 /// evaluate kind m_d/e_d, so a node can execute the plan from the image
 /// alone (see runtime/NodeRuntime).
+///
+/// `plan_epoch` versions the plan the tables belong to (failure handling:
+/// each base-station re-plan bumps the epoch, and the runtime refuses to
+/// merge records across epochs). The epoch rides ahead of the table body so
+/// plan *content* can be compared across epochs with ImageContentsEqual.
 std::vector<uint8_t> EncodeNodeState(const NodeState& state,
-                                     const FunctionSet& functions);
+                                     const FunctionSet& functions,
+                                     uint32_t plan_epoch = 0);
 
 /// Function metadata serialized with one pre-aggregation entry.
 struct DecodedPreAggMeta {
@@ -51,6 +58,8 @@ struct DecodedNodeState {
   NodeState state;
   std::vector<DecodedPreAggMeta> preagg_meta;
   std::vector<uint8_t> partial_kinds;
+  /// Version of the plan these tables were compiled from.
+  uint32_t plan_epoch = 0;
 };
 
 DecodedNodeState DecodeNodeState(const std::vector<uint8_t>& bytes);
@@ -68,9 +77,18 @@ std::optional<DecodedNodeState> TryDecodeNodeState(
 /// produced by EncodeNodeState, decode + re-encode is byte-identical.
 std::vector<uint8_t> EncodeDecodedNodeState(const DecodedNodeState& decoded);
 
-/// Wire images for every node of a compiled plan, indexed by node id.
+/// Wire images for every node of a compiled plan, indexed by node id and
+/// stamped with the compiled plan's epoch.
 std::vector<std::vector<uint8_t>> EncodeAllNodeStates(
     const CompiledPlan& compiled, const FunctionSet& functions);
+
+/// True iff two images carry the same table *content*, ignoring the plan
+/// epoch prefix. Incremental dissemination diffs on content: a re-plan that
+/// leaves a node's role unchanged must not re-ship its tables just because
+/// the epoch advanced (Corollary 1 keeps the shipped diff small); such
+/// nodes receive only a fixed-size epoch-bump control packet.
+bool ImageContentsEqual(const std::vector<uint8_t>& a,
+                        const std::vector<uint8_t>& b);
 
 }  // namespace m2m
 

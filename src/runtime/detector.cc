@@ -1,0 +1,89 @@
+#include "runtime/detector.h"
+
+#include "common/check.h"
+
+namespace m2m {
+
+FailureDetector::FailureDetector(const Topology& topology,
+                                 DetectorOptions options)
+    : topology_(&topology), options_(options) {
+  M2M_CHECK_GE(options_.suspicion_threshold, 1);
+  M2M_CHECK_GE(options_.probe_attempts, 1);
+}
+
+FailureDetector::RoundReport FailureDetector::ObserveRound(
+    int round, const std::set<std::pair<NodeId, NodeId>>& heard,
+    const AttemptDelivers& attempt_delivers,
+    const std::function<bool(NodeId)>& node_active) {
+  M2M_CHECK(attempt_delivers != nullptr);
+  RoundReport report;
+  for (NodeId monitor = 0; monitor < topology_->node_count(); ++monitor) {
+    if (node_active != nullptr && !node_active(monitor)) continue;
+    for (NodeId neighbor : topology_->neighbors(monitor)) {
+      const std::pair<NodeId, NodeId> link{monitor, neighbor};
+      if (suspected_.contains(link)) continue;  // Sticky; stop probing.
+
+      // Free evidence first: did the monitor overhear the neighbor during
+      // the round's data/ack traffic?
+      bool evidence = heard.contains({neighbor, monitor});
+
+      if (!evidence) {
+        // Silent neighbor: run the explicit probe exchange. The monitor
+        // transmits probes until one gets through, then the neighbor
+        // transmits replies until one gets through. Each leg burns real
+        // transmissions, which the report charges.
+        bool probe_received = false;
+        for (int k = 1; k <= options_.probe_attempts; ++k) {
+          report.probe_transmissions += 1;
+          if (attempt_delivers(monitor, neighbor, kProbeAttemptBase + k)) {
+            probe_received = true;
+            break;
+          }
+        }
+        if (probe_received) {
+          for (int k = 1; k <= options_.probe_attempts; ++k) {
+            report.probe_transmissions += 1;
+            if (attempt_delivers(neighbor, monitor,
+                                 kProbeReplyAttemptBase + k)) {
+              evidence = true;
+              break;
+            }
+          }
+        }
+        if (evidence) report.probe_confirmations += 1;
+      }
+
+      if (evidence) {
+        missed_[link] = 0;
+        continue;
+      }
+      const int missed = ++missed_[link];
+      if (missed >= options_.suspicion_threshold) {
+        suspected_.emplace(link, round);
+        report.new_suspicions.push_back(
+            SuspectedLink{monitor, neighbor, round});
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<SuspectedLink> FailureDetector::suspicions() const {
+  std::vector<SuspectedLink> out;
+  out.reserve(suspected_.size());
+  for (const auto& [link, round] : suspected_) {
+    out.push_back(SuspectedLink{link.first, link.second, round});
+  }
+  return out;
+}
+
+bool FailureDetector::Suspects(NodeId monitor, NodeId neighbor) const {
+  return suspected_.contains({monitor, neighbor});
+}
+
+int FailureDetector::missed_rounds(NodeId monitor, NodeId neighbor) const {
+  auto it = missed_.find({monitor, neighbor});
+  return it == missed_.end() ? 0 : it->second;
+}
+
+}  // namespace m2m

@@ -1,0 +1,127 @@
+#ifndef M2M_RUNTIME_DETECTOR_H_
+#define M2M_RUNTIME_DETECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/topology.h"
+
+namespace m2m {
+
+/// Tuning knobs for the in-network failure detector.
+struct DetectorOptions {
+  /// Consecutive silent rounds (no heartbeat evidence and every probe
+  /// exchange failed) before a monitor suspects the link to a neighbor.
+  /// Higher values trade detection latency for fewer false suspicions under
+  /// heavy transient loss.
+  int suspicion_threshold = 2;
+  /// Transmission attempts per probe and per probe reply each round. With
+  /// per-attempt drop probability p, a live neighbor stays silent for a
+  /// whole round only with probability ~2 p^probe_attempts.
+  int probe_attempts = 8;
+};
+
+/// One monitor's verdict about the directed link to a topology neighbor.
+struct SuspectedLink {
+  NodeId monitor = kInvalidNode;
+  NodeId neighbor = kInvalidNode;
+  /// Round at which the monitor's missed count crossed the threshold.
+  int round = -1;
+
+  friend bool operator==(const SuspectedLink&, const SuspectedLink&) =
+      default;
+  friend auto operator<=>(const SuspectedLink&, const SuspectedLink&) =
+      default;
+};
+
+/// Paper section 3's failure *detection* half, run in-network: every node
+/// monitors its topology neighbors using two evidence sources and no oracle:
+///
+///   1. Piggybacked heartbeats — any transmission heard from a neighbor
+///      during normal round traffic (data hop, ack hop) proves it alive.
+///      This is free: it reuses the packets the aggregation already sends.
+///   2. Explicit probes — when a neighbor was silent all round (it may
+///      simply have no traffic routed this way), the monitor sends up to
+///      `probe_attempts` probe packets; a live neighbor answers with a
+///      probe reply (again up to `probe_attempts` attempts). Only when the
+///      whole exchange fails does the round count as missed.
+///
+/// A neighbor missed `suspicion_threshold` consecutive rounds becomes a
+/// *sticky* suspicion: persistent failures in this model never heal, so a
+/// suspicion is never retracted (and the monitor stops probing the link,
+/// bounding steady-state probe traffic). Transient losses are expected to
+/// be absorbed by the probe retries; the threshold absorbs the tail.
+///
+/// The class simulates the per-node monitors centrally but gives each
+/// monitor only locally observable inputs: which neighbors it heard, and
+/// the outcome of its own probe transmissions. It never reads the fault
+/// schedule's event list.
+class FailureDetector {
+ public:
+  FailureDetector(const Topology& topology, DetectorOptions options = {});
+
+  /// Physical outcome of one probe-sized transmission attempt on a directed
+  /// link (1-based attempt index). Must already account for dead endpoints:
+  /// a transmission from or to a dead node never delivers. Must be pure for
+  /// reproducibility. Attempt indices are drawn from a dedicated namespace
+  /// (1000+ for probes, 1500+ for replies) so probe outcomes are
+  /// independent of the round's data-traffic outcomes.
+  using AttemptDelivers =
+      std::function<bool(NodeId from, NodeId to, int attempt)>;
+
+  struct RoundReport {
+    /// Suspicions newly raised this round, ordered by (monitor, neighbor).
+    std::vector<SuspectedLink> new_suspicions;
+    /// Probe packets transmitted (attempts, both probes and replies) — the
+    /// detector's traffic overhead for this round.
+    int64_t probe_transmissions = 0;
+    /// Probe exchanges that produced evidence of life.
+    int64_t probe_confirmations = 0;
+  };
+
+  /// Feeds one round of observations to every live monitor. `heard` is the
+  /// round's heartbeat evidence: directed pairs (from, to) where `to` heard
+  /// at least one transmission by `from` (RuntimeNetwork::LossyResult::
+  /// heard). `node_active` says whether a node ran this round at all (a
+  /// physically dead node executes nothing, so it neither monitors nor
+  /// probes); it models the node's own state, not knowledge of others.
+  RoundReport ObserveRound(int round,
+                           const std::set<std::pair<NodeId, NodeId>>& heard,
+                           const AttemptDelivers& attempt_delivers,
+                           const std::function<bool(NodeId)>& node_active);
+
+  /// All sticky suspicions raised so far, ordered by (monitor, neighbor).
+  std::vector<SuspectedLink> suspicions() const;
+
+  /// True iff `monitor` currently suspects its link to `neighbor`.
+  bool Suspects(NodeId monitor, NodeId neighbor) const;
+
+  /// Consecutive missed rounds for a directed monitor->neighbor pair.
+  int missed_rounds(NodeId monitor, NodeId neighbor) const;
+
+  const DetectorOptions& options() const { return options_; }
+
+  /// First attempt index of the probe / probe-reply attempt namespaces.
+  /// Data traffic uses small positive attempt indices; keeping probes in a
+  /// disjoint range makes their outcomes independent draws from the same
+  /// pure link function.
+  static constexpr int kProbeAttemptBase = 1000;
+  static constexpr int kProbeReplyAttemptBase = 1500;
+
+ private:
+  const Topology* topology_;
+  DetectorOptions options_;
+  /// (monitor, neighbor) -> consecutive rounds without evidence of life.
+  std::map<std::pair<NodeId, NodeId>, int> missed_;
+  /// Sticky suspicions keyed (monitor, neighbor), with the raising round.
+  std::map<std::pair<NodeId, NodeId>, int> suspected_;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_RUNTIME_DETECTOR_H_

@@ -39,6 +39,32 @@ RuntimeNetwork::RuntimeNetwork(const CompiledPlan& compiled,
   }
 }
 
+void RuntimeNetwork::InstallNodeImage(NodeId node,
+                                      const std::vector<uint8_t>& image,
+                                      std::vector<std::vector<NodeId>> segments) {
+  M2M_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
+  nodes_[node].InstallImage(image);
+  const size_t outgoing = nodes_[node].decoded().state.outgoing_table.size();
+  M2M_CHECK_EQ(segments.size(), outgoing)
+      << "node " << node << ": segment routes do not match outgoing table";
+  message_hops_[node].clear();
+  message_segments_[node] = std::move(segments);
+  for (const std::vector<NodeId>& segment : message_segments_[node]) {
+    M2M_CHECK_GE(segment.size(), 2u);
+    message_hops_[node].push_back(static_cast<int>(segment.size()) - 1);
+  }
+}
+
+uint32_t RuntimeNetwork::plan_epoch(NodeId node) const {
+  M2M_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
+  return nodes_[node].plan_epoch();
+}
+
+const NodeRuntime& RuntimeNetwork::node_runtime(NodeId node) const {
+  M2M_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
+  return nodes_[node];
+}
+
 RuntimeNetwork::Result RuntimeNetwork::RunRound(
     const std::vector<double>& readings, const EnergyModel& energy) {
   M2M_CHECK_EQ(readings.size(), nodes_.size());
@@ -106,6 +132,7 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
   struct Transfer {
     NodeId sender = kInvalidNode;
     NodeRuntime::OutgoingPacket packet;
+    uint32_t epoch = 0;  ///< Sender's plan epoch, stamped at emission.
     int attempts_made = 0;
     bool delivered_once = false;
   };
@@ -114,10 +141,24 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
   std::map<int, std::vector<size_t>> agenda;
   auto collect = [&](NodeRuntime& node, int tick) {
     for (NodeRuntime::OutgoingPacket& packet : node.DrainReadyPackets()) {
-      transfers.push_back(Transfer{node.id(), std::move(packet)});
+      transfers.push_back(
+          Transfer{node.id(), std::move(packet), node.plan_epoch()});
       agenda[tick].push_back(transfers.size() - 1);
     }
   };
+
+  // Latest lag (in ticks) between a receiver first seeing a message and the
+  // sender's final possible retransmission arriving: the sum of all backoff
+  // waits. A dedup entry older than this can never see another duplicate,
+  // so it is safe to evict — this is what bounds the dedup table.
+  int64_t retry_horizon_ticks = 1;
+  {
+    int64_t wait = retry.ack_timeout_ticks;
+    for (int k = 1; k < retry.max_attempts; ++k) {
+      retry_horizon_ticks += wait;
+      wait *= retry.backoff_factor;
+    }
+  }
 
   for (NodeRuntime& node : nodes_) {
     if (!alive(node.id())) continue;
@@ -129,6 +170,14 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     auto agenda_it = agenda.begin();
     const int tick = agenda_it->first;
     result.final_tick = tick;
+    // Dedup entries older than the retry horizon can never be duplicated
+    // again; drop them so the table stays O(in-flight), not O(received).
+    if (tick > retry_horizon_ticks) {
+      const int evict_before = tick - static_cast<int>(retry_horizon_ticks);
+      for (NodeRuntime& node : nodes_) {
+        node.EvictSeenPacketsBefore(evict_before);
+      }
+    }
     // Entries may be appended to this tick's list while we walk it (a
     // delivery can trigger a same-tick... it cannot: triggered sends land
     // at tick + 1 — but index-walk anyway so growth is safe).
@@ -158,6 +207,8 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
             break;
           }
           ++hops_crossed;
+          // Heartbeat evidence: segment[h+1] heard segment[h] transmit.
+          result.heard.emplace(segment[h], segment[h + 1]);
         }
       }
       result.energy_mj += hops_crossed * energy.UnicastHopUj(payload) / 1000.0;
@@ -171,15 +222,26 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
         result.deliveries += 1;
         result.payload_bytes += payload;
         NodeRuntime& recipient = nodes_[packet_recipient];
-        bool fresh = recipient.OnReceiveOnce(
-            sender, message_id, transfers[index].packet.payload);
-        if (fresh) {
-          transfers[index].delivered_once = true;
-          collect(recipient, tick + 1);
-          outcome = "rx";
-        } else {
-          result.duplicates += 1;
-          outcome = "dup";
+        switch (recipient.OnReceiveOnce(sender, message_id,
+                                        transfers[index].epoch,
+                                        transfers[index].packet.payload,
+                                        tick)) {
+          case NodeRuntime::ReceiveOutcome::kFresh:
+            transfers[index].delivered_once = true;
+            collect(recipient, tick + 1);
+            outcome = "rx";
+            break;
+          case NodeRuntime::ReceiveOutcome::kDuplicate:
+            result.duplicates += 1;
+            outcome = "dup";
+            break;
+          case NodeRuntime::ReceiveOutcome::kEpochMismatch:
+            // Dropped whole, but still acked below: the mismatch is a plan
+            // generation gap, not a link failure — retrying cannot help.
+            transfers[index].delivered_once = true;
+            result.epoch_rejected += 1;
+            outcome = "epoch";
+            break;
         }
         // Ack travels the segment in reverse; header-only payload.
         acked = true;
@@ -190,6 +252,7 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
             break;
           }
           ++ack_hops;
+          result.heard.emplace(segment[h], segment[h - 1]);
         }
         result.energy_mj += ack_hops * energy.UnicastHopUj(0) / 1000.0;
         if (!acked) {
@@ -235,6 +298,7 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     std::optional<double> value = node.FinalValue();
     if (value.has_value()) {
       result.destination_values[node.id()] = *value;
+      result.destination_epochs[node.id()] = node.plan_epoch();
     } else {
       result.incomplete_destinations.push_back(node.id());
     }

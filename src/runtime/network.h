@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "agg/aggregate_function.h"
@@ -71,6 +73,10 @@ class RuntimeNetwork {
   struct LossyResult {
     /// Destinations whose aggregate completed (alive destinations only).
     std::unordered_map<NodeId, double> destination_values;
+    /// Plan epoch each completed value was computed under. The epoch gate
+    /// makes every value attributable to exactly one epoch even when the
+    /// round ran with nodes on mixed plan generations.
+    std::unordered_map<NodeId, uint32_t> destination_epochs;
     /// Alive destinations that never completed (some contribution was lost
     /// after all retries).
     std::vector<NodeId> incomplete_destinations;
@@ -80,9 +86,17 @@ class RuntimeNetwork {
     int64_t retransmissions = 0;  ///< Attempts beyond each message's first.
     int64_t acks_lost = 0;        ///< Delivered packets whose ack dropped.
     int64_t messages_abandoned = 0;  ///< Never delivered within the budget.
+    /// Delivered packets dropped whole by the receiver's epoch gate (the
+    /// sender ran a different plan generation; acked so retries stop).
+    int64_t epoch_rejected = 0;
     int64_t payload_bytes = 0;       ///< Payload bytes of delivered copies.
     double energy_mj = 0.0;
     int final_tick = 0;
+    /// Directed physical hops (from, to) over which `to` heard at least one
+    /// transmission this round (data hops, ack hops, final deliveries).
+    /// This is the piggybacked-heartbeat evidence the failure detector
+    /// consumes: a neighbor heard this round is certainly alive.
+    std::set<std::pair<NodeId, NodeId>> heard;
   };
 
   /// Runs one round under `links` with stop-and-wait ack/retry per message
@@ -100,6 +114,19 @@ class RuntimeNetwork {
 
   /// Total bytes of all installed node images (the dissemination payload).
   int64_t installed_image_bytes() const { return installed_image_bytes_; }
+
+  /// Installs a new plan image at one node mid-deployment (epoch
+  /// transition). `segments` are the physical routes of the node's outgoing
+  /// messages under the new plan, indexed by node-local message id — the
+  /// communication-layer half of the state the image's tables reference.
+  /// Idempotent for the already-installed epoch.
+  void InstallNodeImage(NodeId node, const std::vector<uint8_t>& image,
+                        std::vector<std::vector<NodeId>> segments);
+
+  /// Plan epoch currently installed at `node`.
+  uint32_t plan_epoch(NodeId node) const;
+
+  const NodeRuntime& node_runtime(NodeId node) const;
 
  private:
   std::vector<NodeRuntime> nodes_;

@@ -1,5 +1,7 @@
 #include "runtime/node_runtime.h"
 
+#include <utility>
+
 #include "common/bytes.h"
 #include "common/check.h"
 #include "runtime/wire_functions.h"
@@ -21,6 +23,23 @@ uint8_t MakeTag(bool is_partial, int field_count) {
 
 NodeRuntime::NodeRuntime(NodeId id, const std::vector<uint8_t>& image)
     : id_(id), state_(DecodeNodeState(image)) {}
+
+void NodeRuntime::InstallImage(const std::vector<uint8_t>& image) {
+  DecodedNodeState incoming = DecodeNodeState(image);
+  if (incoming.plan_epoch == state_.plan_epoch) return;  // Duplicate.
+  state_ = std::move(incoming);
+  // Epoch transition: drop all round state. Old-epoch partials must not
+  // survive into the new plan (no cross-epoch merges), and message ids /
+  // accumulator shapes may have changed anyway.
+  round_active_ = false;
+  raw_values_.clear();
+  accumulators_.clear();
+  ready_units_.clear();
+  complete_messages_.clear();
+  pending_emits_.clear();
+  final_value_.reset();
+  seen_packets_.clear();
+}
 
 void NodeRuntime::StartRound(double reading) {
   round_active_ = true;
@@ -171,13 +190,39 @@ void NodeRuntime::OnReceive(const std::vector<uint8_t>& packet) {
   M2M_CHECK(reader.AtEnd()) << "trailing bytes in data packet";
 }
 
-bool NodeRuntime::OnReceiveOnce(NodeId sender, int sender_message_id,
-                                const std::vector<uint8_t>& packet) {
+NodeRuntime::ReceiveOutcome NodeRuntime::OnReceiveOnce(
+    NodeId sender, int sender_message_id, uint32_t sender_epoch,
+    const std::vector<uint8_t>& packet, int tick) {
+  // Epoch gate first: a packet from another plan generation must not touch
+  // this node's tables (its units reference the sender's plan, and merging
+  // them here would blend two plans into one aggregate). The link layer
+  // still acks it so the sender stops retrying.
+  if (sender_epoch != state_.plan_epoch) {
+    return ReceiveOutcome::kEpochMismatch;
+  }
   uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(sender)) << 32) |
                  static_cast<uint32_t>(sender_message_id);
-  if (!seen_packets_.insert(key).second) return false;
+  auto [it, fresh] = seen_packets_.emplace(key, tick);
+  it->second = tick;  // Refresh the horizon on duplicates too.
+  if (!fresh) return ReceiveOutcome::kDuplicate;
   OnReceive(packet);
-  return true;
+  return ReceiveOutcome::kFresh;
+}
+
+bool NodeRuntime::OnReceiveOnce(NodeId sender, int sender_message_id,
+                                const std::vector<uint8_t>& packet) {
+  return OnReceiveOnce(sender, sender_message_id, state_.plan_epoch, packet,
+                       /*tick=*/0) == ReceiveOutcome::kFresh;
+}
+
+void NodeRuntime::EvictSeenPacketsBefore(int tick) {
+  for (auto it = seen_packets_.begin(); it != seen_packets_.end();) {
+    if (it->second < tick) {
+      it = seen_packets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::optional<double> NodeRuntime::FinalValue() const {

@@ -40,6 +40,17 @@ class NodeRuntime {
   NodeId id() const { return id_; }
   bool is_destination() const { return state_.state.is_destination; }
   const DecodedNodeState& decoded() const { return state_; }
+  /// Epoch of the installed plan image (stamped by EncodeNodeState).
+  uint32_t plan_epoch() const { return state_.plan_epoch; }
+
+  /// Installs a new plan image mid-deployment (epoch transition, paper
+  /// section 3 failure handling). All in-progress round state — including
+  /// partially merged accumulators of the previous epoch — is dropped: a
+  /// partial record is only attributable to the plan that produced it, so
+  /// carrying it into the new epoch could silently merge records from
+  /// different plans. Re-installing the currently installed image is a
+  /// no-op (idempotent against duplicated dissemination packets).
+  void InstallImage(const std::vector<uint8_t>& image);
 
   void StartRound(double reading);
 
@@ -48,13 +59,39 @@ class NodeRuntime {
   /// OnReceiveOnce when the link layer may deliver duplicates.
   void OnReceive(const std::vector<uint8_t>& packet);
 
-  /// Duplicate-suppressing receive for lossy links: a retransmission of a
-  /// (sender, sender-local message id) pair already seen this round is
-  /// ignored (the sender repeats a message when its ack is lost, so the
-  /// receiver must treat packets idempotently). Returns true iff the packet
-  /// was fresh and processed.
+  /// Outcome of a duplicate-suppressing receive.
+  enum class ReceiveOutcome {
+    kFresh,          ///< New packet, decoded and merged.
+    kDuplicate,      ///< Retransmission of an already-seen packet; ignored.
+    kEpochMismatch,  ///< Sender runs a different plan epoch; dropped whole.
+  };
+
+  /// Duplicate-suppressing, epoch-gated receive for lossy links: a
+  /// retransmission of a (sender, sender-local message id) pair already
+  /// seen this round is ignored (the sender repeats a message when its ack
+  /// is lost, so the receiver must treat packets idempotently), and a
+  /// packet stamped with a plan epoch other than this node's is dropped
+  /// without decoding — during a plan transition, units from the old and
+  /// the new plan must never merge into one aggregate. `tick` timestamps
+  /// the dedup entry so EvictSeenPacketsBefore can bound the table.
+  ReceiveOutcome OnReceiveOnce(NodeId sender, int sender_message_id,
+                               uint32_t sender_epoch,
+                               const std::vector<uint8_t>& packet,
+                               int tick);
+
+  /// Back-compat shim: same-epoch receive at tick 0. Returns true iff the
+  /// packet was fresh and processed.
   bool OnReceiveOnce(NodeId sender, int sender_message_id,
                      const std::vector<uint8_t>& packet);
+
+  /// Drops dedup entries last refreshed before `tick`. Safe once `tick` is
+  /// beyond the retry horizon (the latest tick at which a sender could
+  /// still retransmit the message), which keeps the table at O(messages in
+  /// flight) instead of O(messages ever received) in long lossy runs.
+  void EvictSeenPacketsBefore(int tick);
+
+  /// Current dedup-table size (regression guard for the eviction bound).
+  size_t seen_packet_count() const { return seen_packets_.size(); }
 
   struct OutgoingPacket {
     int local_message_id = -1;
@@ -105,8 +142,10 @@ class NodeRuntime {
   std::set<int> complete_messages_;
   std::vector<int> pending_emits_;
   std::optional<double> final_value_;
-  /// (sender, sender-local message id) pairs received this round.
-  std::set<uint64_t> seen_packets_;
+  /// (sender, sender-local message id) -> tick last received. Entries are
+  /// evicted once the sender's retry horizon has passed (EvictSeenPackets-
+  /// Before), bounding the table in long-running lossy simulations.
+  std::map<uint64_t, int> seen_packets_;
 };
 
 }  // namespace m2m

@@ -2,6 +2,9 @@
 #define M2M_RUNTIME_WIRE_FUNCTIONS_H_
 
 #include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "agg/partial_record.h"
 #include "common/ids.h"
@@ -28,6 +31,40 @@ PartialRecord Merge(uint8_t kind, const PartialRecord& a,
 
 /// e_d: final value from a fully merged record.
 double Evaluate(uint8_t kind, const PartialRecord& record);
+
+// --- Control-plane wire formats (self-healing protocol) ---
+//
+// These messages ride the same lossy links as data traffic; the encodings
+// give the control plane byte-accurate payload sizes for energy/overhead
+// accounting. All Try-decoders return nullopt on malformed input instead of
+// CHECK-failing (control packets cross a lossy network).
+
+/// A monitor's accumulated suspicions, shipped to the base station.
+struct SuspicionReport {
+  NodeId monitor = kInvalidNode;
+  /// (suspected neighbor, round the suspicion was raised), sorted by
+  /// neighbor id.
+  std::vector<std::pair<NodeId, int>> entries;
+
+  friend bool operator==(const SuspicionReport&, const SuspicionReport&) =
+      default;
+};
+
+std::vector<uint8_t> EncodeSuspicionReport(const SuspicionReport& report);
+std::optional<SuspicionReport> TryDecodeSuspicionReport(
+    const std::vector<uint8_t>& bytes);
+
+/// Epoch-bump command: "re-stamp your installed tables with this epoch".
+/// Sent to nodes whose table contents are unchanged by a re-plan, so the
+/// full image need not travel (Corollary 1 keeps this the common case).
+/// Always exactly kEpochBumpPayloadBytes (plan/dissemination.h) long.
+std::vector<uint8_t> EncodeEpochBump(uint32_t epoch);
+std::optional<uint32_t> TryDecodeEpochBump(const std::vector<uint8_t>& bytes);
+
+/// Install acknowledgment: `node` confirms it runs plan epoch `epoch`.
+std::vector<uint8_t> EncodeInstallAck(NodeId node, uint32_t epoch);
+std::optional<std::pair<NodeId, uint32_t>> TryDecodeInstallAck(
+    const std::vector<uint8_t>& bytes);
 
 }  // namespace m2m::wire
 

@@ -1,5 +1,6 @@
 #include "sim/base_station.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -75,6 +76,41 @@ BaseStationRoundResult SimulateBaseStationRound(const Topology& topology,
 
   result.energy_mj = result.uplink_mj + result.downlink_mj;
   return result;
+}
+
+SuspicionLedger::SuspicionLedger(const Topology* topology,
+                                 NodeId base_station)
+    : topology_(topology), base_(base_station) {
+  M2M_CHECK(topology_ != nullptr);
+  M2M_CHECK(base_ >= 0 && base_ < topology_->node_count());
+}
+
+bool SuspicionLedger::RecordSuspicion(NodeId monitor, NodeId neighbor) {
+  M2M_CHECK(topology_->AreNeighbors(monitor, neighbor))
+      << "suspicion for a non-link " << monitor << "-" << neighbor;
+  std::pair<NodeId, NodeId> link{std::min(monitor, neighbor),
+                                 std::max(monitor, neighbor)};
+  if (!reported_.insert(link).second) return false;
+  Recompute();
+  ++revision_;
+  return true;
+}
+
+void SuspicionLedger::Recompute() {
+  links_.assign(reported_.begin(), reported_.end());
+  // Dead-node inference: mask only the believed links, then everything the
+  // base station can no longer reach must be dead (survivors stay
+  // connected by the deployment invariant).
+  Topology masked = Topology::WithFailures(*topology_, links_, {});
+  std::vector<int> distance = masked.HopDistancesFrom(base_);
+  dead_.clear();
+  for (NodeId n = 0; n < topology_->node_count(); ++n) {
+    if (distance[n] < 0) dead_.push_back(n);
+  }
+}
+
+Topology SuspicionLedger::BelievedTopology() const {
+  return Topology::WithFailures(*topology_, links_, dead_);
 }
 
 }  // namespace m2m

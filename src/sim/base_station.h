@@ -2,6 +2,8 @@
 #define M2M_SIM_BASE_STATION_H_
 
 #include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -43,6 +45,55 @@ BaseStationRoundResult SimulateBaseStationRound(const Topology& topology,
                                                 const Workload& workload,
                                                 NodeId base_station,
                                                 const EnergyModel& energy);
+
+/// The base station's accumulated picture of network health, built solely
+/// from in-network suspicion reports (runtime/detector.h) — never from the
+/// fault schedule. Two beliefs fall out of the reports:
+///
+///   - believed failed links: the union of reported (monitor, neighbor)
+///     pairs, normalized to undirected links;
+///   - believed dead nodes: nodes unreachable from the base station in the
+///     deployment topology minus the believed-failed links. This inference
+///     is sound under the deployment invariant that survivors stay
+///     connected (fault_schedule.h): a node every path to which crosses a
+///     suspected link can only be a node whose links all failed — i.e. a
+///     dead node, since its neighbors each reported their link to it.
+///
+/// Each change to the belief set bumps `revision`, which is the base
+/// station's trigger to re-plan and open a new plan epoch.
+class SuspicionLedger {
+ public:
+  SuspicionLedger(const Topology* topology, NodeId base_station);
+
+  /// Records one reported suspicion. Returns true iff it was new (its
+  /// undirected link was not yet believed failed).
+  bool RecordSuspicion(NodeId monitor, NodeId neighbor);
+
+  /// Undirected believed-failed links, sorted (lo, hi).
+  const std::vector<std::pair<NodeId, NodeId>>& believed_failed_links()
+      const {
+    return links_;
+  }
+
+  /// Nodes the base station believes dead, sorted by id.
+  const std::vector<NodeId>& believed_dead() const { return dead_; }
+
+  /// The failure-masked topology the base station plans against.
+  Topology BelievedTopology() const;
+
+  /// Bumped on every belief change; equal revisions mean equal beliefs.
+  int revision() const { return revision_; }
+
+ private:
+  void Recompute();
+
+  const Topology* topology_;
+  NodeId base_;
+  std::set<std::pair<NodeId, NodeId>> reported_;  // Normalized (lo, hi).
+  std::vector<std::pair<NodeId, NodeId>> links_;
+  std::vector<NodeId> dead_;
+  int revision_ = 0;
+};
 
 }  // namespace m2m
 

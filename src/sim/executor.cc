@@ -112,6 +112,7 @@ RoundResult PlanExecutor::RunRound(const std::vector<double>& readings,
   const MulticastForest& forest = plan.forest();
   M2M_CHECK_EQ(static_cast<int>(readings.size()), forest.node_count());
   RoundResult result;
+  result.plan_epoch = compiled_->plan_epoch();
   result.node_energy_mj.assign(forest.node_count(), 0.0);
 
   // Reconstruct where each source's contribution folds into each
@@ -368,6 +369,7 @@ RoundResult PlanExecutor::RunSuppressedRoundImpl(
   }
 
   RoundResult result;
+  result.plan_epoch = compiled_->plan_epoch();
   result.node_energy_mj.assign(forest.node_count(), 0.0);
   const OverrideBehavior behavior = BehaviorOf(policy);
 

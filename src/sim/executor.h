@@ -1,6 +1,7 @@
 #ifndef M2M_SIM_EXECUTOR_H_
 #define M2M_SIM_EXECUTOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -15,6 +16,10 @@ namespace m2m {
 
 /// Outcome of simulating one timestep.
 struct RoundResult {
+  /// Plan epoch the round executed under (CompiledPlan::plan_epoch). Every
+  /// destination value in this result is attributable to exactly this plan
+  /// generation — the analytic mirror of the runtime's epoch gate.
+  uint32_t plan_epoch = 0;
   double energy_mj = 0.0;
   /// Milestone-level messages sent (one per forest edge after greedy merge).
   int64_t messages = 0;

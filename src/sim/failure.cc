@@ -80,6 +80,23 @@ void LinkOutcome::TakeDown(NodeId a, NodeId b) {
   up_.erase(LinkKey(a, b));
 }
 
+void LinkOutcome::TakeDownNode(const Topology& topology, NodeId node) {
+  for (NodeId neighbor : topology.neighbors(node)) {
+    TakeDown(node, neighbor);
+  }
+}
+
+std::vector<std::pair<NodeId, NodeId>> LinkOutcome::AliveLinks() const {
+  std::vector<std::pair<NodeId, NodeId>> links;
+  links.reserve(up_.size());
+  for (uint64_t key : up_) {
+    links.emplace_back(static_cast<NodeId>(key >> 32),
+                       static_cast<NodeId>(key & 0xffffffffull));
+  }
+  std::sort(links.begin(), links.end());
+  return links;
+}
+
 FailureRoundResult RunRoundWithFailures(const CompiledPlan& compiled,
                                         const FunctionSet& functions,
                                         const Topology& topology,

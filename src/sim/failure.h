@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -26,6 +27,14 @@ class LinkOutcome {
   bool IsUp(NodeId a, NodeId b) const;
   /// Forces one link down (test helper).
   void TakeDown(NodeId a, NodeId b);
+  /// Takes down every link incident to `node` in `topology` — the link-set
+  /// view of a node death, consistent with Topology::WithFailures' masking
+  /// (a dead node stays present but isolated).
+  void TakeDownNode(const Topology& topology, NodeId node);
+
+  /// The up links as sorted undirected (lo, hi) pairs — comparable against
+  /// a failure-masked Topology's link set.
+  std::vector<std::pair<NodeId, NodeId>> AliveLinks() const;
 
  private:
   std::unordered_set<uint64_t> up_;

@@ -1,0 +1,425 @@
+#include "sim/self_healing.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "plan/dissemination.h"
+#include "plan/serialization.h"
+#include "routing/multicast.h"
+#include "runtime/wire_functions.h"
+
+namespace m2m {
+
+namespace {
+
+constexpr int64_t kUnreachableWeight = std::numeric_limits<int64_t>::max();
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "report";
+    case 1:
+      return "reportack";
+    case 2:
+      return "image";
+    case 3:
+      return "bump";
+    case 4:
+      return "ack";
+  }
+  return "?";
+}
+
+template <typename T>
+bool Contains(const std::vector<T>& values, const T& value) {
+  return std::find(values.begin(), values.end(), value) != values.end();
+}
+
+}  // namespace
+
+SelfHealingRuntime::SelfHealingRuntime(const Topology& topology,
+                                       const Workload& workload,
+                                       NodeId base_station,
+                                       const SelfHealingOptions& options)
+    : topology_(&topology),
+      base_(base_station),
+      options_(options),
+      workload_(workload),
+      plan_(BuildPlan(std::make_shared<MulticastForest>(PathSystem(topology),
+                                                        workload.tasks),
+                      workload.functions)),
+      compiled_(std::make_shared<CompiledPlan>(CompiledPlan::Compile(
+          plan_, workload.functions, MergePolicy::kGreedyMergePerEdge,
+          /*plan_epoch=*/0))),
+      images_(EncodeAllNodeStates(*compiled_, workload.functions)),
+      network_(*compiled_, workload.functions),
+      detector_(topology, options.detector),
+      ledger_(&topology, base_station),
+      control_paths_(topology) {
+  M2M_CHECK(base_ >= 0 && base_ < topology.node_count());
+  M2M_CHECK(options_.control_hop_attempts >= 1 &&
+            options_.control_hop_attempts <= 16)
+      << "control_hop_attempts must fit the per-hop attempt namespace";
+  M2M_CHECK_GE(options_.resend_after_rounds, 1);
+  epoch_opened_round_[0] = -1;
+}
+
+int SelfHealingRuntime::pending_installs() const {
+  int pending = 0;
+  for (const auto& [node, install] : pending_installs_) {
+    if (!install.acked) ++pending;
+  }
+  return pending;
+}
+
+std::vector<std::vector<NodeId>> SelfHealingRuntime::SegmentsFor(
+    NodeId node) const {
+  std::vector<std::vector<NodeId>> segments;
+  for (const OutgoingMessageEntry& entry :
+       compiled_->state(node).outgoing_table) {
+    segments.push_back(entry.segment);
+  }
+  return segments;
+}
+
+SelfHealingRoundResult SelfHealingRuntime::RunRound(
+    int round, const std::vector<double>& readings,
+    const LossyLinkModel& physical, EventTrace* trace) {
+  M2M_CHECK(physical.attempt_delivers != nullptr);
+  SelfHealingRoundResult result;
+
+  // 1. Data round over the installed (possibly mixed-epoch) images.
+  result.data = network_.RunRoundLossy(readings, physical, options_.retry,
+                                       {}, trace);
+
+  // 2. In-band failure detection: heartbeats from the round's traffic,
+  // probes for silent neighbors.
+  FailureDetector::RoundReport detection = detector_.ObserveRound(
+      round, result.data.heard, physical.attempt_delivers,
+      physical.node_alive);
+  result.probe_transmissions = detection.probe_transmissions;
+  result.probe_confirmations = detection.probe_confirmations;
+  result.new_suspicions = static_cast<int>(detection.new_suspicions.size());
+  for (const SuspectedLink& suspicion : detection.new_suspicions) {
+    monitor_outbox_[suspicion.monitor].pending.emplace(suspicion.neighbor,
+                                                       suspicion.round);
+    if (trace != nullptr) {
+      std::ostringstream line;
+      line << "r" << round << " suspect " << suspicion.monitor << ">"
+           << suspicion.neighbor;
+      trace->Append(line.str());
+    }
+  }
+
+  // 3. Control plane: reports toward the base station, plan images / epoch
+  // bumps / install acks the other way.
+  AdvanceControlPlane(round, physical, result, trace);
+  // 4. Any ledger change opens a new epoch and queues its dissemination...
+  MaybeReplan(round, result, trace);
+  // ...which gets its first advance within the same round (messages already
+  // advanced this round are skipped, so nothing moves twice).
+  AdvanceControlPlane(round, physical, result, trace);
+
+  result.base_epoch = epoch_;
+  result.pending_installs = pending_installs();
+  return result;
+}
+
+void SelfHealingRuntime::QueueControl(ControlMessage::Kind kind,
+                                      NodeId origin, NodeId target,
+                                      std::vector<uint8_t> payload,
+                                      uint32_t epoch) {
+  ControlMessage message;
+  message.kind = kind;
+  message.origin = origin;
+  message.target = target;
+  message.holder = origin;
+  message.payload = std::move(payload);
+  message.epoch = epoch;
+  message.seq = next_seq_++;
+  in_flight_.push_back(std::move(message));
+}
+
+void SelfHealingRuntime::RefreshControlPaths() {
+  // Control routing avoids every link any monitor suspects (plus the base
+  // station's believed-failed links, a subset once reports arrive).
+  std::set<std::pair<NodeId, NodeId>> suspected;
+  for (const SuspectedLink& s : detector_.suspicions()) {
+    suspected.emplace(std::min(s.monitor, s.neighbor),
+                      std::max(s.monitor, s.neighbor));
+  }
+  for (const std::pair<NodeId, NodeId>& link :
+       ledger_.believed_failed_links()) {
+    suspected.insert(link);
+  }
+  if (suspected.size() == control_paths_suspicions_) return;
+  control_paths_suspicions_ = suspected.size();
+  std::vector<std::pair<NodeId, NodeId>> links(suspected.begin(),
+                                               suspected.end());
+  control_paths_ =
+      PathSystem(Topology::WithFailures(*topology_, links, {}));
+}
+
+void SelfHealingRuntime::AdvanceControlPlane(int round,
+                                             const LossyLinkModel& physical,
+                                             SelfHealingRoundResult& result,
+                                             EventTrace* trace) {
+  RefreshControlPaths();
+
+  // (a) Emit / re-emit suspicion reports. The base station's own
+  // suspicions go straight into the ledger (it is the base).
+  for (auto& [monitor, outbox] : monitor_outbox_) {
+    if (outbox.pending.empty()) continue;
+    if (monitor == base_) {
+      for (const auto& [neighbor, raised] : outbox.pending) {
+        ledger_.RecordSuspicion(monitor, neighbor);
+      }
+      outbox.pending.clear();
+      continue;
+    }
+    if (outbox.last_sent_round >= 0 &&
+        round - outbox.last_sent_round < options_.resend_after_rounds) {
+      continue;
+    }
+    // Drop any stale in-flight copy (its holder may have died) and re-emit
+    // the monitor's full pending set.
+    const NodeId origin = monitor;
+    std::erase_if(in_flight_, [origin](const ControlMessage& m) {
+      return m.kind == ControlMessage::Kind::kReport && m.origin == origin;
+    });
+    wire::SuspicionReport report;
+    report.monitor = monitor;
+    report.entries.assign(outbox.pending.begin(), outbox.pending.end());
+    QueueControl(ControlMessage::Kind::kReport, monitor, base_,
+                 wire::EncodeSuspicionReport(report), 0);
+    outbox.last_sent_round = round;
+    outbox.report_in_flight = true;
+  }
+
+  // (b) Emit / re-emit dissemination to unacked targets of this epoch.
+  for (auto& [node, pending] : pending_installs_) {
+    if (pending.acked) continue;
+    if (pending.last_sent_round >= 0 &&
+        round - pending.last_sent_round < options_.resend_after_rounds) {
+      continue;
+    }
+    const NodeId target = node;
+    std::erase_if(in_flight_, [target](const ControlMessage& m) {
+      return (m.kind == ControlMessage::Kind::kImage ||
+              m.kind == ControlMessage::Kind::kBump) &&
+             m.target == target;
+    });
+    if (pending.is_bump) {
+      QueueControl(ControlMessage::Kind::kBump, base_, node,
+                   wire::EncodeEpochBump(epoch_), epoch_);
+    } else {
+      QueueControl(ControlMessage::Kind::kImage, base_, node, images_[node],
+                   epoch_);
+    }
+    pending.last_sent_round = round;
+    pending.in_flight = true;
+  }
+
+  // (c) Advance every message as many hops as deliver this round. A
+  // delivery can append follow-up messages (report acks, install acks),
+  // which this index walk then also advances — an ack can travel the same
+  // round its trigger arrived.
+  std::vector<size_t> delivered;
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i].last_advanced_round == round) continue;
+    in_flight_[i].last_advanced_round = round;
+    while (in_flight_[i].holder != in_flight_[i].target) {
+      const NodeId holder = in_flight_[i].holder;
+      const NodeId target = in_flight_[i].target;
+      if (control_paths_.PathWeight(holder, target) == kUnreachableWeight) {
+        break;  // No believed route right now; retry after the next report.
+      }
+      const NodeId next = control_paths_.NextHop(holder, target);
+      int attempt_base = 0;
+      switch (in_flight_[i].kind) {
+        case ControlMessage::Kind::kReport:
+        case ControlMessage::Kind::kReportAck:
+          attempt_base = 2000;
+          break;
+        case ControlMessage::Kind::kImage:
+        case ControlMessage::Kind::kBump:
+          attempt_base = 3000;
+          break;
+        case ControlMessage::Kind::kAck:
+          attempt_base = 4000;
+          break;
+      }
+      attempt_base += (in_flight_[i].seq % 60) * 16;
+      bool crossed = false;
+      for (int k = 1; k <= options_.control_hop_attempts; ++k) {
+        result.control_hop_attempts += 1;
+        if (physical.attempt_delivers(holder, next, attempt_base + k)) {
+          crossed = true;
+          break;
+        }
+      }
+      if (!crossed) break;  // Stalled at this hop; resume next round.
+      result.control_hops_crossed += 1;
+      in_flight_[i].holder = next;
+    }
+    if (in_flight_[i].holder == in_flight_[i].target) {
+      result.control_messages_delivered += 1;
+      result.control_payload_bytes +=
+          static_cast<int64_t>(in_flight_[i].payload.size());
+      // Deliveries can push into in_flight_ (reallocation): copy first.
+      ControlMessage message = in_flight_[i];
+      delivered.push_back(i);
+      if (trace != nullptr) {
+        std::ostringstream line;
+        line << "r" << round << " ctrl "
+             << KindName(static_cast<int>(message.kind)) << " "
+             << message.origin << ">" << message.target << " b"
+             << message.payload.size() << " delivered";
+        trace->Append(line.str());
+      }
+      DeliverControl(message, round, trace);
+    }
+  }
+  for (auto it = delivered.rbegin(); it != delivered.rend(); ++it) {
+    in_flight_.erase(in_flight_.begin() + static_cast<ptrdiff_t>(*it));
+  }
+}
+
+void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
+                                        int round, EventTrace* trace) {
+  switch (message.kind) {
+    case ControlMessage::Kind::kReport: {
+      auto report = wire::TryDecodeSuspicionReport(message.payload);
+      M2M_CHECK(report.has_value()) << "malformed suspicion report";
+      for (const auto& [neighbor, raised] : report->entries) {
+        ledger_.RecordSuspicion(report->monitor, neighbor);
+      }
+      // Ack echoes the report so the monitor knows which entries landed.
+      QueueControl(ControlMessage::Kind::kReportAck, base_, report->monitor,
+                   message.payload, 0);
+      break;
+    }
+    case ControlMessage::Kind::kReportAck: {
+      auto report = wire::TryDecodeSuspicionReport(message.payload);
+      M2M_CHECK(report.has_value()) << "malformed report ack";
+      MonitorOutbox& outbox = monitor_outbox_[report->monitor];
+      for (const auto& entry : report->entries) {
+        outbox.pending.erase(entry);
+      }
+      outbox.report_in_flight = false;
+      break;
+    }
+    case ControlMessage::Kind::kImage: {
+      if (message.epoch != epoch_) break;  // Superseded mid-flight.
+      network_.InstallNodeImage(message.target, message.payload,
+                                SegmentsFor(message.target));
+      QueueControl(ControlMessage::Kind::kAck, message.target, base_,
+                   wire::EncodeInstallAck(message.target, message.epoch),
+                   message.epoch);
+      break;
+    }
+    case ControlMessage::Kind::kBump: {
+      auto epoch = wire::TryDecodeEpochBump(message.payload);
+      M2M_CHECK(epoch.has_value()) << "malformed epoch bump";
+      if (*epoch != epoch_) break;  // Superseded mid-flight.
+      // The bump re-stamps tables the node already holds: only 5 bytes
+      // traveled, but the install path is the same as for a full image.
+      network_.InstallNodeImage(message.target, images_[message.target],
+                                SegmentsFor(message.target));
+      QueueControl(ControlMessage::Kind::kAck, message.target, base_,
+                   wire::EncodeInstallAck(message.target, *epoch), *epoch);
+      break;
+    }
+    case ControlMessage::Kind::kAck: {
+      auto ack = wire::TryDecodeInstallAck(message.payload);
+      M2M_CHECK(ack.has_value()) << "malformed install ack";
+      if (ack->second != epoch_) break;  // Ack for a superseded epoch.
+      auto it = pending_installs_.find(ack->first);
+      if (it != pending_installs_.end()) {
+        it->second.acked = true;
+        it->second.in_flight = false;
+      }
+      break;
+    }
+  }
+}
+
+void SelfHealingRuntime::MaybeReplan(int round,
+                                     SelfHealingRoundResult& result,
+                                     EventTrace* trace) {
+  if (ledger_.revision() == ledger_revision_applied_) return;
+  ledger_revision_applied_ = ledger_.revision();
+
+  // Believed-dead nodes stop being sources (paper section 3: membership
+  // changes shrink the workload, then the plan is patched locally).
+  for (NodeId dead : ledger_.believed_dead()) {
+    for (const Task& task : std::vector<Task>(workload_.tasks)) {
+      if (Contains(task.sources, dead)) {
+        workload_ = WithSourceRemoved(workload_, dead, task.destination);
+      }
+    }
+  }
+
+  PathSystem believed_paths(ledger_.BelievedTopology());
+  UpdateStats stats;
+  GlobalPlan patched = ReplanForTopology(plan_, believed_paths,
+                                         workload_.tasks,
+                                         workload_.functions, &stats);
+  const uint32_t new_epoch = epoch_ + 1;
+  auto new_compiled = std::make_shared<CompiledPlan>(CompiledPlan::Compile(
+      patched, workload_.functions, MergePolicy::kGreedyMergePerEdge,
+      new_epoch));
+  std::vector<std::vector<uint8_t>> new_images =
+      EncodeAllNodeStates(*new_compiled, workload_.functions);
+  std::vector<NodeImageDelta> deltas = DiffNodeImages(images_, new_images);
+
+  // The new epoch supersedes any dissemination still in flight.
+  std::erase_if(in_flight_, [](const ControlMessage& m) {
+    return m.kind == ControlMessage::Kind::kImage ||
+           m.kind == ControlMessage::Kind::kBump;
+  });
+  pending_installs_.clear();
+
+  epoch_ = new_epoch;
+  plan_ = std::move(patched);
+  compiled_ = std::move(new_compiled);
+  images_ = std::move(new_images);
+  epoch_opened_round_[new_epoch] = round;
+
+  int images_queued = 0;
+  int bumps_queued = 0;
+  for (const NodeImageDelta& delta : deltas) {
+    if (Contains(ledger_.believed_dead(), delta.node)) {
+      continue;  // Nothing can be installed at a dead node.
+    }
+    if (delta.node == base_) {
+      // The base station installs its own image locally, for free.
+      network_.InstallNodeImage(base_, images_[base_], SegmentsFor(base_));
+      continue;
+    }
+    PendingInstall pending;
+    pending.is_bump = !delta.ship_image;
+    pending_installs_.emplace(delta.node, pending);
+    if (delta.ship_image) {
+      ++images_queued;
+    } else {
+      ++bumps_queued;
+    }
+  }
+
+  result.replanned = true;
+  if (trace != nullptr) {
+    std::ostringstream line;
+    line << "r" << round << " replan epoch=" << epoch_
+         << " links=" << ledger_.believed_failed_links().size()
+         << " dead=" << ledger_.believed_dead().size()
+         << " images=" << images_queued << " bumps=" << bumps_queued
+         << " reused=" << stats.edges_reused
+         << " reopt=" << stats.edges_reoptimized;
+    trace->Append(line.str());
+  }
+}
+
+}  // namespace m2m

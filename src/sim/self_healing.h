@@ -1,0 +1,195 @@
+#ifndef M2M_SIM_SELF_HEALING_H_
+#define M2M_SIM_SELF_HEALING_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "plan/node_tables.h"
+#include "plan/planner.h"
+#include "routing/path_system.h"
+#include "runtime/detector.h"
+#include "runtime/network.h"
+#include "sim/base_station.h"
+#include "topology/topology.h"
+#include "workload/workload.h"
+
+namespace m2m {
+
+/// Knobs for the self-healing control loop.
+struct SelfHealingOptions {
+  DetectorOptions detector;
+  /// Data-plane ack/retry policy (RunRoundLossy).
+  RetryPolicy retry;
+  /// Transmission attempts per control-message hop per round. A control
+  /// message (suspicion report, plan image, epoch bump, install ack)
+  /// advances as many hops as deliver within a round and stalls at the
+  /// first hop that exhausts its attempts, resuming next round.
+  int control_hop_attempts = 8;
+  /// Rounds a sender waits for an end-to-end acknowledgment before
+  /// re-emitting a control message (covers holders dying mid-route).
+  int resend_after_rounds = 3;
+};
+
+/// Outcome of one self-healed round.
+struct SelfHealingRoundResult {
+  /// The data round itself (values, epochs, retry stats, heard evidence).
+  RuntimeNetwork::LossyResult data;
+  /// Failure-detector traffic this round.
+  int64_t probe_transmissions = 0;
+  int64_t probe_confirmations = 0;
+  /// Suspicions newly raised by monitors this round.
+  int new_suspicions = 0;
+  /// Control-plane traffic this round (reports, images, bumps, acks).
+  int64_t control_hop_attempts = 0;
+  int64_t control_hops_crossed = 0;
+  /// Payload bytes of control messages that reached their target.
+  int64_t control_payload_bytes = 0;
+  int64_t control_messages_delivered = 0;
+  /// True iff the base station opened a new plan epoch this round.
+  bool replanned = false;
+  /// The base station's current plan epoch after this round.
+  uint32_t base_epoch = 0;
+  /// Dissemination targets whose install the base has not yet seen acked.
+  int pending_installs = 0;
+};
+
+/// The tentpole self-healing loop: aggregation rounds run over lossy links
+/// while the network detects persistent failures *in-band* and repairs its
+/// own plan — no component ever reads the fault schedule's event list; the
+/// only physical inputs are per-attempt delivery outcomes and each node's
+/// own aliveness (LossyLinkModel), exactly what a deployed network observes.
+///
+/// Per round:
+///   1. Data round over the installed (possibly mixed-epoch) plan images,
+///      with ack/retry and the receiver-side epoch gate.
+///   2. Failure detection: piggybacked heartbeats from the round's traffic
+///      plus explicit probes for silent neighbors (runtime/detector.h);
+///      monitors whose missed count crosses the threshold raise sticky
+///      suspicions.
+///   3. Control plane: suspicion reports route hop-by-hop to the base
+///      station, which folds them into its SuspicionLedger; plan images,
+///      epoch bumps and install acks route the other way. Every message is
+///      resumable across rounds and re-emitted if unacked.
+///   4. Re-planning: on any ledger change the base station re-plans against
+///      its believed topology (ReplanForTopology — Corollary 1 keeps the
+///      patch local), opens a new plan epoch, and disseminates only the
+///      diff: full images to content-changed nodes, 5-byte epoch bumps to
+///      unchanged participants.
+///
+/// Safe transitions fall out of the epoch protocol: a node installing an
+/// image drops its old-epoch round state, and the runtime's epoch gate
+/// keeps mixed rounds from merging records across plan generations, so
+/// every converged value is attributable to exactly one epoch.
+class SelfHealingRuntime {
+ public:
+  /// `base_station` must be a protected (never-dying) node.
+  SelfHealingRuntime(const Topology& topology, const Workload& workload,
+                     NodeId base_station,
+                     const SelfHealingOptions& options = {});
+
+  /// Runs one round. `physical.attempt_delivers` must be the physical link
+  /// oracle for this round (false for dead endpoints and failed links —
+  /// e.g. FaultSchedule::AttemptDelivers bound to `round`);
+  /// `physical.node_alive` reports physical aliveness (a dead node runs
+  /// nothing). Attempt indices beyond the data plane's small values are
+  /// drawn from disjoint namespaces (probes 1000+, control 2000+), so the
+  /// oracle must accept arbitrary attempt indices.
+  SelfHealingRoundResult RunRound(int round,
+                                  const std::vector<double>& readings,
+                                  const LossyLinkModel& physical,
+                                  EventTrace* trace = nullptr);
+
+  uint32_t base_epoch() const { return epoch_; }
+  const GlobalPlan& plan() const { return plan_; }
+  const CompiledPlan& compiled() const { return *compiled_; }
+  /// The believed workload (sources of believed-dead nodes removed).
+  const Workload& current_workload() const { return workload_; }
+  const SuspicionLedger& ledger() const { return ledger_; }
+  const FailureDetector& detector() const { return detector_; }
+  const RuntimeNetwork& network() const { return network_; }
+  /// Dissemination targets not yet known-installed for the current epoch.
+  int pending_installs() const;
+  /// Round at which each epoch was opened (epoch -> round); epoch 0 maps
+  /// to -1. Detection-latency measurements read this.
+  const std::map<uint32_t, int>& epoch_opened_round() const {
+    return epoch_opened_round_;
+  }
+
+ private:
+  struct ControlMessage {
+    enum class Kind { kReport, kReportAck, kImage, kBump, kAck };
+    Kind kind;
+    NodeId origin = kInvalidNode;
+    NodeId target = kInvalidNode;
+    NodeId holder = kInvalidNode;
+    std::vector<uint8_t> payload;
+    uint32_t epoch = 0;  ///< Plan epoch for kImage/kBump/kAck.
+    int seq = 0;         ///< Decorrelates per-hop attempt indices.
+    int last_advanced_round = -1;
+  };
+
+  void QueueControl(ControlMessage::Kind kind, NodeId origin, NodeId target,
+                    std::vector<uint8_t> payload, uint32_t epoch);
+  void AdvanceControlPlane(int round, const LossyLinkModel& physical,
+                           SelfHealingRoundResult& result,
+                           EventTrace* trace);
+  void DeliverControl(const ControlMessage& message, int round,
+                      EventTrace* trace);
+  void MaybeReplan(int round, SelfHealingRoundResult& result,
+                   EventTrace* trace);
+  void RefreshControlPaths();
+  std::vector<std::vector<NodeId>> SegmentsFor(NodeId node) const;
+
+  const Topology* topology_;
+  NodeId base_;
+  SelfHealingOptions options_;
+  Workload workload_;
+  uint32_t epoch_ = 0;
+  GlobalPlan plan_;
+  std::shared_ptr<CompiledPlan> compiled_;
+  /// Current-epoch wire images per node.
+  std::vector<std::vector<uint8_t>> images_;
+  RuntimeNetwork network_;
+  FailureDetector detector_;
+  SuspicionLedger ledger_;
+  int ledger_revision_applied_ = 0;
+
+  /// Paths control messages route over: the deployment topology minus
+  /// every link any monitor suspects (suspicions propagate through the
+  /// control plane itself; routing around them immediately is what lets a
+  /// report escape a region whose primary path just failed).
+  PathSystem control_paths_;
+  size_t control_paths_suspicions_ = 0;
+
+  std::vector<ControlMessage> in_flight_;
+  int next_seq_ = 0;
+
+  /// Monitor-side: suspicions raised but not yet acked by the base
+  /// station, with the round their report was last emitted.
+  struct MonitorOutbox {
+    std::set<std::pair<NodeId, int>> pending;  // (neighbor, round raised).
+    int last_sent_round = -1;
+    bool report_in_flight = false;
+  };
+  std::map<NodeId, MonitorOutbox> monitor_outbox_;
+
+  /// Base-side: per dissemination target of the current epoch.
+  struct PendingInstall {
+    bool is_bump = false;
+    int last_sent_round = -1;
+    bool in_flight = false;
+    bool acked = false;
+  };
+  std::map<NodeId, PendingInstall> pending_installs_;
+
+  std::map<uint32_t, int> epoch_opened_round_;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_SIM_SELF_HEALING_H_

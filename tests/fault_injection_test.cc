@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <queue>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "plan/consistency.h"
@@ -12,9 +15,12 @@
 #include "routing/multicast.h"
 #include "routing/path_system.h"
 #include "runtime/network.h"
+#include "sim/base_station.h"
 #include "sim/executor.h"
+#include "sim/failure.h"
 #include "sim/fault_schedule.h"
 #include "sim/readings.h"
+#include "sim/self_healing.h"
 #include "fault_test_util.h"
 #include "topology/generator.h"
 #include "topology/topology.h"
@@ -354,6 +360,218 @@ TEST(LossyRuntimeTest, PerfectLinksMatchQuiescentRuntime) {
         << "destination " << destination;
   }
 }
+
+// The receiver-side dedup table must stay constant-size over arbitrarily
+// long deployments: entries are evicted once they age past the retry
+// horizon (no sender still retransmits them), and StartRound clears the
+// remainder. Regression for the unbounded-growth bug class.
+TEST(LossyRuntimeTest, DedupTableStaysConstantSizeOverTenThousandRounds) {
+  Topology topology = MakeGrid(6, 1, 10.0, 15.0);
+  Workload workload;
+  workload.tasks = {Task{5, {0, 1, 2}}};
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.weights = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  workload.specs = {spec};
+  workload.RebuildFunctions();
+
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload.functions);
+  RuntimeNetwork network(compiled, workload.functions);
+
+  // Every first ack drops, so every message is delivered at least twice —
+  // the dedup table is exercised on every hop of every round.
+  LossyLinkModel links;
+  links.attempt_delivers = [](NodeId from, NodeId to, int attempt) {
+    return !(from > to && attempt == 1);
+  };
+
+  ReadingGenerator readings(topology.node_count(), 47);
+  const int kRounds = 10000;
+  size_t early_max = 0;  // Max table size in the first 100 rounds.
+  size_t late_max = 0;   // Max table size in the last 100 rounds.
+  for (int round = 0; round < kRounds; ++round) {
+    RuntimeNetwork::LossyResult lossy =
+        network.RunRoundLossy(readings.values(), links);
+    ASSERT_GT(lossy.duplicates, 0) << "round " << round;
+    ASSERT_TRUE(lossy.incomplete_destinations.empty()) << "round " << round;
+    size_t round_max = 0;
+    for (NodeId n = 0; n < topology.node_count(); ++n) {
+      round_max = std::max(round_max, network.node_runtime(n).seen_packet_count());
+    }
+    // Constant bound: never more entries than messages within one retry
+    // horizon of this tiny plan, no matter how many rounds have passed.
+    ASSERT_LE(round_max, 8u) << "round " << round;
+    if (round < 100) early_max = std::max(early_max, round_max);
+    if (round >= kRounds - 100) late_max = std::max(late_max, round_max);
+    if (round % 1000 == 0) {
+      double expected = 1.0 * readings.values()[0] +
+                        2.0 * readings.values()[1] +
+                        3.0 * readings.values()[2];
+      ASSERT_TRUE(ValuesClose(lossy.destination_values.at(5), expected));
+    }
+  }
+  // Steady state, not slow growth.
+  EXPECT_EQ(early_max, late_max);
+  EXPECT_GT(late_max, 0u);
+}
+
+// The sampled-failure path (LinkOutcome) and the oracle masking path
+// (Topology::WithFailures) must agree on what "node X is down" means:
+// identical alive link sets.
+TEST(LinkOutcomeTest, TakeDownNodeMatchesTopologyWithFailures) {
+  Topology topology = MakeGreatDuckIslandLike();
+  const NodeId victim = topology.node_count() / 2;
+  ASSERT_FALSE(topology.neighbors(victim).empty());
+  // Also fail one ordinary link not incident to the victim.
+  NodeId link_a = kInvalidNode, link_b = kInvalidNode;
+  for (NodeId a = 0; a < topology.node_count() && link_a == kInvalidNode;
+       ++a) {
+    if (a == victim) continue;
+    for (NodeId b : topology.neighbors(a)) {
+      if (b > a && b != victim) {
+        link_a = a;
+        link_b = b;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(link_a, kInvalidNode);
+
+  LinkOutcome outcome = LinkOutcome::AllUp(topology);
+  outcome.TakeDownNode(topology, victim);
+  outcome.TakeDown(link_a, link_b);
+
+  Topology masked =
+      Topology::WithFailures(topology, {{link_a, link_b}}, {victim});
+  std::vector<std::pair<NodeId, NodeId>> masked_links;
+  for (NodeId a = 0; a < masked.node_count(); ++a) {
+    for (NodeId b : masked.neighbors(a)) {
+      if (a < b) masked_links.emplace_back(a, b);
+    }
+  }
+  std::sort(masked_links.begin(), masked_links.end());
+
+  EXPECT_EQ(outcome.AliveLinks(), masked_links);
+  for (NodeId neighbor : topology.neighbors(victim)) {
+    EXPECT_FALSE(outcome.IsUp(victim, neighbor));
+  }
+}
+
+// Dissemination under loss: plan images, epoch bumps and install acks are
+// themselves dropped (75% per attempt, on top of the schedule's faults).
+// The epoch protocol must keep retrying until every affected node acked the
+// new plan, and the epoch gate must hold mixed rounds safe: every completed
+// value matches the analytic executor of exactly its reported epoch.
+class DisseminationLoss : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DisseminationLoss, EpochProtocolRetriesUntilAllAffectedNodesAck) {
+  const uint64_t seed = GetParam();
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, seed * 23 + 5);
+  NodeId base = PickBaseStation(topology);
+  std::vector<NodeId> protected_nodes = Destinations(workload);
+  if (std::find(protected_nodes.begin(), protected_nodes.end(), base) ==
+      protected_nodes.end()) {
+    protected_nodes.push_back(base);
+  }
+  FaultScheduleOptions schedule_options;
+  schedule_options.rounds = 5;
+  schedule_options.transient_link_fraction = 0.06;
+  schedule_options.transient_drop_probability = 0.5;
+  schedule_options.persistent_link_failures = 2;
+  schedule_options.node_deaths = 1;
+  schedule_options.seed = seed;
+  FaultSchedule schedule =
+      FaultSchedule::Generate(topology, protected_nodes, schedule_options);
+
+  SelfHealingRuntime runtime(topology, workload, base);
+  // Deterministic extra loss on the dissemination namespaces (images,
+  // bumps, install acks use attempt indices >= 3000).
+  auto dissemination_dropped = [seed](int round, NodeId from, NodeId to,
+                                      int attempt) {
+    uint64_t h = static_cast<uint64_t>(round) * 0x9e3779b97f4a7c15ull;
+    h ^= (static_cast<uint64_t>(from) << 32) ^
+         (static_cast<uint64_t>(to) << 16) ^ static_cast<uint64_t>(attempt);
+    h ^= seed * 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h % 4 != 0;  // 75% of dissemination attempts drop.
+  };
+
+  std::map<uint32_t, PlanExecutor> executors;
+  executors.emplace(
+      0u, PlanExecutor(std::make_shared<CompiledPlan>(runtime.compiled()),
+                       runtime.current_workload().functions, EnergyModel{}));
+
+  const int total_rounds = schedule_options.rounds + 25;
+  int64_t total_epoch_rejected = 0;
+  int64_t total_control_attempts = 0;
+  int64_t total_control_hops = 0;
+  int rounds_with_pending = 0;
+  int replans = 0;
+  SelfHealingRoundResult last;
+  for (int round = 0; round < total_rounds; ++round) {
+    ReadingGenerator readings(topology.node_count(),
+                              seed + 500 + static_cast<uint64_t>(round));
+    LossyLinkModel physical;
+    physical.attempt_delivers = [&schedule, &dissemination_dropped, round](
+                                    NodeId from, NodeId to, int attempt) {
+      if (!schedule.AttemptDelivers(round, from, to, attempt)) return false;
+      return !(attempt >= 3000 &&
+               dissemination_dropped(round, from, to, attempt));
+    };
+    physical.node_alive = [&schedule, round](NodeId n) {
+      return schedule.NodeAliveAt(round, n);
+    };
+    last = runtime.RunRound(round, readings.values(), physical);
+    total_epoch_rejected += last.data.epoch_rejected;
+    total_control_attempts += last.control_hop_attempts;
+    total_control_hops += last.control_hops_crossed;
+    if (last.pending_installs > 0) ++rounds_with_pending;
+    if (last.replanned) {
+      ++replans;
+      executors.emplace(
+          runtime.base_epoch(),
+          PlanExecutor(std::make_shared<CompiledPlan>(runtime.compiled()),
+                       runtime.current_workload().functions, EnergyModel{}));
+    }
+    // Safe transitions: every completed value is attributable to exactly
+    // the epoch the destination reports — never a cross-epoch mixture.
+    for (const auto& [destination, value] : last.data.destination_values) {
+      uint32_t epoch = last.data.destination_epochs.at(destination);
+      const auto analytic =
+          executors.at(epoch).RunRound(readings.values()).destination_values;
+      auto it = analytic.find(destination);
+      ASSERT_NE(it, analytic.end())
+          << "seed " << seed << " r" << round << " d" << destination;
+      EXPECT_TRUE(ValuesClose(value, it->second))
+          << "seed " << seed << " r" << round << " d" << destination
+          << " epoch " << epoch;
+    }
+  }
+
+  EXPECT_GE(replans, 1) << "seed " << seed;
+  // The protocol had to retry: dissemination dropped most attempts, so the
+  // base kept installs pending across rounds and burned extra attempts.
+  EXPECT_GT(rounds_with_pending, 0) << "seed " << seed;
+  EXPECT_GT(total_control_attempts, total_control_hops) << "seed " << seed;
+  // ...and it eventually won: every affected node acked the current epoch.
+  EXPECT_EQ(last.pending_installs, 0) << "seed " << seed;
+  EXPECT_TRUE(last.data.incomplete_destinations.empty()) << "seed " << seed;
+  for (const auto& [destination, epoch] : last.data.destination_epochs) {
+    EXPECT_EQ(epoch, runtime.base_epoch())
+        << "seed " << seed << " destination " << destination;
+  }
+  (void)total_epoch_rejected;  // Diagnostic; may be 0 on lucky seeds.
+}
+
+INSTANTIATE_TEST_SUITE_P(SixSeeds, DisseminationLoss,
+                         ::testing::Range<uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace m2m

@@ -1,0 +1,625 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault_test_util.h"
+#include "plan/consistency.h"
+#include "plan/dissemination.h"
+#include "plan/node_tables.h"
+#include "plan/planner.h"
+#include "plan/serialization.h"
+#include "routing/multicast.h"
+#include "routing/path_system.h"
+#include "runtime/detector.h"
+#include "runtime/network.h"
+#include "runtime/wire_functions.h"
+#include "sim/base_station.h"
+#include "sim/executor.h"
+#include "sim/fault_schedule.h"
+#include "sim/readings.h"
+#include "sim/self_healing.h"
+#include "topology/generator.h"
+#include "topology/topology.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+using fault_test::Destinations;
+using fault_test::ValuesClose;
+
+Workload DefaultWorkload(const Topology& topology, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.destination_count = 5;
+  spec.sources_per_destination = 5;
+  spec.max_hops = 4;
+  spec.seed = seed;
+  return GenerateWorkload(topology, spec);
+}
+
+// The self-healing runs protect the base station alongside the
+// destinations: a dead base station has no in-network recovery story (it
+// is the re-planner).
+FaultSchedule SelfHealSchedule(const Topology& topology,
+                               const Workload& workload, NodeId base,
+                               uint64_t seed) {
+  std::vector<NodeId> protected_nodes = Destinations(workload);
+  if (std::find(protected_nodes.begin(), protected_nodes.end(), base) ==
+      protected_nodes.end()) {
+    protected_nodes.push_back(base);
+  }
+  FaultScheduleOptions options;
+  options.rounds = 5;
+  options.transient_link_fraction = 0.06;
+  options.transient_drop_probability = 0.5;
+  options.persistent_link_failures = 2;
+  options.node_deaths = 1;
+  options.seed = seed;
+  return FaultSchedule::Generate(topology, protected_nodes, options);
+}
+
+Workload SurvivorWorkload(const Workload& workload,
+                          const std::vector<NodeId>& dead) {
+  Workload survivors = workload;
+  for (NodeId d : dead) {
+    for (const Task& task : std::vector<Task>(survivors.tasks)) {
+      if (std::find(task.sources.begin(), task.sources.end(), d) !=
+          task.sources.end()) {
+        survivors = WithSourceRemoved(survivors, d, task.destination);
+      }
+    }
+  }
+  return survivors;
+}
+
+/// Everything one oracle-free self-healing run produces.
+struct SelfHealRun {
+  std::string trace;
+  /// Completed values whose attributed epoch's analytic executor disagreed.
+  std::vector<std::string> value_mismatches;
+  /// (lo, hi) believed-failed link -> first round it was believed.
+  std::map<std::pair<NodeId, NodeId>, int> first_believed_link;
+  /// Believed-dead node -> first round it was believed dead.
+  std::map<NodeId, int> first_believed_dead;
+  std::unordered_map<NodeId, double> final_values;
+  std::unordered_map<NodeId, uint32_t> final_epochs;
+  std::vector<NodeId> final_incomplete;
+  uint32_t final_epoch = 0;
+  int final_pending_installs = -1;
+  int64_t probe_transmissions = 0;
+  int64_t control_hop_attempts = 0;
+  int64_t control_payload_bytes = 0;
+  int64_t epoch_rejected = 0;
+  int replans = 0;
+  std::vector<std::pair<NodeId, NodeId>> believed_links;
+  std::vector<NodeId> believed_dead;
+  std::optional<GlobalPlan> final_plan;
+  Workload final_workload;
+};
+
+SelfHealRun RunSelfHealing(const Topology& topology, const Workload& workload,
+                           const FaultSchedule& schedule, NodeId base,
+                           uint64_t readings_seed, int total_rounds) {
+  EventTrace trace;
+  trace.Append(schedule.Describe());
+  SelfHealingOptions options;
+  SelfHealingRuntime runtime(topology, workload, base, options);
+
+  // Analytic executor per plan epoch, for attributing completed values.
+  std::map<uint32_t, PlanExecutor> executors;
+  executors.emplace(
+      0u, PlanExecutor(std::make_shared<CompiledPlan>(runtime.compiled()),
+                       runtime.current_workload().functions, EnergyModel{}));
+
+  SelfHealRun run;
+  for (int round = 0; round < total_rounds; ++round) {
+    ReadingGenerator readings(topology.node_count(),
+                              readings_seed + static_cast<uint64_t>(round));
+    LossyLinkModel physical;
+    physical.attempt_delivers = [&schedule, round](NodeId from, NodeId to,
+                                                   int attempt) {
+      return schedule.AttemptDelivers(round, from, to, attempt);
+    };
+    physical.node_alive = [&schedule, round](NodeId n) {
+      return schedule.NodeAliveAt(round, n);
+    };
+
+    SelfHealingRoundResult result =
+        runtime.RunRound(round, readings.values(), physical, &trace);
+    run.probe_transmissions += result.probe_transmissions;
+    run.control_hop_attempts += result.control_hop_attempts;
+    run.control_payload_bytes += result.control_payload_bytes;
+    run.epoch_rejected += result.data.epoch_rejected;
+    if (result.replanned) {
+      run.replans += 1;
+      executors.emplace(
+          runtime.base_epoch(),
+          PlanExecutor(std::make_shared<CompiledPlan>(runtime.compiled()),
+                       runtime.current_workload().functions, EnergyModel{}));
+    }
+
+    // Epoch attribution: every completed value must equal the analytic
+    // executor of exactly the epoch the destination reports — the "no
+    // silent cross-plan merge" differential.
+    std::map<uint32_t, std::unordered_map<NodeId, double>> analytic_by_epoch;
+    for (const auto& [destination, value] : result.data.destination_values) {
+      uint32_t epoch = result.data.destination_epochs.at(destination);
+      auto [it, fresh] = analytic_by_epoch.try_emplace(epoch);
+      if (fresh) {
+        it->second =
+            executors.at(epoch).RunRound(readings.values()).destination_values;
+      }
+      auto oracle_it = it->second.find(destination);
+      if (oracle_it == it->second.end() ||
+          !ValuesClose(value, oracle_it->second)) {
+        std::ostringstream mismatch;
+        mismatch << "r" << round << " d" << destination << " epoch " << epoch
+                 << " got " << value;
+        run.value_mismatches.push_back(mismatch.str());
+      }
+    }
+
+    for (const auto& link : runtime.ledger().believed_failed_links()) {
+      run.first_believed_link.try_emplace(link, round);
+    }
+    for (NodeId dead : runtime.ledger().believed_dead()) {
+      run.first_believed_dead.try_emplace(dead, round);
+    }
+
+    if (round == total_rounds - 1) {
+      run.final_values = result.data.destination_values;
+      run.final_epochs = result.data.destination_epochs;
+      run.final_incomplete = result.data.incomplete_destinations;
+      run.final_epoch = runtime.base_epoch();
+      run.final_pending_installs = result.pending_installs;
+    }
+  }
+  run.believed_links = runtime.ledger().believed_failed_links();
+  run.believed_dead = runtime.ledger().believed_dead();
+  run.final_plan = runtime.plan();
+  run.final_workload = runtime.current_workload();
+  run.trace = trace.ToString();
+  return run;
+}
+
+// The tentpole acceptance criterion: with NO oracle — the runtime never
+// reads the schedule's event list — the network detects every persistent
+// fault from its own traffic within threshold + 2 rounds, ships the patched
+// plan over the same lossy links, and converges to exactly the values the
+// oracle-driven PR 1 path computes; replays are byte-identical.
+class SelfHealingDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelfHealingDifferential, DetectsRepairsAndConvergesWithoutOracle) {
+  const uint64_t seed = GetParam();
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, seed * 17 + 3);
+  NodeId base = PickBaseStation(topology);
+  FaultSchedule schedule = SelfHealSchedule(topology, workload, base, seed);
+  const int scheduled_rounds = schedule.options().rounds;
+  const int total_rounds = scheduled_rounds + 10;
+
+  SelfHealRun run = RunSelfHealing(topology, workload, schedule, base,
+                                   seed + 1000, total_rounds);
+
+  // --- Detection: every persistent fault believed within K + 2 rounds.
+  const int latency_budget = SelfHealingOptions{}.detector.suspicion_threshold + 2;
+  for (const FaultEvent& event : schedule.events()) {
+    if (event.type == FaultType::kTransientLink) continue;
+    if (event.type == FaultType::kPersistentLink) {
+      std::pair<NodeId, NodeId> link{std::min(event.a, event.b),
+                                     std::max(event.a, event.b)};
+      auto it = run.first_believed_link.find(link);
+      ASSERT_NE(it, run.first_believed_link.end())
+          << "seed " << seed << ": failed link " << link.first << "-"
+          << link.second << " never detected";
+      EXPECT_LE(it->second, event.round + latency_budget)
+          << "seed " << seed << ": link " << link.first << "-" << link.second
+          << " failed r" << event.round;
+    } else {
+      auto it = run.first_believed_dead.find(event.a);
+      ASSERT_NE(it, run.first_believed_dead.end())
+          << "seed " << seed << ": dead node " << event.a
+          << " never detected";
+      EXPECT_LE(it->second, event.round + latency_budget)
+          << "seed " << seed << ": node " << event.a << " died r"
+          << event.round;
+    }
+  }
+
+  // --- No false beliefs: everything believed failed really failed.
+  std::vector<NodeId> true_dead = schedule.DeadNodesThrough(total_rounds);
+  std::vector<std::pair<NodeId, NodeId>> true_links =
+      schedule.FailedLinksThrough(total_rounds);
+  EXPECT_EQ(run.believed_dead, true_dead) << "seed " << seed;
+  for (const auto& [lo, hi] : run.believed_links) {
+    bool is_true_link = std::find(true_links.begin(), true_links.end(),
+                                  std::make_pair(lo, hi)) != true_links.end();
+    bool dead_incident =
+        std::find(true_dead.begin(), true_dead.end(), lo) != true_dead.end() ||
+        std::find(true_dead.begin(), true_dead.end(), hi) != true_dead.end();
+    EXPECT_TRUE(is_true_link || dead_incident)
+        << "seed " << seed << ": false suspicion " << lo << "-" << hi;
+  }
+
+  // --- Repair completed: dissemination fully acked, one epoch everywhere.
+  EXPECT_EQ(run.final_pending_installs, 0) << "seed " << seed;
+  EXPECT_TRUE(run.final_incomplete.empty())
+      << "seed " << seed << ": destination " << run.final_incomplete.front()
+      << " did not converge";
+  for (const auto& [destination, epoch] : run.final_epochs) {
+    EXPECT_EQ(epoch, run.final_epoch)
+        << "seed " << seed << " destination " << destination;
+  }
+
+  // --- Mixed-epoch rounds never produced a wrong value.
+  EXPECT_TRUE(run.value_mismatches.empty())
+      << "seed " << seed << ": " << run.value_mismatches.front();
+
+  // --- Differential against the oracle-driven path: the self-healed plan
+  // equals a from-scratch plan over the TRUE surviving topology (the PR 1
+  // harness's end state), and the converged values match its executor.
+  Workload survivors = SurvivorWorkload(workload, true_dead);
+  Topology masked =
+      Topology::WithFailures(topology, true_links, true_dead);
+  PathSystem masked_paths(masked);
+  GlobalPlan oracle_plan = BuildPlan(
+      std::make_shared<MulticastForest>(masked_paths, survivors.tasks),
+      survivors.functions);
+  std::vector<std::string> divergence =
+      FindPlanDivergence(*run.final_plan, oracle_plan);
+  EXPECT_TRUE(divergence.empty())
+      << "seed " << seed << ": " << divergence.front();
+  EXPECT_TRUE(ValidatePlanConsistency(*run.final_plan)) << "seed " << seed;
+
+  PlanExecutor oracle(std::make_shared<CompiledPlan>(CompiledPlan::Compile(
+                          oracle_plan, survivors.functions)),
+                      survivors.functions, EnergyModel{});
+  ReadingGenerator final_readings(
+      topology.node_count(),
+      seed + 1000 + static_cast<uint64_t>(total_rounds - 1));
+  RoundResult oracle_round = oracle.RunRound(final_readings.values());
+  ASSERT_EQ(run.final_values.size(), oracle_round.destination_values.size())
+      << "seed " << seed;
+  for (const auto& [destination, value] : run.final_values) {
+    auto it = oracle_round.destination_values.find(destination);
+    ASSERT_NE(it, oracle_round.destination_values.end())
+        << "seed " << seed << " destination " << destination;
+    EXPECT_TRUE(ValuesClose(value, it->second))
+        << "seed " << seed << " destination " << destination << ": " << value
+        << " vs oracle " << it->second;
+  }
+
+  // --- Determinism: byte-identical replay.
+  SelfHealRun replay = RunSelfHealing(topology, workload, schedule, base,
+                                      seed + 1000, total_rounds);
+  EXPECT_EQ(run.trace, replay.trace) << "seed " << seed;
+  EXPECT_EQ(run.probe_transmissions, replay.probe_transmissions);
+  EXPECT_EQ(run.control_hop_attempts, replay.control_hop_attempts);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, SelfHealingDifferential,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Failure detector unit tests ---
+
+TEST(FailureDetectorTest, HeartbeatEvidenceSuppressesProbes) {
+  Topology topology = MakeGrid(4, 1, 10.0, 15.0);
+  FailureDetector detector(topology);
+  // Every directed neighbor pair heard: no probes, no suspicions.
+  std::set<std::pair<NodeId, NodeId>> heard;
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    for (NodeId m : topology.neighbors(n)) heard.emplace(n, m);
+  }
+  auto report = detector.ObserveRound(
+      0, heard, [](NodeId, NodeId, int) { return true; }, nullptr);
+  EXPECT_EQ(report.probe_transmissions, 0);
+  EXPECT_TRUE(report.new_suspicions.empty());
+}
+
+TEST(FailureDetectorTest, SilentNeighborConfirmedByProbeIsNotSuspected) {
+  Topology topology = MakeGrid(4, 1, 10.0, 15.0);
+  FailureDetector detector(topology);
+  std::set<std::pair<NodeId, NodeId>> silent;  // Nobody heard anybody.
+  for (int round = 0; round < 10; ++round) {
+    auto report = detector.ObserveRound(
+        round, silent, [](NodeId, NodeId, int) { return true; }, nullptr);
+    EXPECT_GT(report.probe_transmissions, 0);
+    EXPECT_EQ(report.probe_confirmations, report.probe_transmissions / 2);
+    EXPECT_TRUE(report.new_suspicions.empty());
+  }
+  EXPECT_TRUE(detector.suspicions().empty());
+}
+
+TEST(FailureDetectorTest, DeadLinkSuspectedAfterExactlyThresholdRounds) {
+  Topology topology = MakeGrid(4, 1, 10.0, 15.0);
+  DetectorOptions options;
+  options.suspicion_threshold = 3;
+  FailureDetector detector(topology, options);
+  std::set<std::pair<NodeId, NodeId>> silent;
+  // Link 1-2 is down in both directions; everything else delivers.
+  auto links = [](NodeId from, NodeId to, int) {
+    return !((from == 1 && to == 2) || (from == 2 && to == 1));
+  };
+  for (int round = 0; round < options.suspicion_threshold - 1; ++round) {
+    auto report = detector.ObserveRound(round, silent, links, nullptr);
+    EXPECT_TRUE(report.new_suspicions.empty()) << "round " << round;
+  }
+  auto report = detector.ObserveRound(options.suspicion_threshold - 1,
+                                      silent, links, nullptr);
+  ASSERT_EQ(report.new_suspicions.size(), 2u);  // Both monitors raise.
+  EXPECT_EQ(report.new_suspicions[0],
+            (SuspectedLink{1, 2, options.suspicion_threshold - 1}));
+  EXPECT_EQ(report.new_suspicions[1],
+            (SuspectedLink{2, 1, options.suspicion_threshold - 1}));
+  EXPECT_TRUE(detector.Suspects(1, 2));
+  EXPECT_TRUE(detector.Suspects(2, 1));
+  EXPECT_FALSE(detector.Suspects(0, 1));
+
+  // Sticky: the link coming back (transient glitch) does not retract, and
+  // the monitor stops probing it.
+  auto all_up = [](NodeId, NodeId, int) { return true; };
+  auto after = detector.ObserveRound(options.suspicion_threshold, silent,
+                                     all_up, nullptr);
+  EXPECT_TRUE(after.new_suspicions.empty());
+  EXPECT_TRUE(detector.Suspects(1, 2));
+}
+
+TEST(FailureDetectorTest, IntermittentEvidenceResetsTheCounter) {
+  Topology topology = MakeGrid(2, 1, 10.0, 15.0);
+  FailureDetector detector(topology);  // Threshold 2.
+  std::set<std::pair<NodeId, NodeId>> silent;
+  auto dead = [](NodeId, NodeId, int) { return false; };
+  auto up = [](NodeId, NodeId, int) { return true; };
+  detector.ObserveRound(0, silent, dead, nullptr);
+  EXPECT_EQ(detector.missed_rounds(0, 1), 1);
+  detector.ObserveRound(1, silent, up, nullptr);  // Probe succeeds.
+  EXPECT_EQ(detector.missed_rounds(0, 1), 0);
+  detector.ObserveRound(2, silent, dead, nullptr);
+  EXPECT_TRUE(detector.suspicions().empty());  // 1 < threshold again.
+}
+
+TEST(FailureDetectorTest, DeadMonitorsDoNotMonitor) {
+  Topology topology = MakeGrid(3, 1, 10.0, 15.0);
+  FailureDetector detector(topology);
+  std::set<std::pair<NodeId, NodeId>> silent;
+  auto dead_node_2 = [](NodeId from, NodeId to, int) {
+    return from != 2 && to != 2;
+  };
+  auto active = [](NodeId n) { return n != 2; };
+  for (int round = 0; round < 4; ++round) {
+    detector.ObserveRound(round, silent, dead_node_2, active);
+  }
+  // Node 1 suspects its link to dead node 2; node 2 itself raised nothing.
+  EXPECT_TRUE(detector.Suspects(1, 2));
+  for (const SuspectedLink& s : detector.suspicions()) {
+    EXPECT_NE(s.monitor, 2);
+  }
+}
+
+// --- Suspicion ledger unit tests ---
+
+TEST(SuspicionLedgerTest, InfersDeathWhenAllLinksOfANodeAreSuspected) {
+  Topology topology = MakeGrid(5, 1, 10.0, 15.0);  // Line 0-1-2-3-4.
+  SuspicionLedger ledger(&topology, 0);
+  EXPECT_EQ(ledger.revision(), 0);
+
+  ASSERT_TRUE(ledger.RecordSuspicion(2, 3));
+  EXPECT_EQ(ledger.revision(), 1);
+  // Nodes 3 and 4 are now unreachable from base 0: believed dead.
+  EXPECT_EQ(ledger.believed_dead(), (std::vector<NodeId>{3, 4}));
+  ASSERT_EQ(ledger.believed_failed_links().size(), 1u);
+  EXPECT_EQ(ledger.believed_failed_links().front(),
+            (std::pair<NodeId, NodeId>{2, 3}));
+
+  // Duplicate (and the mirrored direction) are no-ops.
+  EXPECT_FALSE(ledger.RecordSuspicion(3, 2));
+  EXPECT_FALSE(ledger.RecordSuspicion(2, 3));
+  EXPECT_EQ(ledger.revision(), 1);
+
+  Topology believed = ledger.BelievedTopology();
+  EXPECT_TRUE(believed.neighbors(3).empty());
+  EXPECT_TRUE(believed.neighbors(4).empty());
+  EXPECT_TRUE(believed.AreNeighbors(0, 1));
+}
+
+TEST(SuspicionLedgerTest, InteriorLinkFailureKillsNoNodes) {
+  Topology topology = MakeGrid(3, 3, 10.0, 15.0);
+  SuspicionLedger ledger(&topology, 0);
+  ASSERT_TRUE(ledger.RecordSuspicion(0, 1));
+  // The grid remains connected around the failed link.
+  EXPECT_TRUE(ledger.believed_dead().empty());
+  EXPECT_TRUE(ledger.BelievedTopology().IsConnected());
+}
+
+// --- Epoch gate and safe-transition unit tests ---
+
+// A receiver on a newer plan epoch must drop (not merge) packets from
+// senders still on the old epoch, while still acking them.
+TEST(EpochGateTest, MixedEpochRoundNeverMergesAcrossPlans) {
+  Topology topology = MakeGrid(6, 1, 10.0, 15.0);
+  Workload workload;
+  workload.tasks = {Task{5, {0, 1, 2}}};
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.weights = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  workload.specs = {spec};
+  workload.RebuildFunctions();
+
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan epoch0 = CompiledPlan::Compile(plan, workload.functions);
+  CompiledPlan epoch1 = CompiledPlan::Compile(
+      plan, workload.functions, MergePolicy::kGreedyMergePerEdge, 1);
+  RuntimeNetwork network(epoch0, workload.functions);
+
+  // Move only the destination to epoch 1; all senders stay on epoch 0.
+  std::vector<std::vector<uint8_t>> epoch1_images =
+      EncodeAllNodeStates(epoch1, workload.functions);
+  std::vector<std::vector<NodeId>> segments;
+  for (const OutgoingMessageEntry& entry : epoch1.state(5).outgoing_table) {
+    segments.push_back(entry.segment);
+  }
+  network.InstallNodeImage(5, epoch1_images[5], std::move(segments));
+  EXPECT_EQ(network.plan_epoch(5), 1u);
+  EXPECT_EQ(network.plan_epoch(0), 0u);
+
+  LossyLinkModel links;
+  links.attempt_delivers = [](NodeId, NodeId, int) { return true; };
+  ReadingGenerator readings(topology.node_count(), 5);
+  RuntimeNetwork::LossyResult lossy =
+      network.RunRoundLossy(readings.values(), links);
+
+  // The old-epoch packet reaching node 5 is rejected whole: the round ends
+  // with the destination stalled (parked), not with a cross-plan value.
+  EXPECT_GT(lossy.epoch_rejected, 0);
+  EXPECT_TRUE(lossy.destination_values.empty());
+  ASSERT_EQ(lossy.incomplete_destinations.size(), 1u);
+  EXPECT_EQ(lossy.incomplete_destinations.front(), 5);
+  // The epoch rejection was still acked: no sender kept retrying into it.
+  EXPECT_EQ(lossy.messages_abandoned, 0);
+}
+
+TEST(EpochGateTest, InstallImageDropsOldEpochRoundState) {
+  Topology topology = MakeGrid(6, 1, 10.0, 15.0);
+  Workload workload;
+  workload.tasks = {Task{5, {0, 1, 2}}};
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.weights = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  workload.specs = {spec};
+  workload.RebuildFunctions();
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan epoch0 = CompiledPlan::Compile(plan, workload.functions);
+  CompiledPlan epoch1 = CompiledPlan::Compile(
+      plan, workload.functions, MergePolicy::kGreedyMergePerEdge, 1);
+  std::vector<std::vector<uint8_t>> images0 =
+      EncodeAllNodeStates(epoch0, workload.functions);
+  std::vector<std::vector<uint8_t>> images1 =
+      EncodeAllNodeStates(epoch1, workload.functions);
+
+  NodeRuntime node(4, images0[4]);
+  node.StartRound(1.5);
+  EXPECT_FALSE(node.AccumulatorStatuses().empty());
+
+  // Same-epoch reinstall: a no-op (idempotent dissemination duplicate).
+  node.InstallImage(images0[4]);
+  EXPECT_FALSE(node.AccumulatorStatuses().empty());
+
+  // New-epoch install: every old-epoch partial is parked (dropped).
+  node.InstallImage(images1[4]);
+  EXPECT_EQ(node.plan_epoch(), 1u);
+  EXPECT_TRUE(node.AccumulatorStatuses().empty());
+  EXPECT_FALSE(node.FinalValue().has_value());
+}
+
+TEST(SafeTransitionTest, HazardsOnlyWhenContentChangesUnderOneEpoch) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, 9);
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan epoch0 = CompiledPlan::Compile(plan, workload.functions);
+  CompiledPlan epoch1 = CompiledPlan::Compile(
+      plan, workload.functions, MergePolicy::kGreedyMergePerEdge, 1);
+
+  // Same tables, new epoch: trivially safe.
+  EXPECT_TRUE(FindEpochTransitionHazards(epoch0, workload.functions, epoch1,
+                                         workload.functions)
+                  .empty());
+  // Identical plans under one epoch: safe (nothing changed).
+  EXPECT_TRUE(FindEpochTransitionHazards(epoch0, workload.functions, epoch0,
+                                         workload.functions)
+                  .empty());
+
+  // A changed plan under the SAME epoch is the unsafe case the protocol
+  // must never produce.
+  NodeId victim = workload.tasks.front().sources.front();
+  Workload survivors = WithSourceRemoved(
+      workload, victim, workload.tasks.front().destination);
+  GlobalPlan changed = BuildPlan(
+      std::make_shared<MulticastForest>(paths, survivors.tasks),
+      survivors.functions);
+  CompiledPlan changed0 = CompiledPlan::Compile(changed, survivors.functions);
+  EXPECT_FALSE(FindEpochTransitionHazards(epoch0, workload.functions,
+                                          changed0, survivors.functions)
+                   .empty());
+}
+
+// Epoch-prefix serialization: bumping the epoch re-stamps the image without
+// perturbing its contents, so the incremental diff stays Corollary 1-small.
+TEST(EpochImageTest, EpochBumpKeepsImageContentsEqual) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload workload = DefaultWorkload(topology, 13);
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan epoch0 = CompiledPlan::Compile(plan, workload.functions);
+  CompiledPlan epoch7 = CompiledPlan::Compile(
+      plan, workload.functions, MergePolicy::kGreedyMergePerEdge, 7);
+  std::vector<std::vector<uint8_t>> images0 =
+      EncodeAllNodeStates(epoch0, workload.functions);
+  std::vector<std::vector<uint8_t>> images7 =
+      EncodeAllNodeStates(epoch7, workload.functions);
+
+  ASSERT_EQ(images0.size(), images7.size());
+  for (size_t n = 0; n < images0.size(); ++n) {
+    EXPECT_TRUE(ImageContentsEqual(images0[n], images7[n])) << "node " << n;
+    DecodedNodeState decoded = DecodeNodeState(images7[n]);
+    EXPECT_EQ(decoded.plan_epoch, 7u) << "node " << n;
+  }
+  // Epoch-only difference ships NO images — every participant gets a bump.
+  for (const NodeImageDelta& delta : DiffNodeImages(images0, images7)) {
+    EXPECT_FALSE(delta.ship_image) << "node " << delta.node;
+  }
+}
+
+// --- Control-message codec round trips ---
+
+TEST(ControlWireTest, SuspicionReportRoundTrip) {
+  wire::SuspicionReport report;
+  report.monitor = 17;
+  report.entries = {{3, 4}, {21, 6}};
+  std::vector<uint8_t> bytes = wire::EncodeSuspicionReport(report);
+  auto decoded = wire::TryDecodeSuspicionReport(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, report);
+  // Truncation is rejected, not CHECK-crashed (network input).
+  bytes.pop_back();
+  EXPECT_FALSE(wire::TryDecodeSuspicionReport(bytes).has_value());
+  EXPECT_FALSE(wire::TryDecodeEpochBump(bytes).has_value());
+}
+
+TEST(ControlWireTest, EpochBumpIsExactlyFiveBytesAndRoundTrips) {
+  std::vector<uint8_t> bytes = wire::EncodeEpochBump(0xdeadbeef);
+  EXPECT_EQ(bytes.size(), static_cast<size_t>(kEpochBumpPayloadBytes));
+  auto decoded = wire::TryDecodeEpochBump(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, 0xdeadbeefu);
+}
+
+TEST(ControlWireTest, InstallAckRoundTrip) {
+  std::vector<uint8_t> bytes = wire::EncodeInstallAck(42, 9);
+  auto decoded = wire::TryDecodeInstallAck(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, 42);
+  EXPECT_EQ(decoded->second, 9u);
+  EXPECT_FALSE(wire::TryDecodeInstallAck(wire::EncodeEpochBump(1)).has_value());
+}
+
+}  // namespace
+}  // namespace m2m
