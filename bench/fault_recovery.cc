@@ -21,7 +21,7 @@
 #include "sim/fault_schedule.h"
 #include "sim/self_healing.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace m2m;
   Topology topology = MakeGreatDuckIslandLike();
   WorkloadSpec spec;
@@ -151,6 +151,10 @@ int main() {
     protected_nodes.push_back(base);
   }
 
+  // One registry across all control-drop rows: counters therefore total
+  // the whole sweep, which is what the JSON's detection/dissemination
+  // sections (and the CI smoke check) report.
+  obs::MetricsRegistry metrics;
   const std::vector<double> control_drops = {0.0, 0.25, 0.5, 0.75};
   for (size_t row = 0; row < control_drops.size(); ++row) {
     const double control_drop = control_drops[row];
@@ -165,6 +169,7 @@ int main() {
         FaultSchedule::Generate(topology, protected_nodes, options);
 
     SelfHealingRuntime runtime(topology, healing_workload, base);
+    runtime.set_metrics(&metrics);
     // Deterministic Bernoulli(control_drop) on the control namespaces
     // (reports 2000+, dissemination 3000+, install acks 4000+).
     auto control_dropped = [control_drop](int round, NodeId from, NodeId to,
@@ -268,7 +273,39 @@ int main() {
          << ", \"epoch_rejected_packets\": " << epoch_rejected << "}"
          << (row + 1 < control_drops.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  // Sweep-wide detection / dissemination counters from the metrics
+  // registry (totals across every control-drop row above).
+  json << "  ],\n  \"detection\": {\n"
+       << "    \"probe_transmissions\": "
+       << metrics.Total("heal.probe_transmissions") << ",\n"
+       << "    \"probe_confirmations\": "
+       << metrics.Total("heal.probe_confirmations") << ",\n"
+       << "    \"suspicions_raised\": "
+       << metrics.Total("heal.suspicions_raised") << "\n"
+       << "  },\n  \"dissemination\": {\n"
+       << "    \"control_hop_attempts\": "
+       << metrics.Total("heal.control_hop_attempts") << ",\n"
+       << "    \"control_hops\": " << metrics.Total("heal.control_hops")
+       << ",\n"
+       << "    \"control_messages_delivered\": "
+       << metrics.Total("heal.control_messages_delivered") << ",\n"
+       << "    \"control_payload_bytes\": "
+       << metrics.Total("heal.control_payload_bytes") << ",\n"
+       << "    \"replans\": " << metrics.Total("heal.replans") << ",\n"
+       << "    \"images_queued\": " << metrics.Total("heal.images_queued")
+       << ",\n"
+       << "    \"bumps_queued\": " << metrics.Total("heal.bumps_queued")
+       << ",\n"
+       << "    \"replan_edges_reused\": "
+       << metrics.Total("heal.replan_edges_reused") << ",\n"
+       << "    \"replan_edges_reoptimized\": "
+       << metrics.Total("heal.replan_edges_reoptimized") << ",\n"
+       << "    \"image_installs\": " << metrics.Total("runtime.image_installs")
+       << ",\n"
+       << "    \"image_install_bytes\": "
+       << metrics.Total("runtime.image_install_bytes") << "\n"
+       << "  }\n}\n";
+  bench::MaybeWriteMetricsJson(argc, argv, metrics);
   bench::EmitTable(
       "fault_recovery_self_healing",
       "GDI topology, oracle-free self-healing loop; extra Bernoulli drop on "

@@ -1,7 +1,10 @@
 #include "harness.h"
 
+#include <fstream>
 #include <iostream>
 #include <memory>
+
+#include "common/flags.h"
 
 namespace m2m::bench {
 
@@ -52,6 +55,23 @@ void EmitTable(const std::string& experiment_id, const std::string& setup,
   std::cout << "\nCSV:\n";
   table.PrintCsv(std::cout);
   std::cout << std::endl;
+}
+
+bool MaybeWriteMetricsJson(int argc, const char* const argv[],
+                           const obs::MetricsRegistry& registry) {
+  FlagParser flags(argc, argv);
+  const std::string path = flags.GetString(
+      "metrics-json", "",
+      "write an m2m.metrics.v1 snapshot of the run's metrics to this path");
+  if (path.empty()) return false;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot open --metrics-json path " << path << "\n";
+    return false;
+  }
+  out << registry.ToJson() << "\n";
+  std::cout << "metrics snapshot written to " << path << std::endl;
+  return true;
 }
 
 }  // namespace m2m::bench

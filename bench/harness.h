@@ -5,6 +5,7 @@
 
 #include "common/table.h"
 #include "core/m2m.h"
+#include "obs/metrics.h"
 
 namespace m2m::bench {
 
@@ -29,6 +30,12 @@ AlgorithmEnergies MeasureAlgorithms(const Topology& topology,
 /// the experiment id so EXPERIMENTS.md can reference the output verbatim.
 void EmitTable(const std::string& experiment_id, const std::string& setup,
                const Table& table);
+
+/// Honors a `--metrics-json=<path>` flag: when present, writes the
+/// registry's `m2m.metrics.v1` snapshot to the path and returns true.
+/// Without the flag (or with an unwritable path) nothing is written.
+bool MaybeWriteMetricsJson(int argc, const char* const argv[],
+                           const obs::MetricsRegistry& registry);
 
 }  // namespace m2m::bench
 

@@ -10,8 +10,15 @@ TdmaRoundResult ExecuteTdmaRound(const TdmaSchedule& schedule,
                                  const CompiledPlan& compiled,
                                  const Topology& topology,
                                  const EnergyModel& energy,
-                                 double bit_rate_bps) {
+                                 double bit_rate_bps,
+                                 obs::MetricsRegistry* metrics) {
   M2M_CHECK(ValidateTdmaSchedule(schedule, compiled, topology));
+  obs::MetricHandle tx_handle, bytes_handle, slots_handle;
+  if (metrics != nullptr) {
+    tx_handle = metrics->Counter("tdma.transmissions");
+    bytes_handle = metrics->Counter("tdma.payload_bytes");
+    slots_handle = metrics->Counter("tdma.slot_count");
+  }
   const MessageSchedule& messages = compiled.schedule();
 
   // Fixed slot length: the largest frame on the air.
@@ -47,6 +54,13 @@ TdmaRoundResult ExecuteTdmaRound(const TdmaSchedule& schedule,
     result.data_energy_mj +=
         (energy.TxUj(payload) + energy.RxUj(payload)) / 1000.0;
     result.transmissions += 1;
+    if (metrics != nullptr) {
+      metrics->AddNode(tx_handle, assignment.sender, 1);
+      metrics->AddNode(bytes_handle, assignment.sender, payload);
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->Add(slots_handle, schedule.slot_count);
   }
   result.completion_ms = schedule.slot_count * slot_ms;
   for (double e : result.node_energy_mj) result.energy_mj += e;

@@ -1,6 +1,7 @@
 #ifndef M2M_MAC_TDMA_EXECUTOR_H_
 #define M2M_MAC_TDMA_EXECUTOR_H_
 
+#include "obs/metrics.h"
 #include "plan/tdma.h"
 #include "sim/energy_model.h"
 
@@ -24,11 +25,16 @@ struct TdmaRoundResult {
 /// schedule (paper section 3: "avoiding collisions and reducing node
 /// listening time"). Compare against CsmaSimulator::RunRound for the
 /// contention-based alternative.
+///
+/// When `metrics` is non-null the round records per-sender slot
+/// transmissions (`tdma.transmissions`), transmitted payload bytes
+/// (`tdma.payload_bytes`), and the schedule length (`tdma.slot_count`).
 TdmaRoundResult ExecuteTdmaRound(const TdmaSchedule& schedule,
                                  const CompiledPlan& compiled,
                                  const Topology& topology,
                                  const EnergyModel& energy,
-                                 double bit_rate_bps = 38400.0);
+                                 double bit_rate_bps = 38400.0,
+                                 obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace m2m
 

@@ -1,0 +1,188 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace m2m::obs {
+
+namespace {
+
+const char* ControlKindName(ControlKind kind) {
+  switch (kind) {
+    case ControlKind::kReport:
+      return "report";
+    case ControlKind::kReportAck:
+      return "reportack";
+    case ControlKind::kImage:
+      return "image";
+    case ControlKind::kBump:
+      return "bump";
+    case ControlKind::kInstallAck:
+      return "ack";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TraceEvent::Render() const {
+  switch (kind) {
+    case Kind::kText:
+      return text;
+    case Kind::kSend: {
+      std::ostringstream line;
+      line << "t" << time << " tx " << from << ">" << to << " m"
+           << message_id << " a" << attempt << " b" << payload_bytes << " ";
+      switch (outcome) {
+        case SendOutcome::kRx:
+          line << "rx";
+          break;
+        case SendOutcome::kDuplicate:
+          line << "dup";
+          break;
+        case SendOutcome::kEpochRejected:
+          line << "epoch";
+          break;
+        case SendOutcome::kDropped:
+          line << "drop@" << drop_hop;
+          break;
+        case SendOutcome::kDeadRecipient:
+          line << "dead";
+          break;
+      }
+      if (ack_lost) line << "+acklost";
+      return line.str();
+    }
+    case Kind::kGiveUp: {
+      std::ostringstream line;
+      line << "t" << time << " giveup " << from << ">" << to << " m"
+           << message_id;
+      return line.str();
+    }
+    case Kind::kSuspect: {
+      std::ostringstream line;
+      line << "r" << time << " suspect " << from << ">" << to;
+      return line.str();
+    }
+    case Kind::kControl: {
+      std::ostringstream line;
+      line << "r" << time << " ctrl " << ControlKindName(control) << " "
+           << from << ">" << to << " b" << payload_bytes << " delivered";
+      return line.str();
+    }
+    case Kind::kReplan: {
+      std::ostringstream line;
+      line << "r" << time << " replan epoch=" << epoch
+           << " links=" << failed_links << " dead=" << dead_nodes
+           << " images=" << images << " bumps=" << bumps
+           << " reused=" << edges_reused << " reopt=" << edges_reoptimized;
+      return line.str();
+    }
+  }
+  return {};
+}
+
+void RoundTrace::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ > 0) {
+    while (events_.size() > capacity_) events_.pop_front();
+  }
+}
+
+void RoundTrace::Append(TraceEvent event) {
+  ++total_appended_;
+  events_.push_back(std::move(event));
+  if (capacity_ > 0 && events_.size() > capacity_) events_.pop_front();
+}
+
+void RoundTrace::Text(std::string line) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kText;
+  event.text = std::move(line);
+  Append(std::move(event));
+}
+
+void RoundTrace::Send(int tick, NodeId from, NodeId to, int message_id,
+                      int attempt, int payload_bytes, SendOutcome outcome,
+                      bool ack_lost, int drop_hop) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSend;
+  event.time = tick;
+  event.from = from;
+  event.to = to;
+  event.message_id = message_id;
+  event.attempt = attempt;
+  event.payload_bytes = payload_bytes;
+  event.outcome = outcome;
+  event.ack_lost = ack_lost;
+  event.drop_hop = drop_hop;
+  Append(std::move(event));
+}
+
+void RoundTrace::GiveUp(int tick, NodeId from, NodeId to, int message_id) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kGiveUp;
+  event.time = tick;
+  event.from = from;
+  event.to = to;
+  event.message_id = message_id;
+  Append(std::move(event));
+}
+
+void RoundTrace::Suspect(int round, NodeId monitor, NodeId neighbor) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kSuspect;
+  event.time = round;
+  event.from = monitor;
+  event.to = neighbor;
+  Append(std::move(event));
+}
+
+void RoundTrace::Control(int round, ControlKind kind, NodeId origin,
+                         NodeId target, size_t payload_bytes) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kControl;
+  event.time = round;
+  event.control = kind;
+  event.from = origin;
+  event.to = target;
+  event.payload_bytes = static_cast<int>(payload_bytes);
+  Append(std::move(event));
+}
+
+void RoundTrace::Replan(int round, uint32_t epoch, int failed_links,
+                        int dead_nodes, int images, int bumps,
+                        int edges_reused, int edges_reoptimized) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::kReplan;
+  event.time = round;
+  event.epoch = epoch;
+  event.failed_links = failed_links;
+  event.dead_nodes = dead_nodes;
+  event.images = images;
+  event.bumps = bumps;
+  event.edges_reused = edges_reused;
+  event.edges_reoptimized = edges_reoptimized;
+  Append(std::move(event));
+}
+
+size_t RoundTrace::RetainedBytes() const {
+  size_t bytes = events_.size() * sizeof(TraceEvent);
+  for (const TraceEvent& event : events_) bytes += event.text.capacity();
+  return bytes;
+}
+
+std::string RoundTrace::ToString() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += event.Render();
+    out += '\n';
+  }
+  return out;
+}
+
+void RoundTrace::Clear() {
+  events_.clear();
+  total_appended_ = 0;
+}
+
+}  // namespace m2m::obs

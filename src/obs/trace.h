@@ -1,0 +1,135 @@
+#ifndef M2M_OBS_TRACE_H_
+#define M2M_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "common/ids.h"
+
+namespace m2m::obs {
+
+/// What the runtime did with one data-plane transmission attempt.
+enum class SendOutcome : uint8_t {
+  kRx,             ///< Fresh delivery, decoded and merged.
+  kDuplicate,      ///< Delivered but suppressed by receiver dedup.
+  kEpochRejected,  ///< Delivered but dropped whole by the epoch gate.
+  kDropped,        ///< Lost mid-segment (drop_hop = 1-based failing hop).
+  kDeadRecipient,  ///< Recipient is not alive this round.
+};
+
+/// Control-plane message kinds (mirrors SelfHealingRuntime's protocol).
+enum class ControlKind : uint8_t {
+  kReport,      ///< Suspicion report, monitor -> base.
+  kReportAck,   ///< Base's echo of a landed report.
+  kImage,       ///< Full plan image, base -> node.
+  kBump,        ///< 5-byte epoch bump, base -> node.
+  kInstallAck,  ///< Install acknowledgment, node -> base.
+};
+
+/// One structured trace record. The typed kinds cover every event the
+/// runtime emits; kText carries free-form lines (schedule descriptions,
+/// test-side round summaries). `Render()` produces the exact line the
+/// legacy string trace printed — the 20-seed differential tests replay
+/// those bytes, so the rendering is a tested determinism contract, not a
+/// debug convenience.
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kText,     ///< Free-form line in `text`.
+    kSend,     ///< Data transmission attempt and its outcome.
+    kGiveUp,   ///< Retry budget exhausted, message never delivered.
+    kSuspect,  ///< A monitor raised a suspicion on a neighbor link.
+    kControl,  ///< A control-plane message reached its target.
+    kReplan,   ///< The base station opened a new plan epoch.
+  };
+
+  Kind kind = Kind::kText;
+  /// Tick (kSend/kGiveUp) or round (kSuspect/kControl/kReplan).
+  int time = 0;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  int message_id = -1;
+  int attempt = 0;
+  int payload_bytes = 0;
+  SendOutcome outcome = SendOutcome::kRx;
+  /// Delivered but the reverse-path ack was lost (sender will retry).
+  bool ack_lost = false;
+  /// For kDropped: 1-based index of the segment hop that failed.
+  int drop_hop = 0;
+  ControlKind control = ControlKind::kReport;
+  // --- kReplan fields ---
+  uint32_t epoch = 0;
+  int failed_links = 0;
+  int dead_nodes = 0;
+  int images = 0;
+  int bumps = 0;
+  int edges_reused = 0;
+  int edges_reoptimized = 0;
+  /// kText payload; empty for typed records (keeps them fixed-size).
+  std::string text;
+
+  /// Renders the record to its canonical (legacy-identical) line.
+  std::string Render() const;
+};
+
+/// Structured, optionally bounded event trace — the source of truth behind
+/// the runtime's `EventTrace`. Typed records are appended on the hot path
+/// without any string formatting; rendering happens only in `ToString`.
+///
+/// By default the trace is append-only and unbounded (the differential
+/// tests replay full traces). `set_capacity(n)` switches it to a ring of
+/// the most recent `n` records: memory stays constant over arbitrarily
+/// long runs, and `dropped()` reports how many records aged out.
+class RoundTrace {
+ public:
+  RoundTrace() = default;
+
+  /// 0 (default) = unbounded; otherwise keep only the `capacity` most
+  /// recent records. Shrinking below the current size drops the oldest.
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+
+  void Append(TraceEvent event);
+
+  // Typed emitters — no formatting cost at call time.
+  void Text(std::string line);
+  void Send(int tick, NodeId from, NodeId to, int message_id, int attempt,
+            int payload_bytes, SendOutcome outcome, bool ack_lost,
+            int drop_hop = 0);
+  void GiveUp(int tick, NodeId from, NodeId to, int message_id);
+  void Suspect(int round, NodeId monitor, NodeId neighbor);
+  void Control(int round, ControlKind kind, NodeId origin, NodeId target,
+               size_t payload_bytes);
+  void Replan(int round, uint32_t epoch, int failed_links, int dead_nodes,
+              int images, int bumps, int edges_reused,
+              int edges_reoptimized);
+
+  /// Records currently retained.
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  /// Records ever appended, including ones the ring dropped.
+  uint64_t total_appended() const { return total_appended_; }
+  /// Records dropped by the ring (0 in unbounded mode).
+  uint64_t dropped() const { return total_appended_ - events_.size(); }
+  /// Approximate retained memory: record payloads plus text capacities.
+  /// Constant in capped mode once the ring is full of typed records —
+  /// the 10k-round regression test asserts exactly that.
+  size_t RetainedBytes() const;
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+
+  /// Renders every retained record, one line each, in append order.
+  std::string ToString() const;
+
+  void Clear();
+
+ private:
+  std::deque<TraceEvent> events_;
+  size_t capacity_ = 0;
+  uint64_t total_appended_ = 0;
+};
+
+}  // namespace m2m::obs
+
+#endif  // M2M_OBS_TRACE_H_

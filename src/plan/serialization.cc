@@ -132,10 +132,15 @@ std::optional<DecodedNodeState> TryDecodeNodeState(
   uint64_t epoch = reader.ReadVarint();
   if (!reader.ok || epoch > 0xffffffffull) return std::nullopt;
   decoded.plan_epoch = static_cast<uint32_t>(epoch);
+  // Each `*_count` is validated against the bytes actually left, scaled by
+  // that table's minimum encoded entry size (raw 2, preagg 11, partial 4,
+  // outgoing 2 bytes). An oversized count from a hostile image is rejected
+  // before it drives the reserve or the loop, so a 5-byte image claiming
+  // 2^30 entries costs O(1), not O(count).
+  // (Division form: `count * size` could wrap uint64 for a hostile count.)
   uint64_t raw_count = reader.ReadVarint();
-  // Every entry occupies at least two bytes; a count beyond the remaining
-  // bytes is corrupt and must not drive the reserve/loop below.
-  if (!reader.ok || raw_count > reader.remaining()) return std::nullopt;
+  if (!reader.ok || raw_count > reader.remaining() / 2) return std::nullopt;
+  decoded.state.raw_table.reserve(raw_count);
   for (uint64_t i = 0; i < raw_count && reader.ok; ++i) {
     RawTableEntry entry;
     entry.source = reader.ReadSmall();
@@ -143,7 +148,11 @@ std::optional<DecodedNodeState> TryDecodeNodeState(
     decoded.state.raw_table.push_back(entry);
   }
   uint64_t preagg_count = reader.ReadVarint();
-  if (!reader.ok || preagg_count > reader.remaining()) return std::nullopt;
+  if (!reader.ok || preagg_count > reader.remaining() / 11) {
+    return std::nullopt;
+  }
+  decoded.preagg_meta.reserve(preagg_count);
+  decoded.state.preagg_table.reserve(preagg_count);
   for (uint64_t i = 0; i < preagg_count && reader.ok; ++i) {
     PreAggTableEntry entry;
     entry.source = reader.ReadSmall();
@@ -156,7 +165,11 @@ std::optional<DecodedNodeState> TryDecodeNodeState(
     decoded.state.preagg_table.push_back(entry);
   }
   uint64_t partial_count = reader.ReadVarint();
-  if (!reader.ok || partial_count > reader.remaining()) return std::nullopt;
+  if (!reader.ok || partial_count > reader.remaining() / 4) {
+    return std::nullopt;
+  }
+  decoded.partial_kinds.reserve(partial_count);
+  decoded.state.partial_table.reserve(partial_count);
   for (uint64_t i = 0; i < partial_count && reader.ok; ++i) {
     PartialTableEntry entry;
     entry.destination = reader.ReadSmall();
@@ -166,8 +179,14 @@ std::optional<DecodedNodeState> TryDecodeNodeState(
     decoded.partial_kinds.push_back(reader.ReadU8());
     decoded.state.partial_table.push_back(entry);
   }
+  // The trailing is_destination byte follows the outgoing table, so each
+  // 2-byte-minimum entry must fit in remaining() - 1.
   uint64_t outgoing_count = reader.ReadVarint();
-  if (!reader.ok || outgoing_count > reader.remaining()) return std::nullopt;
+  if (!reader.ok || reader.remaining() < 1 ||
+      outgoing_count > (reader.remaining() - 1) / 2) {
+    return std::nullopt;
+  }
+  decoded.state.outgoing_table.reserve(outgoing_count);
   for (uint64_t i = 0; i < outgoing_count && reader.ok; ++i) {
     OutgoingMessageEntry entry;
     entry.message_id = static_cast<int>(i);

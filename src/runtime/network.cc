@@ -1,21 +1,34 @@
 #include "runtime/network.h"
 
+#include <algorithm>
 #include <deque>
 #include <map>
-#include <sstream>
 
 #include "common/check.h"
 #include "plan/serialization.h"
 
 namespace m2m {
 
-std::string EventTrace::ToString() const {
-  std::string out;
-  for (const std::string& line : lines) {
-    out += line;
-    out += '\n';
+int64_t RetryPolicy::BackoffWaitTicks(int attempt) const {
+  M2M_CHECK_GE(attempt, 1);
+  // The clamp doubles as the overflow guard: wait only grows while below
+  // max_backoff_ticks, so the product never exceeds
+  // max_backoff_ticks * backoff_factor, well inside int64.
+  int64_t wait = ack_timeout_ticks;
+  for (int k = 1; k < attempt && wait < max_backoff_ticks; ++k) {
+    wait *= backoff_factor;
   }
-  return out;
+  return std::min(wait, max_backoff_ticks);
+}
+
+int64_t RetryPolicy::RetryHorizonTicks() const {
+  int64_t horizon = 1;
+  int64_t wait = ack_timeout_ticks;
+  for (int k = 1; k < max_attempts; ++k) {
+    horizon += std::min(wait, max_backoff_ticks);
+    if (wait < max_backoff_ticks) wait *= backoff_factor;
+  }
+  return horizon;
 }
 
 RuntimeNetwork::RuntimeNetwork(const CompiledPlan& compiled,
@@ -39,6 +52,32 @@ RuntimeNetwork::RuntimeNetwork(const CompiledPlan& compiled,
   }
 }
 
+void RuntimeNetwork::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  handles_.tx_attempts = metrics_->Counter("runtime.tx_attempts");
+  handles_.tx_bytes = metrics_->Counter("runtime.tx_bytes");
+  handles_.rx_packets = metrics_->Counter("runtime.rx_packets");
+  handles_.rx_bytes = metrics_->Counter("runtime.rx_bytes");
+  handles_.hop_transmissions = metrics_->Counter("runtime.hop_transmissions");
+  handles_.retransmissions = metrics_->Counter("runtime.retransmissions");
+  handles_.backoff_wait_ticks =
+      metrics_->Counter("runtime.backoff_wait_ticks");
+  handles_.acks_delivered = metrics_->Counter("runtime.acks_delivered");
+  handles_.acks_lost = metrics_->Counter("runtime.acks_lost");
+  handles_.dedup_hits = metrics_->Counter("runtime.dedup_hits");
+  handles_.epoch_gate_drops = metrics_->Counter("runtime.epoch_gate_drops");
+  handles_.messages_abandoned =
+      metrics_->Counter("runtime.messages_abandoned");
+  handles_.tx_packets = metrics_->Counter("runtime.tx_packets");
+  handles_.delivery_passes = metrics_->Counter("runtime.delivery_passes");
+  handles_.attempts_per_message =
+      metrics_->Histogram("runtime.attempts_per_message");
+  handles_.round_ticks = metrics_->Histogram("runtime.round_ticks");
+  handles_.installs = metrics_->Counter("runtime.image_installs");
+  handles_.install_bytes = metrics_->Counter("runtime.image_install_bytes");
+}
+
 void RuntimeNetwork::InstallNodeImage(NodeId node,
                                       const std::vector<uint8_t>& image,
                                       std::vector<std::vector<NodeId>> segments) {
@@ -52,6 +91,11 @@ void RuntimeNetwork::InstallNodeImage(NodeId node,
   for (const std::vector<NodeId>& segment : message_segments_[node]) {
     M2M_CHECK_GE(segment.size(), 2u);
     message_hops_[node].push_back(static_cast<int>(segment.size()) - 1);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->AddNode(handles_.installs, node, 1);
+    metrics_->AddNode(handles_.install_bytes, node,
+                      static_cast<int64_t>(image.size()));
   }
 }
 
@@ -99,9 +143,19 @@ RuntimeNetwork::Result RuntimeNetwork::RunRound(
       result.payload_bytes += payload;
       result.energy_mj += hops * energy.UnicastHopUj(payload) / 1000.0;
       NodeRuntime& recipient = nodes_[flight.packet.recipient];
+      if (metrics_ != nullptr) {
+        metrics_->AddNode(handles_.tx_packets, flight.sender, 1);
+        metrics_->AddNode(handles_.tx_bytes, flight.sender, payload);
+        metrics_->AddNode(handles_.rx_packets, flight.packet.recipient, 1);
+        metrics_->AddNode(handles_.rx_bytes, flight.packet.recipient,
+                          payload);
+      }
       recipient.OnReceive(flight.packet.payload);
       collect(recipient);
     }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add(handles_.delivery_passes, result.delivery_passes);
   }
 
   for (const NodeRuntime& node : nodes_) {
@@ -122,6 +176,13 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
   M2M_CHECK_GE(retry.max_attempts, 1);
   M2M_CHECK_GE(retry.ack_timeout_ticks, 1);
   M2M_CHECK_GE(retry.backoff_factor, 1);
+  M2M_CHECK_GE(retry.max_backoff_ticks, retry.ack_timeout_ticks)
+      << "max_backoff_ticks must not undercut the base ack timeout";
+  // Ticks stay in int; the clamp bounds the horizon, but a pathological
+  // policy (huge max_attempts * huge clamp) must fail loudly, not wrap.
+  const int64_t retry_horizon_ticks = retry.RetryHorizonTicks();
+  M2M_CHECK_LE(retry_horizon_ticks, int64_t{1} << 30)
+      << "retry policy horizon overflows the tick domain";
   auto alive = [&](NodeId n) {
     return links.node_alive == nullptr || links.node_alive(n);
   };
@@ -146,19 +207,12 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       agenda[tick].push_back(transfers.size() - 1);
     }
   };
-
-  // Latest lag (in ticks) between a receiver first seeing a message and the
-  // sender's final possible retransmission arriving: the sum of all backoff
-  // waits. A dedup entry older than this can never see another duplicate,
-  // so it is safe to evict — this is what bounds the dedup table.
-  int64_t retry_horizon_ticks = 1;
-  {
-    int64_t wait = retry.ack_timeout_ticks;
-    for (int k = 1; k < retry.max_attempts; ++k) {
-      retry_horizon_ticks += wait;
-      wait *= retry.backoff_factor;
+  auto observe_message_done = [&](const Transfer& transfer) {
+    if (metrics_ != nullptr) {
+      metrics_->Observe(handles_.attempts_per_message,
+                        transfer.attempts_made);
     }
-  }
+  };
 
   for (NodeRuntime& node : nodes_) {
     if (!alive(node.id())) continue;
@@ -172,8 +226,12 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     result.final_tick = tick;
     // Dedup entries older than the retry horizon can never be duplicated
     // again; drop them so the table stays O(in-flight), not O(received).
+    // The boundary is exact: an entry stamped t is retained through
+    // processing tick t + horizon, and the last possible retransmission
+    // of its message arrives at t + horizon - 1 (obs_test pins this).
     if (tick > retry_horizon_ticks) {
-      const int evict_before = tick - static_cast<int>(retry_horizon_ticks);
+      const int evict_before =
+          tick - static_cast<int>(retry_horizon_ticks);
       for (NodeRuntime& node : nodes_) {
         node.EvictSeenPacketsBefore(evict_before);
       }
@@ -195,6 +253,11 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       const int attempt = ++transfers[index].attempts_made;
       result.attempts += 1;
       if (attempt > 1) result.retransmissions += 1;
+      if (metrics_ != nullptr) {
+        metrics_->AddNode(handles_.tx_attempts, sender, 1);
+        metrics_->AddNode(handles_.tx_bytes, sender, payload);
+        if (attempt > 1) metrics_->Add(handles_.retransmissions, 1);
+      }
 
       // Data crosses the segment hop by hop; the first dead hop burns one
       // transmit and stops the packet.
@@ -207,6 +270,10 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
             break;
           }
           ++hops_crossed;
+          if (metrics_ != nullptr) {
+            metrics_->AddEdge(handles_.hop_transmissions, segment[h],
+                              segment[h + 1], 1);
+          }
           // Heartbeat evidence: segment[h+1] heard segment[h] transmit.
           result.heard.emplace(segment[h], segment[h + 1]);
         }
@@ -216,12 +283,16 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
         result.energy_mj += energy.TxUj(payload) / 1000.0;
       }
 
-      std::string outcome;
+      obs::SendOutcome outcome = obs::SendOutcome::kDeadRecipient;
       bool acked = false;
       if (delivered) {
         result.deliveries += 1;
         result.payload_bytes += payload;
         NodeRuntime& recipient = nodes_[packet_recipient];
+        if (metrics_ != nullptr) {
+          metrics_->AddNode(handles_.rx_packets, packet_recipient, 1);
+          metrics_->AddNode(handles_.rx_bytes, packet_recipient, payload);
+        }
         switch (recipient.OnReceiveOnce(sender, message_id,
                                         transfers[index].epoch,
                                         transfers[index].packet.payload,
@@ -229,18 +300,25 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
           case NodeRuntime::ReceiveOutcome::kFresh:
             transfers[index].delivered_once = true;
             collect(recipient, tick + 1);
-            outcome = "rx";
+            outcome = obs::SendOutcome::kRx;
             break;
           case NodeRuntime::ReceiveOutcome::kDuplicate:
             result.duplicates += 1;
-            outcome = "dup";
+            if (metrics_ != nullptr) {
+              metrics_->AddNode(handles_.dedup_hits, packet_recipient, 1);
+            }
+            outcome = obs::SendOutcome::kDuplicate;
             break;
           case NodeRuntime::ReceiveOutcome::kEpochMismatch:
             // Dropped whole, but still acked below: the mismatch is a plan
             // generation gap, not a link failure — retrying cannot help.
             transfers[index].delivered_once = true;
             result.epoch_rejected += 1;
-            outcome = "epoch";
+            if (metrics_ != nullptr) {
+              metrics_->AddNode(handles_.epoch_gate_drops, packet_recipient,
+                                1);
+            }
+            outcome = obs::SendOutcome::kEpochRejected;
             break;
         }
         // Ack travels the segment in reverse; header-only payload.
@@ -255,42 +333,56 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
           result.heard.emplace(segment[h], segment[h - 1]);
         }
         result.energy_mj += ack_hops * energy.UnicastHopUj(0) / 1000.0;
-        if (!acked) {
+        if (acked) {
+          if (metrics_ != nullptr) {
+            metrics_->AddNode(handles_.acks_delivered, sender, 1);
+          }
+        } else {
           result.energy_mj += energy.TxUj(0) / 1000.0;
           result.acks_lost += 1;
-          outcome += "+acklost";
+          if (metrics_ != nullptr) {
+            metrics_->AddNode(handles_.acks_lost, sender, 1);
+          }
         }
-      } else {
-        outcome = alive(packet_recipient)
-                      ? "drop@" + std::to_string(hops_crossed + 1)
-                      : "dead";
+      } else if (alive(packet_recipient)) {
+        outcome = obs::SendOutcome::kDropped;
       }
 
       if (trace != nullptr) {
-        std::ostringstream line;
-        line << "t" << tick << " tx " << sender << ">" << packet_recipient
-             << " m" << message_id << " a" << attempt << " b" << payload
-             << " " << outcome;
-        trace->Append(line.str());
+        trace->Send(tick, sender, packet_recipient, message_id, attempt,
+                    payload, outcome, delivered && !acked,
+                    /*drop_hop=*/outcome == obs::SendOutcome::kDropped
+                        ? hops_crossed + 1
+                        : 0);
       }
 
       if (!acked) {
         if (attempt < retry.max_attempts) {
-          int timeout = retry.ack_timeout_ticks;
-          for (int k = 1; k < attempt; ++k) timeout *= retry.backoff_factor;
-          agenda[tick + timeout].push_back(index);
-        } else if (!transfers[index].delivered_once) {
-          result.messages_abandoned += 1;
-          if (trace != nullptr) {
-            std::ostringstream line;
-            line << "t" << tick << " giveup " << sender << ">"
-                 << packet_recipient << " m" << message_id;
-            trace->Append(line.str());
+          const int64_t timeout = retry.BackoffWaitTicks(attempt);
+          agenda[tick + static_cast<int>(timeout)].push_back(index);
+          if (metrics_ != nullptr) {
+            metrics_->Add(handles_.backoff_wait_ticks, timeout);
+          }
+        } else {
+          observe_message_done(transfers[index]);
+          if (!transfers[index].delivered_once) {
+            result.messages_abandoned += 1;
+            if (metrics_ != nullptr) {
+              metrics_->AddNode(handles_.messages_abandoned, sender, 1);
+            }
+            if (trace != nullptr) {
+              trace->GiveUp(tick, sender, packet_recipient, message_id);
+            }
           }
         }
+      } else {
+        observe_message_done(transfers[index]);
       }
     }
     agenda.erase(agenda_it);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Observe(handles_.round_ticks, result.final_tick);
   }
 
   for (const NodeRuntime& node : nodes_) {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "agg/aggregate_function.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/node_tables.h"
 #include "runtime/node_runtime.h"
 #include "sim/energy_model.h"
@@ -19,20 +21,44 @@ namespace m2m {
 /// Bounded-retransmission policy for lossy rounds: a sender retries an
 /// unacked message up to `max_attempts` total attempts, waiting
 /// `ack_timeout_ticks * backoff_factor^(attempt-1)` ticks between attempts
-/// (per-edge exponential backoff).
+/// (per-edge exponential backoff), clamped to `max_backoff_ticks`.
 struct RetryPolicy {
   int max_attempts = 4;
   int ack_timeout_ticks = 2;
   int backoff_factor = 2;
+  /// Upper clamp on one backoff wait. Without the clamp, the exponential
+  /// overflows `int` around attempt 33 (e.g. max_attempts = 40), turning
+  /// timeouts negative and scheduling retransmissions in the past.
+  int64_t max_backoff_ticks = int64_t{1} << 16;
+
+  /// Ticks a sender waits after unacked attempt `attempt` (1-based) before
+  /// retransmitting. Computed in int64 and clamped, so it is positive and
+  /// monotone non-decreasing for every `max_attempts`.
+  int64_t BackoffWaitTicks(int attempt) const;
+
+  /// Latest lag (in ticks) between a receiver first seeing a message and
+  /// the sender's final possible retransmission arriving, plus one: the
+  /// sum of all backoff waits. A dedup entry older than this can never see
+  /// another duplicate, so it is safe to evict — this single derivation is
+  /// what both the retransmission scheduler and the receiver dedup
+  /// eviction use, keeping the two sides of the boundary consistent.
+  int64_t RetryHorizonTicks() const;
 };
 
-/// Append-only log of runtime events (send/recv/ack/drop/...). Replaying
+/// Append-only log of runtime events, backed by the structured
+/// obs::RoundTrace: the runtime appends typed records (send/recv/ack/drop/
+/// giveup/suspect/control/replan), and `ToString()` renders them to the
+/// exact byte-identical text the legacy string trace produced. Replaying
 /// the same fault schedule must reproduce this byte for byte — the
 /// determinism contract the differential fault tests assert.
-struct EventTrace {
-  std::vector<std::string> lines;
-  void Append(std::string line) { lines.push_back(std::move(line)); }
-  std::string ToString() const;
+///
+/// `set_capacity(n)` (inherited) bounds memory to a ring of the most
+/// recent n records for multi-thousand-round runs; the default is the
+/// legacy unbounded mode.
+struct EventTrace : obs::RoundTrace {
+  using obs::RoundTrace::Append;
+  /// Legacy free-form append (schedule descriptions, round summaries).
+  void Append(std::string line) { Text(std::move(line)); }
 };
 
 /// Link-layer behavior for one lossy round. `attempt_delivers` decides each
@@ -112,6 +138,13 @@ class RuntimeNetwork {
                             const EnergyModel& energy = {},
                             EventTrace* trace = nullptr);
 
+  /// Attaches a metrics registry: subsequent rounds record per-node and
+  /// per-edge counters (tx/rx packets and bytes, retries, backoff waits,
+  /// acks, dedup hits, epoch-gate drops) plus per-round histograms.
+  /// Pass nullptr to detach. The registry must outlive the network.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Total bytes of all installed node images (the dissemination payload).
   int64_t installed_image_bytes() const { return installed_image_bytes_; }
 
@@ -129,12 +162,37 @@ class RuntimeNetwork {
   const NodeRuntime& node_runtime(NodeId node) const;
 
  private:
+  /// Pre-resolved metric handles, registered once in set_metrics so the
+  /// per-packet hot path is handle-indexed adds only.
+  struct MetricHandles {
+    obs::MetricHandle tx_attempts;
+    obs::MetricHandle tx_bytes;
+    obs::MetricHandle rx_packets;
+    obs::MetricHandle rx_bytes;
+    obs::MetricHandle hop_transmissions;
+    obs::MetricHandle retransmissions;
+    obs::MetricHandle backoff_wait_ticks;
+    obs::MetricHandle acks_delivered;
+    obs::MetricHandle acks_lost;
+    obs::MetricHandle dedup_hits;
+    obs::MetricHandle epoch_gate_drops;
+    obs::MetricHandle messages_abandoned;
+    obs::MetricHandle tx_packets;
+    obs::MetricHandle delivery_passes;
+    obs::MetricHandle attempts_per_message;
+    obs::MetricHandle round_ticks;
+    obs::MetricHandle installs;
+    obs::MetricHandle install_bytes;
+  };
+
   std::vector<NodeRuntime> nodes_;
   /// Physical hop count per (node, local message id).
   std::vector<std::vector<int>> message_hops_;
   /// Physical segment (tail..head inclusive) per (node, local message id).
   std::vector<std::vector<std::vector<NodeId>>> message_segments_;
   int64_t installed_image_bytes_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  MetricHandles handles_;
 };
 
 }  // namespace m2m

@@ -578,7 +578,37 @@ RoundResult PlanExecutor::RunSuppressedRoundImpl(
   for (size_t n = 0; n < new_readings.size(); ++n) {
     if (changed[n]) last_readings_[n] = new_readings[n];
   }
+
+  if (metrics_ != nullptr) {
+    std::set<NodeId> sources;
+    for (const Task& task : forest.tasks()) {
+      sources.insert(task.sources.begin(), task.sources.end());
+    }
+    int64_t changed_count = 0;
+    for (NodeId s : sources) {
+      if (changed[s]) ++changed_count;
+    }
+    metrics_->Add(handles_.rounds, 1);
+    metrics_->Add(handles_.changed_sources, changed_count);
+    metrics_->Add(handles_.suppressed_sources,
+                  static_cast<int64_t>(sources.size()) - changed_count);
+    metrics_->Add(handles_.overrides, result.overrides);
+    metrics_->Add(handles_.payload_bytes, result.payload_bytes);
+    metrics_->Add(handles_.messages, result.messages);
+  }
   return result;
+}
+
+void PlanExecutor::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  handles_.rounds = metrics_->Counter("suppress.rounds");
+  handles_.changed_sources = metrics_->Counter("suppress.changed_sources");
+  handles_.suppressed_sources =
+      metrics_->Counter("suppress.suppressed_sources");
+  handles_.overrides = metrics_->Counter("suppress.overrides");
+  handles_.payload_bytes = metrics_->Counter("suppress.payload_bytes");
+  handles_.messages = metrics_->Counter("suppress.messages");
 }
 
 int64_t PlanExecutor::CountReplicatedPreAggEntries() const {

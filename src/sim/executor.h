@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "agg/aggregate_function.h"
+#include "obs/metrics.h"
 #include "plan/node_tables.h"
 #include "sim/energy_model.h"
 
@@ -122,6 +123,13 @@ class PlanExecutor {
       const std::vector<double>& new_readings, double epsilon,
       OverridePolicy policy, bool replicated_preagg = false);
 
+  /// Attaches a metrics registry: suppressed rounds then record changed vs
+  /// suppressed source counts, override decisions, and transmitted payload
+  /// bytes (the paper section 3 suppression quantities). Pass nullptr to
+  /// detach. The registry must outlive the executor.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Maintained aggregate per destination (valid after InitializeState).
   const std::unordered_map<NodeId, double>& current_aggregates() const {
     return current_aggregates_;
@@ -149,10 +157,22 @@ class PlanExecutor {
                                      OverridePolicy policy, double epsilon,
                                      bool replicated_preagg);
 
+  /// Pre-resolved metric handles, registered once in set_metrics.
+  struct MetricHandles {
+    obs::MetricHandle rounds;
+    obs::MetricHandle changed_sources;
+    obs::MetricHandle suppressed_sources;
+    obs::MetricHandle overrides;
+    obs::MetricHandle payload_bytes;
+    obs::MetricHandle messages;
+  };
+
   std::shared_ptr<const CompiledPlan> compiled_;
   FunctionSet functions_;
   EnergyModel energy_;
   FreeLinkFn free_link_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  MetricHandles handles_;
 
   /// Key(node, destination) -> forest edge index on which that node emits
   /// the destination's partial record (if any).

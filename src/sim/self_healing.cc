@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <sstream>
 
 #include "common/check.h"
 #include "plan/dissemination.h"
@@ -16,20 +15,22 @@ namespace {
 
 constexpr int64_t kUnreachableWeight = std::numeric_limits<int64_t>::max();
 
-const char* KindName(int kind) {
+/// Maps ControlMessage::Kind (by ordinal: report, reportack, image, bump,
+/// ack) to the trace's ControlKind.
+obs::ControlKind ToTraceKind(int kind) {
   switch (kind) {
     case 0:
-      return "report";
+      return obs::ControlKind::kReport;
     case 1:
-      return "reportack";
+      return obs::ControlKind::kReportAck;
     case 2:
-      return "image";
+      return obs::ControlKind::kImage;
     case 3:
-      return "bump";
+      return obs::ControlKind::kBump;
     case 4:
-      return "ack";
+      return obs::ControlKind::kInstallAck;
   }
-  return "?";
+  return obs::ControlKind::kReport;
 }
 
 template <typename T>
@@ -64,6 +65,29 @@ SelfHealingRuntime::SelfHealingRuntime(const Topology& topology,
       << "control_hop_attempts must fit the per-hop attempt namespace";
   M2M_CHECK_GE(options_.resend_after_rounds, 1);
   epoch_opened_round_[0] = -1;
+}
+
+void SelfHealingRuntime::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  network_.set_metrics(metrics);
+  if (metrics_ == nullptr) return;
+  handles_.probe_tx = metrics_->Counter("heal.probe_transmissions");
+  handles_.probe_confirms = metrics_->Counter("heal.probe_confirmations");
+  handles_.suspicions = metrics_->Counter("heal.suspicions_raised");
+  handles_.control_hop_attempts =
+      metrics_->Counter("heal.control_hop_attempts");
+  handles_.control_hops = metrics_->Counter("heal.control_hops");
+  handles_.control_delivered =
+      metrics_->Counter("heal.control_messages_delivered");
+  handles_.control_bytes = metrics_->Counter("heal.control_payload_bytes");
+  handles_.replans = metrics_->Counter("heal.replans");
+  handles_.epoch_gauge = metrics_->Gauge("heal.base_epoch");
+  handles_.images_queued = metrics_->Counter("heal.images_queued");
+  handles_.bumps_queued = metrics_->Counter("heal.bumps_queued");
+  handles_.edges_reused = metrics_->Counter("heal.replan_edges_reused");
+  handles_.edges_reoptimized =
+      metrics_->Counter("heal.replan_edges_reoptimized");
+  handles_.pending_installs = metrics_->Gauge("heal.pending_installs");
 }
 
 int SelfHealingRuntime::pending_installs() const {
@@ -102,14 +126,18 @@ SelfHealingRoundResult SelfHealingRuntime::RunRound(
   result.probe_transmissions = detection.probe_transmissions;
   result.probe_confirmations = detection.probe_confirmations;
   result.new_suspicions = static_cast<int>(detection.new_suspicions.size());
+  if (metrics_ != nullptr) {
+    metrics_->Add(handles_.probe_tx, detection.probe_transmissions);
+    metrics_->Add(handles_.probe_confirms, detection.probe_confirmations);
+  }
   for (const SuspectedLink& suspicion : detection.new_suspicions) {
     monitor_outbox_[suspicion.monitor].pending.emplace(suspicion.neighbor,
                                                        suspicion.round);
+    if (metrics_ != nullptr) {
+      metrics_->AddNode(handles_.suspicions, suspicion.monitor, 1);
+    }
     if (trace != nullptr) {
-      std::ostringstream line;
-      line << "r" << round << " suspect " << suspicion.monitor << ">"
-           << suspicion.neighbor;
-      trace->Append(line.str());
+      trace->Suspect(round, suspicion.monitor, suspicion.neighbor);
     }
   }
 
@@ -124,6 +152,15 @@ SelfHealingRoundResult SelfHealingRuntime::RunRound(
 
   result.base_epoch = epoch_;
   result.pending_installs = pending_installs();
+  if (metrics_ != nullptr) {
+    metrics_->Add(handles_.control_hop_attempts, result.control_hop_attempts);
+    metrics_->Add(handles_.control_hops, result.control_hops_crossed);
+    metrics_->Add(handles_.control_delivered,
+                  result.control_messages_delivered);
+    metrics_->Add(handles_.control_bytes, result.control_payload_bytes);
+    metrics_->Set(handles_.epoch_gauge, epoch_);
+    metrics_->Set(handles_.pending_installs, result.pending_installs);
+  }
   return result;
 }
 
@@ -272,12 +309,9 @@ void SelfHealingRuntime::AdvanceControlPlane(int round,
       ControlMessage message = in_flight_[i];
       delivered.push_back(i);
       if (trace != nullptr) {
-        std::ostringstream line;
-        line << "r" << round << " ctrl "
-             << KindName(static_cast<int>(message.kind)) << " "
-             << message.origin << ">" << message.target << " b"
-             << message.payload.size() << " delivered";
-        trace->Append(line.str());
+        trace->Control(round, ToTraceKind(static_cast<int>(message.kind)),
+                       message.origin, message.target,
+                       message.payload.size());
       }
       DeliverControl(message, round, trace);
     }
@@ -410,15 +444,19 @@ void SelfHealingRuntime::MaybeReplan(int round,
   }
 
   result.replanned = true;
+  if (metrics_ != nullptr) {
+    metrics_->Add(handles_.replans, 1);
+    metrics_->Add(handles_.images_queued, images_queued);
+    metrics_->Add(handles_.bumps_queued, bumps_queued);
+    metrics_->Add(handles_.edges_reused, stats.edges_reused);
+    metrics_->Add(handles_.edges_reoptimized, stats.edges_reoptimized);
+  }
   if (trace != nullptr) {
-    std::ostringstream line;
-    line << "r" << round << " replan epoch=" << epoch_
-         << " links=" << ledger_.believed_failed_links().size()
-         << " dead=" << ledger_.believed_dead().size()
-         << " images=" << images_queued << " bumps=" << bumps_queued
-         << " reused=" << stats.edges_reused
-         << " reopt=" << stats.edges_reoptimized;
-    trace->Append(line.str());
+    trace->Replan(round, epoch_,
+                  static_cast<int>(ledger_.believed_failed_links().size()),
+                  static_cast<int>(ledger_.believed_dead().size()),
+                  images_queued, bumps_queued, stats.edges_reused,
+                  stats.edges_reoptimized);
   }
 }
 

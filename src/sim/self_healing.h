@@ -104,6 +104,15 @@ class SelfHealingRuntime {
                                   const LossyLinkModel& physical,
                                   EventTrace* trace = nullptr);
 
+  /// Attaches a metrics registry to the control loop and the underlying
+  /// RuntimeNetwork: rounds then record detector traffic (probes,
+  /// confirmations, suspicion raises), control-plane hop attempts and
+  /// crossings, dissemination (images/bumps queued, install bytes), and
+  /// replan activity (replans, epoch gauge, patch-locality edge counts)
+  /// alongside the runtime.* data-plane counters. Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   uint32_t base_epoch() const { return epoch_; }
   const GlobalPlan& plan() const { return plan_; }
   const CompiledPlan& compiled() const { return *compiled_; }
@@ -144,6 +153,24 @@ class SelfHealingRuntime {
                    EventTrace* trace);
   void RefreshControlPaths();
   std::vector<std::vector<NodeId>> SegmentsFor(NodeId node) const;
+
+  /// Pre-resolved metric handles (see RuntimeNetwork::MetricHandles).
+  struct MetricHandles {
+    obs::MetricHandle probe_tx;
+    obs::MetricHandle probe_confirms;
+    obs::MetricHandle suspicions;
+    obs::MetricHandle control_hop_attempts;
+    obs::MetricHandle control_hops;
+    obs::MetricHandle control_delivered;
+    obs::MetricHandle control_bytes;
+    obs::MetricHandle replans;
+    obs::MetricHandle epoch_gauge;
+    obs::MetricHandle images_queued;
+    obs::MetricHandle bumps_queued;
+    obs::MetricHandle edges_reused;
+    obs::MetricHandle edges_reoptimized;
+    obs::MetricHandle pending_installs;
+  };
 
   const Topology* topology_;
   NodeId base_;
@@ -188,6 +215,9 @@ class SelfHealingRuntime {
   std::map<NodeId, PendingInstall> pending_installs_;
 
   std::map<uint32_t, int> epoch_opened_round_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  MetricHandles handles_;
 };
 
 }  // namespace m2m

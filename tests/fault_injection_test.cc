@@ -393,9 +393,19 @@ TEST(LossyRuntimeTest, DedupTableStaysConstantSizeOverTenThousandRounds) {
   const int kRounds = 10000;
   size_t early_max = 0;  // Max table size in the first 100 rounds.
   size_t late_max = 0;   // Max table size in the last 100 rounds.
+  // Capped trace mode: a ring of the most recent records must hold memory
+  // constant over the whole run while every round keeps appending.
+  EventTrace trace;
+  const size_t kTraceCapacity = 256;
+  trace.set_capacity(kTraceCapacity);
+  size_t early_trace_bytes = 0;  // Retained bytes once the ring is full.
+  size_t late_trace_bytes = 0;
   for (int round = 0; round < kRounds; ++round) {
     RuntimeNetwork::LossyResult lossy =
-        network.RunRoundLossy(readings.values(), links);
+        network.RunRoundLossy(readings.values(), links, {}, {}, &trace);
+    ASSERT_LE(trace.size(), kTraceCapacity) << "round " << round;
+    if (round == 100) early_trace_bytes = trace.RetainedBytes();
+    if (round == kRounds - 1) late_trace_bytes = trace.RetainedBytes();
     ASSERT_GT(lossy.duplicates, 0) << "round " << round;
     ASSERT_TRUE(lossy.incomplete_destinations.empty()) << "round " << round;
     size_t round_max = 0;
@@ -417,6 +427,14 @@ TEST(LossyRuntimeTest, DedupTableStaysConstantSizeOverTenThousandRounds) {
   // Steady state, not slow growth.
   EXPECT_EQ(early_max, late_max);
   EXPECT_GT(late_max, 0u);
+  // The capped trace ran the whole deployment in constant memory: the ring
+  // was full by round 100 and retained exactly the same bytes at the end,
+  // while the append counter kept advancing and the overflow was dropped.
+  EXPECT_EQ(early_trace_bytes, late_trace_bytes);
+  EXPECT_GT(late_trace_bytes, 0u);
+  EXPECT_EQ(trace.size(), kTraceCapacity);
+  EXPECT_GT(trace.total_appended(), static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(trace.dropped(), trace.total_appended() - kTraceCapacity);
 }
 
 // The sampled-failure path (LinkOutcome) and the oracle masking path

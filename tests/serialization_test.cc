@@ -215,6 +215,53 @@ TEST(SerializationFuzzTest, CountPrefixBeyondBufferIsRejected) {
   EXPECT_FALSE(TryDecodeNodeState(image).has_value());
 }
 
+TEST(SerializationFuzzTest, TruncatedVarintAtEpochPrefixIsRejected) {
+  // The plan-epoch varint is the first field of every image; a buffer that
+  // ends mid-varint (continuation bit set, no terminator byte) must be
+  // rejected, not read past the end.
+  EXPECT_FALSE(TryDecodeNodeState({0x80}).has_value());
+  EXPECT_FALSE(
+      TryDecodeNodeState({0xff, 0xff, 0xff, 0xff, 0xff}).has_value());
+  // An unterminated varint longer than 64 bits latches the error too.
+  EXPECT_FALSE(TryDecodeNodeState(std::vector<uint8_t>(11, 0x80))
+                   .has_value());
+  // A terminated epoch beyond uint32 is out of the wire domain.
+  EXPECT_FALSE(
+      TryDecodeNodeState({0x80, 0x80, 0x80, 0x80, 0x10}).has_value());
+}
+
+TEST(SerializationFuzzTest, OversizedCountFieldsAreRejectedUpFront) {
+  // Counts that fit the remaining byte count but not the per-entry minimum
+  // encoded size (raw 2, preagg 11, partial 4, outgoing 2 bytes). The
+  // decoder must reject them before reserving or looping.
+  // epoch=0, raw_count=3 with only 4 payload bytes left (3 entries need 6).
+  EXPECT_FALSE(
+      TryDecodeNodeState({0x00, 0x03, 0x01, 0x01, 0x01, 0x01}).has_value());
+  // epoch=0, raw_count=0, preagg_count=5 with 10 bytes left (needs 55).
+  std::vector<uint8_t> preagg = {0x00, 0x00, 0x05};
+  preagg.insert(preagg.end(), 10, 0x01);
+  EXPECT_FALSE(TryDecodeNodeState(preagg).has_value());
+  // epoch=0, raw=0, preagg=0, partial_count=4 with 8 bytes left (needs 16).
+  std::vector<uint8_t> partial = {0x00, 0x00, 0x00, 0x04};
+  partial.insert(partial.end(), 8, 0x01);
+  EXPECT_FALSE(TryDecodeNodeState(partial).has_value());
+  // epoch=0, all tables empty, outgoing_count=2 with only the trailing
+  // is_destination byte left.
+  EXPECT_FALSE(
+      TryDecodeNodeState({0x00, 0x00, 0x00, 0x00, 0x02, 0x00}).has_value());
+}
+
+TEST(SerializationFuzzTest, HugeCountCannotWrapTheBoundsCheck) {
+  // raw_count = 2^63: a bounds check of the form `count * entry_size >
+  // remaining` would wrap uint64 and pass, driving an astronomically long
+  // loop. The decoder must reject it in O(1).
+  std::vector<uint8_t> image = {0x00};  // epoch = 0.
+  image.insert(image.end(), 9, 0x80);   // varint 2^63...
+  image.push_back(0x01);                // ...terminated.
+  image.insert(image.end(), 16, 0x01);  // Some plausible payload bytes.
+  EXPECT_FALSE(TryDecodeNodeState(image).has_value());
+}
+
 TEST(DisseminationTest, FullCoversAllParticipatingNodes) {
   Env env(64);
   NodeId base = PickBaseStation(env.topology);
