@@ -1,0 +1,63 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace m2m {
+
+namespace {
+
+const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+std::vector<uint8_t> Crc32Frame(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame = payload;
+  uint32_t crc = Crc32(payload);
+  for (int i = 0; i < kCrc32FrameTrailerBytes; ++i) {
+    frame.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xFFu));
+  }
+  return frame;
+}
+
+std::optional<std::vector<uint8_t>> TryOpenCrc32Frame(
+    const std::vector<uint8_t>& frame) {
+  if (frame.size() < static_cast<size_t>(kCrc32FrameTrailerBytes)) {
+    return std::nullopt;
+  }
+  size_t payload_size = frame.size() - kCrc32FrameTrailerBytes;
+  uint32_t stored = 0;
+  for (int i = 0; i < kCrc32FrameTrailerBytes; ++i) {
+    stored |= static_cast<uint32_t>(frame[payload_size + i]) << (8 * i);
+  }
+  if (Crc32(frame.data(), payload_size) != stored) return std::nullopt;
+  return std::vector<uint8_t>(frame.begin(),
+                              frame.begin() + static_cast<ptrdiff_t>(payload_size));
+}
+
+}  // namespace m2m

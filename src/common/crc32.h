@@ -1,0 +1,29 @@
+#ifndef M2M_COMMON_CRC32_H_
+#define M2M_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace m2m {
+
+/// Bytes appended to a payload by Crc32Frame.
+inline constexpr int kCrc32FrameTrailerBytes = 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+uint32_t Crc32(const uint8_t* data, size_t size);
+uint32_t Crc32(const std::vector<uint8_t>& bytes);
+
+/// payload -> payload || crc32(payload), little-endian trailer.
+std::vector<uint8_t> Crc32Frame(const std::vector<uint8_t>& payload);
+
+/// Verifies and strips the CRC trailer. nullopt when the frame is shorter
+/// than the trailer or the checksum mismatches (CRC32 detects every
+/// single-bit flip and every burst error up to 32 bits).
+std::optional<std::vector<uint8_t>> TryOpenCrc32Frame(
+    const std::vector<uint8_t>& frame);
+
+}  // namespace m2m
+
+#endif  // M2M_COMMON_CRC32_H_

@@ -48,6 +48,9 @@ std::string TraceEvent::Render() const {
         case SendOutcome::kDeadRecipient:
           line << "dead";
           break;
+        case SendOutcome::kCorrupt:
+          line << "corrupt";
+          break;
       }
       if (ack_lost) line << "+acklost";
       return line.str();

@@ -17,6 +17,7 @@ enum class SendOutcome : uint8_t {
   kEpochRejected,  ///< Delivered but dropped whole by the epoch gate.
   kDropped,        ///< Lost mid-segment (drop_hop = 1-based failing hop).
   kDeadRecipient,  ///< Recipient is not alive this round.
+  kCorrupt,        ///< Arrived bit-corrupted; CRC32 rejected, never decoded.
 };
 
 /// Control-plane message kinds (mirrors SelfHealingRuntime's protocol).

@@ -5,6 +5,7 @@
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace m2m {
 
@@ -276,6 +277,17 @@ bool ImageContentsEqual(const std::vector<uint8_t>& a,
   if (a.size() - sa != b.size() - sb) return false;
   return std::equal(a.begin() + static_cast<ptrdiff_t>(sa), a.end(),
                     b.begin() + static_cast<ptrdiff_t>(sb));
+}
+
+std::vector<uint8_t> FrameNodeImage(const std::vector<uint8_t>& image) {
+  return Crc32Frame(image);
+}
+
+std::optional<DecodedNodeState> TryDecodeFramedNodeState(
+    const std::vector<uint8_t>& frame) {
+  std::optional<std::vector<uint8_t>> image = TryOpenCrc32Frame(frame);
+  if (!image.has_value()) return std::nullopt;
+  return TryDecodeNodeState(*image);
 }
 
 }  // namespace m2m

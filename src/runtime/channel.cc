@@ -1,0 +1,156 @@
+#include "runtime/channel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace m2m {
+
+namespace {
+
+// Decision salts. Each per-(round, link, attempt) draw uses its own salt so
+// the loss, duplication, corruption and delay coins are independent.
+constexpr uint64_t kSaltBurstInit = 0xb1a5'0001;
+constexpr uint64_t kSaltBurstStep = 0xb1a5'0002;
+constexpr uint64_t kSaltLoss = 0xb1a5'0003;
+constexpr uint64_t kSaltDuplicate = 0xb1a5'0004;
+constexpr uint64_t kSaltCorrupt = 0xb1a5'0005;
+constexpr uint64_t kSaltDelay = 0xb1a5'0006;
+
+// Attempts within one block share a Gilbert–Elliott walk; blocks are
+// independently reseeded from the stationary distribution. This bounds the
+// per-query walk to the block size while keeping every decision a pure
+// function of (seed, round, link, attempt).
+constexpr int kBurstBlockBits = 6;
+
+uint64_t Mix(uint64_t seed, uint64_t salt, int round, NodeId from, NodeId to,
+             uint64_t attempt) {
+  uint64_t h = SplitMix64(seed ^ SplitMix64(salt));
+  h = SplitMix64(h ^ (static_cast<uint64_t>(round) << 42) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 21) ^
+                 static_cast<uint64_t>(static_cast<uint32_t>(to)));
+  return SplitMix64(h ^ attempt);
+}
+
+double UniformOf(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+void CheckProbability(double p, const char* name) {
+  M2M_CHECK(p >= 0.0 && p <= 1.0) << name << " outside [0, 1]";
+}
+
+}  // namespace
+
+ChannelModel::ChannelModel(const ChannelOptions& options)
+    : options_(options) {
+  CheckProbability(options_.good_loss, "good_loss");
+  CheckProbability(options_.bad_loss, "bad_loss");
+  CheckProbability(options_.p_enter_bad, "p_enter_bad");
+  CheckProbability(options_.p_exit_bad, "p_exit_bad");
+  CheckProbability(options_.reverse_extra_loss, "reverse_extra_loss");
+  CheckProbability(options_.duplicate_probability, "duplicate_probability");
+  CheckProbability(options_.corrupt_probability, "corrupt_probability");
+  CheckProbability(options_.delay_probability, "delay_probability");
+  M2M_CHECK_GE(options_.max_delay_ticks, 0);
+  if (options_.p_enter_bad > 0.0) {
+    M2M_CHECK_GT(options_.p_exit_bad, 0.0)
+        << "a burst the chain can enter must also be exitable";
+  }
+}
+
+bool ChannelModel::InBurst(int round, NodeId from, NodeId to,
+                           int attempt) const {
+  if (options_.p_enter_bad <= 0.0) return false;
+  const double p_bad =
+      options_.p_enter_bad / (options_.p_enter_bad + options_.p_exit_bad);
+  const uint64_t block = static_cast<uint64_t>(attempt) >> kBurstBlockBits;
+  const int block_start = static_cast<int>(block << kBurstBlockBits);
+  bool bad = UniformOf(Mix(options_.seed, kSaltBurstInit, round, from, to,
+                           block)) < p_bad;
+  for (int t = block_start + 1; t <= attempt; ++t) {
+    const double u = UniformOf(Mix(options_.seed, kSaltBurstStep, round,
+                                   from, to, static_cast<uint64_t>(t)));
+    if (bad) {
+      if (u < options_.p_exit_bad) bad = false;
+    } else {
+      if (u < options_.p_enter_bad) bad = true;
+    }
+  }
+  return bad;
+}
+
+bool ChannelModel::AttemptDelivers(int round, NodeId from, NodeId to,
+                                   int attempt) const {
+  const bool burst = InBurst(round, from, to, attempt);
+  if (burst && metrics_ != nullptr &&
+      !InBurst(round, from, to, attempt - 1)) {
+    // Observational only: never feeds back into a delivery decision, so a
+    // run with metrics attached is byte-identical to one without.
+    metrics_->Add(burst_transitions_, 1);
+  }
+  double loss = burst ? options_.bad_loss : options_.good_loss;
+  if (from > to) {
+    // Asymmetry convention: the higher-id -> lower-id direction is the
+    // "reverse" one (acks mostly travel it on tree-shaped segments).
+    loss = std::min(1.0, loss + options_.reverse_extra_loss);
+  }
+  if (loss <= 0.0) return true;
+  return UniformOf(Mix(options_.seed, kSaltLoss, round, from, to,
+                       static_cast<uint64_t>(attempt))) >= loss;
+}
+
+HopEffects ChannelModel::EffectsFor(int round, NodeId from, NodeId to,
+                                    int attempt) const {
+  HopEffects effects;
+  const uint64_t a = static_cast<uint64_t>(attempt);
+  if (options_.duplicate_probability > 0.0) {
+    effects.duplicate =
+        UniformOf(Mix(options_.seed, kSaltDuplicate, round, from, to, a)) <
+        options_.duplicate_probability;
+  }
+  if (options_.corrupt_probability > 0.0) {
+    const uint64_t h = Mix(options_.seed, kSaltCorrupt, round, from, to, a);
+    if (UniformOf(h) < options_.corrupt_probability) {
+      effects.corrupt = true;
+      effects.corrupt_bit = static_cast<uint32_t>(h & 0xffffffffu);
+    }
+  }
+  if (options_.max_delay_ticks > 0 && options_.delay_probability > 0.0) {
+    const uint64_t h = Mix(options_.seed, kSaltDelay, round, from, to, a);
+    if (UniformOf(h) < options_.delay_probability) {
+      effects.delay_ticks =
+          1 + static_cast<int>(h % static_cast<uint64_t>(
+                                       options_.max_delay_ticks));
+    }
+  }
+  return effects;
+}
+
+LossyLinkModel ChannelModel::Bind(
+    int round, std::function<bool(NodeId)> node_alive) const {
+  LossyLinkModel links;
+  links.attempt_delivers = [this, round](NodeId from, NodeId to,
+                                         int attempt) {
+    return AttemptDelivers(round, from, to, attempt);
+  };
+  links.node_alive = std::move(node_alive);
+  const bool has_effects = options_.duplicate_probability > 0.0 ||
+                           options_.corrupt_probability > 0.0 ||
+                           (options_.max_delay_ticks > 0 &&
+                            options_.delay_probability > 0.0);
+  if (has_effects) {
+    links.hop_effects = [this, round](NodeId from, NodeId to, int attempt) {
+      return EffectsFor(round, from, to, attempt);
+    };
+    links.max_delay_ticks = options_.max_delay_ticks;
+  }
+  return links;
+}
+
+void ChannelModel::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  burst_transitions_ = metrics_->Counter("chan.burst_transitions");
+}
+
+}  // namespace m2m

@@ -9,6 +9,7 @@ FailureDetector::FailureDetector(const Topology& topology,
     : topology_(&topology), options_(options) {
   M2M_CHECK_GE(options_.suspicion_threshold, 1);
   M2M_CHECK_GE(options_.probe_attempts, 1);
+  M2M_CHECK_GE(options_.probation_rounds, 1);
 }
 
 FailureDetector::RoundReport FailureDetector::ObserveRound(
@@ -21,17 +22,17 @@ FailureDetector::RoundReport FailureDetector::ObserveRound(
     if (node_active != nullptr && !node_active(monitor)) continue;
     for (NodeId neighbor : topology_->neighbors(monitor)) {
       const std::pair<NodeId, NodeId> link{monitor, neighbor};
-      if (suspected_.contains(link)) continue;  // Sticky; stop probing.
 
       // Free evidence first: did the monitor overhear the neighbor during
       // the round's data/ack traffic?
       bool evidence = heard.contains({neighbor, monitor});
 
       if (!evidence) {
-        // Silent neighbor: run the explicit probe exchange. The monitor
-        // transmits probes until one gets through, then the neighbor
-        // transmits replies until one gets through. Each leg burns real
-        // transmissions, which the report charges.
+        // Silent neighbor: run the explicit probe exchange — also on
+        // suspected links, which is what makes readmission possible at
+        // all. The monitor transmits probes until one gets through, then
+        // the neighbor transmits replies until one gets through. Each leg
+        // burns real transmissions, which the report charges.
         bool probe_received = false;
         for (int k = 1; k <= options_.probe_attempts; ++k) {
           report.probe_transmissions += 1;
@@ -53,13 +54,34 @@ FailureDetector::RoundReport FailureDetector::ObserveRound(
         if (evidence) report.probe_confirmations += 1;
       }
 
+      auto suspicion_it = suspected_.find(link);
+      if (suspicion_it != suspected_.end()) {
+        // Suspected (possibly in probation): evidence advances probation,
+        // silence resets it. Retraction requires `probation_rounds`
+        // *consecutive* evidence rounds — the hysteresis that keeps a
+        // flapping link quarantined.
+        if (evidence) {
+          missed_[link] = 0;
+          if (++suspicion_it->second.probation_progress >=
+              options_.probation_rounds) {
+            suspected_.erase(suspicion_it);
+            report.readmitted.push_back(
+                SuspectedLink{monitor, neighbor, round});
+          }
+        } else {
+          suspicion_it->second.probation_progress = 0;
+          ++missed_[link];
+        }
+        continue;
+      }
+
       if (evidence) {
         missed_[link] = 0;
         continue;
       }
       const int missed = ++missed_[link];
       if (missed >= options_.suspicion_threshold) {
-        suspected_.emplace(link, round);
+        suspected_.emplace(link, Suspicion{round, 0});
         report.new_suspicions.push_back(
             SuspectedLink{monitor, neighbor, round});
       }
@@ -71,14 +93,28 @@ FailureDetector::RoundReport FailureDetector::ObserveRound(
 std::vector<SuspectedLink> FailureDetector::suspicions() const {
   std::vector<SuspectedLink> out;
   out.reserve(suspected_.size());
-  for (const auto& [link, round] : suspected_) {
-    out.push_back(SuspectedLink{link.first, link.second, round});
+  for (const auto& [link, suspicion] : suspected_) {
+    out.push_back(
+        SuspectedLink{link.first, link.second, suspicion.raised_round});
   }
   return out;
 }
 
 bool FailureDetector::Suspects(NodeId monitor, NodeId neighbor) const {
   return suspected_.contains({monitor, neighbor});
+}
+
+bool FailureDetector::InProbation(NodeId monitor, NodeId neighbor) const {
+  auto it = suspected_.find({monitor, neighbor});
+  return it != suspected_.end() && it->second.probation_progress > 0;
+}
+
+int FailureDetector::probation_link_count() const {
+  int count = 0;
+  for (const auto& [link, suspicion] : suspected_) {
+    if (suspicion.probation_progress > 0) ++count;
+  }
+  return count;
 }
 
 int FailureDetector::missed_rounds(NodeId monitor, NodeId neighbor) const {

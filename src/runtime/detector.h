@@ -24,13 +24,20 @@ struct DetectorOptions {
   /// per-attempt drop probability p, a live neighbor stays silent for a
   /// whole round only with probability ~2 p^probe_attempts.
   int probe_attempts = 8;
+  /// Consecutive rounds of renewed evidence a suspected link must show
+  /// before the suspicion is retracted (the link is *readmitted*). The
+  /// hysteresis gap — raise after `suspicion_threshold` misses, retract
+  /// only after `probation_rounds` consecutive proofs of life — keeps a
+  /// flapping link from oscillating the plan.
+  int probation_rounds = 2;
 };
 
 /// One monitor's verdict about the directed link to a topology neighbor.
 struct SuspectedLink {
   NodeId monitor = kInvalidNode;
   NodeId neighbor = kInvalidNode;
-  /// Round at which the monitor's missed count crossed the threshold.
+  /// Round at which the monitor's missed count crossed the threshold (for
+  /// readmissions: the round probation completed).
   int round = -1;
 
   friend bool operator==(const SuspectedLink&, const SuspectedLink&) =
@@ -52,10 +59,18 @@ struct SuspectedLink {
 ///      whole exchange fails does the round count as missed.
 ///
 /// A neighbor missed `suspicion_threshold` consecutive rounds becomes a
-/// *sticky* suspicion: persistent failures in this model never heal, so a
-/// suspicion is never retracted (and the monitor stops probing the link,
-/// bounding steady-state probe traffic). Transient losses are expected to
-/// be absorbed by the probe retries; the threshold absorbs the tail.
+/// suspicion. Suspicions are not sticky: monitors keep probing suspected
+/// links, and a recovered neighbor works its way back through a *probation*
+/// hysteresis — evidence of life moves the link into probation, and after
+/// `probation_rounds` consecutive evidence rounds the suspicion is
+/// retracted (a *readmission*, reported so the planner can re-admit the
+/// node). A single silent round during probation falls back to full
+/// suspicion, so flapping links stay quarantined. The link state machine:
+///
+///   trusted --threshold misses--> suspected --evidence--> probation
+///     ^                              ^  |                    |
+///     |                              |  +--- (stays) <-- silent round
+///     +--- probation_rounds consecutive evidence rounds -----+
 ///
 /// The class simulates the per-node monitors centrally but gives each
 /// monitor only locally observable inputs: which neighbors it heard, and
@@ -76,7 +91,11 @@ class FailureDetector {
 
   struct RoundReport {
     /// Suspicions newly raised this round, ordered by (monitor, neighbor).
+    /// A link re-suspected after a readmission appears again.
     std::vector<SuspectedLink> new_suspicions;
+    /// Suspicions retracted this round — the neighbor completed probation.
+    /// `round` is the round probation completed.
+    std::vector<SuspectedLink> readmitted;
     /// Probe packets transmitted (attempts, both probes and replies) — the
     /// detector's traffic overhead for this round.
     int64_t probe_transmissions = 0;
@@ -95,11 +114,20 @@ class FailureDetector {
                            const AttemptDelivers& attempt_delivers,
                            const std::function<bool(NodeId)>& node_active);
 
-  /// All sticky suspicions raised so far, ordered by (monitor, neighbor).
+  /// Current suspicions (suspected or in probation), ordered by
+  /// (monitor, neighbor).
   std::vector<SuspectedLink> suspicions() const;
 
-  /// True iff `monitor` currently suspects its link to `neighbor`.
+  /// True iff `monitor` currently suspects its link to `neighbor` —
+  /// including links in probation, which stay quarantined until readmitted.
   bool Suspects(NodeId monitor, NodeId neighbor) const;
+
+  /// True iff the suspected link is in probation (accumulating evidence
+  /// toward readmission).
+  bool InProbation(NodeId monitor, NodeId neighbor) const;
+
+  /// Number of suspected links currently in probation.
+  int probation_link_count() const;
 
   /// Consecutive missed rounds for a directed monitor->neighbor pair.
   int missed_rounds(NodeId monitor, NodeId neighbor) const;
@@ -114,12 +142,19 @@ class FailureDetector {
   static constexpr int kProbeReplyAttemptBase = 1500;
 
  private:
+  struct Suspicion {
+    int raised_round = -1;
+    /// Consecutive evidence rounds while suspected; readmit at
+    /// `probation_rounds`. 0 = not in probation.
+    int probation_progress = 0;
+  };
+
   const Topology* topology_;
   DetectorOptions options_;
   /// (monitor, neighbor) -> consecutive rounds without evidence of life.
   std::map<std::pair<NodeId, NodeId>, int> missed_;
-  /// Sticky suspicions keyed (monitor, neighbor), with the raising round.
-  std::map<std::pair<NodeId, NodeId>, int> suspected_;
+  /// Active suspicions keyed (monitor, neighbor).
+  std::map<std::pair<NodeId, NodeId>, Suspicion> suspected_;
 };
 
 }  // namespace m2m

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <set>
 
 #include "common/check.h"
 #include "plan/serialization.h"
+#include "runtime/wire_functions.h"
 
 namespace m2m {
 
@@ -76,13 +78,24 @@ void RuntimeNetwork::set_metrics(obs::MetricsRegistry* metrics) {
   handles_.round_ticks = metrics_->Histogram("runtime.round_ticks");
   handles_.installs = metrics_->Counter("runtime.image_installs");
   handles_.install_bytes = metrics_->Counter("runtime.image_install_bytes");
+  handles_.chan_corrupt_frames = metrics_->Counter("chan.corrupt_frames");
+  handles_.chan_duplicated = metrics_->Counter("chan.duplicated");
+  handles_.chan_reordered = metrics_->Counter("chan.reordered");
+  handles_.coverage_per_destination = metrics_->Histogram(
+      "coverage.per_destination", {0, 10, 25, 50, 75, 90, 100});
+  handles_.coverage_degraded_rounds =
+      metrics_->Counter("coverage.degraded_rounds");
 }
 
-void RuntimeNetwork::InstallNodeImage(NodeId node,
+bool RuntimeNetwork::InstallNodeImage(NodeId node,
                                       const std::vector<uint8_t>& image,
                                       std::vector<std::vector<NodeId>> segments) {
   M2M_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
-  nodes_[node].InstallImage(image);
+  if (!nodes_[node].InstallImage(image)) {
+    // Stale lineage: the node already runs a newer epoch; keep its current
+    // tables and routes untouched (higher epoch wins).
+    return false;
+  }
   const size_t outgoing = nodes_[node].decoded().state.outgoing_table.size();
   M2M_CHECK_EQ(segments.size(), outgoing)
       << "node " << node << ": segment routes do not match outgoing table";
@@ -97,6 +110,7 @@ void RuntimeNetwork::InstallNodeImage(NodeId node,
     metrics_->AddNode(handles_.install_bytes, node,
                       static_cast<int64_t>(image.size()));
   }
+  return true;
 }
 
 uint32_t RuntimeNetwork::plan_epoch(NodeId node) const {
@@ -178,10 +192,17 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
   M2M_CHECK_GE(retry.backoff_factor, 1);
   M2M_CHECK_GE(retry.max_backoff_ticks, retry.ack_timeout_ticks)
       << "max_backoff_ticks must not undercut the base ack timeout";
+  M2M_CHECK_GE(links.max_delay_ticks, 0);
   // Ticks stay in int; the clamp bounds the horizon, but a pathological
   // policy (huge max_attempts * huge clamp) must fail loudly, not wrap.
   const int64_t retry_horizon_ticks = retry.RetryHorizonTicks();
-  M2M_CHECK_LE(retry_horizon_ticks, int64_t{1} << 30)
+  // Channel delay widens the duplicate window: a late retransmission can
+  // arrive up to max_delay_ticks after it was sent, so the receiver-side
+  // dedup eviction horizon stretches by exactly that much (the boundary
+  // stays exact — see the delayed-duplicate regression tests).
+  const int64_t evict_horizon_ticks =
+      retry_horizon_ticks + links.max_delay_ticks;
+  M2M_CHECK_LE(evict_horizon_ticks, int64_t{1} << 30)
       << "retry policy horizon overflows the tick domain";
   auto alive = [&](NodeId n) {
     return links.node_alive == nullptr || links.node_alive(n);
@@ -196,15 +217,41 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     uint32_t epoch = 0;  ///< Sender's plan epoch, stamped at emission.
     int attempts_made = 0;
     bool delivered_once = false;
+    bool acked = false;
+    /// Final verdict recorded (attempts histogram, abandoned accounting).
+    bool done = false;
+    /// Delayed deliveries/acks of this message still in flight.
+    int pending_events = 0;
+    /// Scheduled retransmissions not yet popped (a pop after the ack lands
+    /// is skipped, so these must block the final abandoned verdict).
+    int pending_retransmits = 0;
+    /// Highest attempt index whose copy has arrived (reorder detection).
+    int last_arrival_attempt = 0;
   };
   std::vector<Transfer> transfers;
-  // tick -> transfer indices scheduled for (re)transmission, FIFO per tick.
-  std::map<int, std::vector<size_t>> agenda;
+
+  // The agenda holds every future action: (re)transmissions, plus — under
+  // an adversarial channel — delayed packet arrivals and delayed acks.
+  // With a clean channel only kTransmit events exist and the schedule is
+  // tick-for-tick the legacy stop-and-wait behavior.
+  struct Event {
+    enum class Kind : uint8_t { kTransmit, kDeliver, kAckArrive };
+    Kind kind = Kind::kTransmit;
+    size_t index = 0;
+    int attempt = 0;          ///< kDeliver/kAckArrive: producing attempt.
+    bool retransmit = false;  ///< kTransmit: skip if already acked/done.
+    bool corrupt = false;
+    uint32_t corrupt_bit = 0;
+    bool is_dup = false;  ///< Channel-duplicated copy, not a retry.
+  };
+  std::map<int, std::vector<Event>> agenda;
   auto collect = [&](NodeRuntime& node, int tick) {
     for (NodeRuntime::OutgoingPacket& packet : node.DrainReadyPackets()) {
       transfers.push_back(
           Transfer{node.id(), std::move(packet), node.plan_epoch()});
-      agenda[tick].push_back(transfers.size() - 1);
+      Event event;
+      event.index = transfers.size() - 1;
+      agenda[tick].push_back(event);
     }
   };
   auto observe_message_done = [&](const Transfer& transfer) {
@@ -212,6 +259,285 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       metrics_->Observe(handles_.attempts_per_message,
                         transfer.attempts_made);
     }
+  };
+  // Records the final verdict for a message exactly once, as soon as it is
+  // known: acked, or retry budget spent with nothing left in flight.
+  auto maybe_finalize = [&](size_t index, int tick) {
+    Transfer& t = transfers[index];
+    if (t.done) return;
+    if (t.acked) {
+      t.done = true;
+      observe_message_done(t);
+      return;
+    }
+    if (t.attempts_made >= retry.max_attempts && t.pending_events == 0 &&
+        t.pending_retransmits == 0) {
+      t.done = true;
+      observe_message_done(t);
+      if (!t.delivered_once) {
+        result.messages_abandoned += 1;
+        if (metrics_ != nullptr) {
+          metrics_->AddNode(handles_.messages_abandoned, t.sender, 1);
+        }
+        if (trace != nullptr) {
+          trace->GiveUp(tick, t.sender, t.packet.recipient,
+                        t.packet.local_message_id);
+        }
+      }
+    }
+  };
+  auto apply_ack = [&](size_t index) {
+    if (metrics_ != nullptr) {
+      metrics_->AddNode(handles_.acks_delivered, transfers[index].sender, 1);
+    }
+    transfers[index].acked = true;
+  };
+
+  // One copy of the message arriving at the recipient (inline when the
+  // channel adds no delay, or as a popped kDeliver event): CRC gate, then
+  // dedup/epoch-gated receive, then the reverse-path ack walk.
+  auto process_arrival = [&](size_t index, int attempt, int arrival_tick,
+                             bool corrupt, uint32_t corrupt_bit,
+                             bool is_dup) {
+    const NodeId sender = transfers[index].sender;
+    const int message_id = transfers[index].packet.local_message_id;
+    const NodeId packet_recipient = transfers[index].packet.recipient;
+    const int payload =
+        static_cast<int>(transfers[index].packet.payload.size());
+    const std::vector<NodeId>& segment =
+        message_segments_[sender][message_id];
+
+    if (corrupt) {
+      // Bit-flip in transit: the CRC32 frame check rejects the packet
+      // before any decoding. No ack — the sender's retry budget covers
+      // corruption exactly like a drop, but the event is *counted*.
+      std::vector<uint8_t> frame =
+          wire::FrameWithCrc32(transfers[index].packet.payload);
+      size_t bit = corrupt_bit % (frame.size() * 8);
+      frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      std::optional<std::vector<uint8_t>> opened =
+          wire::TryOpenCrc32Frame(frame);
+      if (!opened.has_value()) {
+        result.corrupt_frames += 1;
+        if (metrics_ != nullptr) {
+          metrics_->AddNode(handles_.chan_corrupt_frames, packet_recipient,
+                            1);
+        }
+        if (trace != nullptr) {
+          trace->Send(arrival_tick, sender, packet_recipient, message_id,
+                      attempt, payload, obs::SendOutcome::kCorrupt,
+                      /*ack_lost=*/false);
+        }
+        return;
+      }
+      // Unreachable for a genuine bit flip (CRC32 detects every single-bit
+      // error); if the checksum somehow matched, the frame is intact.
+    }
+
+    result.deliveries += 1;
+    result.payload_bytes += payload;
+    if (is_dup) {
+      result.spontaneous_duplicates += 1;
+      if (metrics_ != nullptr) metrics_->Add(handles_.chan_duplicated, 1);
+    }
+    if (attempt < transfers[index].last_arrival_attempt) {
+      // A delayed copy landed after a newer attempt already arrived.
+      result.reordered_deliveries += 1;
+      if (metrics_ != nullptr) metrics_->Add(handles_.chan_reordered, 1);
+    } else {
+      transfers[index].last_arrival_attempt = attempt;
+    }
+    NodeRuntime& recipient = nodes_[packet_recipient];
+    if (metrics_ != nullptr) {
+      metrics_->AddNode(handles_.rx_packets, packet_recipient, 1);
+      metrics_->AddNode(handles_.rx_bytes, packet_recipient, payload);
+    }
+    obs::SendOutcome outcome = obs::SendOutcome::kRx;
+    switch (recipient.OnReceiveOnce(sender, message_id,
+                                    transfers[index].epoch,
+                                    transfers[index].packet.payload,
+                                    arrival_tick)) {
+      case NodeRuntime::ReceiveOutcome::kFresh:
+        transfers[index].delivered_once = true;
+        collect(recipient, arrival_tick + 1);
+        outcome = obs::SendOutcome::kRx;
+        break;
+      case NodeRuntime::ReceiveOutcome::kDuplicate:
+        result.duplicates += 1;
+        if (metrics_ != nullptr) {
+          metrics_->AddNode(handles_.dedup_hits, packet_recipient, 1);
+        }
+        outcome = obs::SendOutcome::kDuplicate;
+        break;
+      case NodeRuntime::ReceiveOutcome::kEpochMismatch:
+        // Dropped whole, but still acked below: the mismatch is a plan
+        // generation gap, not a link failure — retrying cannot help.
+        transfers[index].delivered_once = true;
+        result.epoch_rejected += 1;
+        if (metrics_ != nullptr) {
+          metrics_->AddNode(handles_.epoch_gate_drops, packet_recipient, 1);
+        }
+        outcome = obs::SendOutcome::kEpochRejected;
+        break;
+    }
+    // Ack travels the segment in reverse; header-only payload. A delayed
+    // ack arrives as a kAckArrive event — retransmissions it crosses in
+    // flight are suppressed by the receiver dedup, and the sender stops
+    // retrying the moment the ack lands.
+    bool ack_ok = true;
+    int ack_hops = 0;
+    int ack_delay = 0;
+    for (size_t h = segment.size() - 1; h > 0; --h) {
+      if (!links.attempt_delivers(segment[h], segment[h - 1], attempt)) {
+        ack_ok = false;
+        break;
+      }
+      ++ack_hops;
+      result.heard.emplace(segment[h], segment[h - 1]);
+      if (links.hop_effects != nullptr) {
+        ack_delay +=
+            links.hop_effects(segment[h], segment[h - 1], attempt)
+                .delay_ticks;
+      }
+    }
+    result.energy_mj += ack_hops * energy.UnicastHopUj(0) / 1000.0;
+    if (ack_ok) {
+      ack_delay = std::min(ack_delay, links.max_delay_ticks);
+      if (ack_delay <= 0) {
+        apply_ack(index);
+      } else {
+        transfers[index].pending_events += 1;
+        Event event;
+        event.kind = Event::Kind::kAckArrive;
+        event.index = index;
+        event.attempt = attempt;
+        agenda[arrival_tick + ack_delay].push_back(event);
+      }
+    } else {
+      result.energy_mj += energy.TxUj(0) / 1000.0;
+      result.acks_lost += 1;
+      if (metrics_ != nullptr) {
+        metrics_->AddNode(handles_.acks_lost, sender, 1);
+      }
+    }
+    if (trace != nullptr) {
+      trace->Send(arrival_tick, sender, packet_recipient, message_id,
+                  attempt, payload, outcome, /*ack_lost=*/!ack_ok);
+    }
+  };
+
+  auto process_transmit = [&](size_t index, int tick) {
+    const NodeId sender = transfers[index].sender;
+    const int message_id = transfers[index].packet.local_message_id;
+    const NodeId packet_recipient = transfers[index].packet.recipient;
+    const std::vector<NodeId>& segment =
+        message_segments_[sender][message_id];
+    const int payload =
+        static_cast<int>(transfers[index].packet.payload.size());
+    const int attempt = ++transfers[index].attempts_made;
+    result.attempts += 1;
+    if (attempt > 1) result.retransmissions += 1;
+    if (metrics_ != nullptr) {
+      metrics_->AddNode(handles_.tx_attempts, sender, 1);
+      metrics_->AddNode(handles_.tx_bytes, sender, payload);
+      if (attempt > 1) metrics_->Add(handles_.retransmissions, 1);
+    }
+
+    // Data crosses the segment hop by hop; the first dead hop burns one
+    // transmit and stops the packet. Channel effects (delay, duplication,
+    // corruption) accumulate along the hops actually crossed.
+    int hops_crossed = 0;
+    bool delivered = alive(packet_recipient);
+    int data_delay = 0;
+    bool dup = false;
+    bool corrupt = false;
+    uint32_t corrupt_bit = 0;
+    if (delivered) {
+      for (size_t h = 0; h + 1 < segment.size(); ++h) {
+        if (!links.attempt_delivers(segment[h], segment[h + 1], attempt)) {
+          delivered = false;
+          break;
+        }
+        ++hops_crossed;
+        if (metrics_ != nullptr) {
+          metrics_->AddEdge(handles_.hop_transmissions, segment[h],
+                            segment[h + 1], 1);
+        }
+        // Heartbeat evidence: segment[h+1] heard segment[h] transmit.
+        result.heard.emplace(segment[h], segment[h + 1]);
+        if (links.hop_effects != nullptr) {
+          HopEffects effects =
+              links.hop_effects(segment[h], segment[h + 1], attempt);
+          data_delay += effects.delay_ticks;
+          if (effects.duplicate) dup = true;
+          if (effects.corrupt && !corrupt) {
+            corrupt = true;
+            corrupt_bit = effects.corrupt_bit;
+          }
+        }
+      }
+    }
+    result.energy_mj += hops_crossed * energy.UnicastHopUj(payload) / 1000.0;
+    if (!delivered && hops_crossed + 2 <= static_cast<int>(segment.size())) {
+      result.energy_mj += energy.TxUj(payload) / 1000.0;
+    }
+
+    if (delivered) {
+      data_delay = std::min(data_delay, links.max_delay_ticks);
+      if (data_delay <= 0) {
+        process_arrival(index, attempt, tick, corrupt, corrupt_bit,
+                        /*is_dup=*/false);
+      } else {
+        transfers[index].pending_events += 1;
+        Event event;
+        event.kind = Event::Kind::kDeliver;
+        event.index = index;
+        event.attempt = attempt;
+        event.corrupt = corrupt;
+        event.corrupt_bit = corrupt_bit;
+        agenda[tick + data_delay].push_back(event);
+      }
+      if (dup) {
+        // The spontaneous copy trails the original by one tick.
+        transfers[index].pending_events += 1;
+        Event event;
+        event.kind = Event::Kind::kDeliver;
+        event.index = index;
+        event.attempt = attempt;
+        event.corrupt = corrupt;
+        event.corrupt_bit = corrupt_bit;
+        event.is_dup = true;
+        agenda[tick + data_delay + 1].push_back(event);
+      }
+    } else {
+      obs::SendOutcome outcome = alive(packet_recipient)
+                                     ? obs::SendOutcome::kDropped
+                                     : obs::SendOutcome::kDeadRecipient;
+      if (trace != nullptr) {
+        trace->Send(tick, sender, packet_recipient, message_id, attempt,
+                    payload, outcome, /*ack_lost=*/false,
+                    /*drop_hop=*/outcome == obs::SendOutcome::kDropped
+                        ? hops_crossed + 1
+                        : 0);
+      }
+    }
+
+    // Retry decision at send time: if no ack has landed by the backoff
+    // deadline the sender retransmits. A retransmission popped after a
+    // delayed ack arrived is skipped, so late acks stop the retry chain.
+    if (!transfers[index].acked && !transfers[index].done &&
+        attempt < retry.max_attempts) {
+      const int64_t timeout = retry.BackoffWaitTicks(attempt);
+      transfers[index].pending_retransmits += 1;
+      Event event;
+      event.index = index;
+      event.retransmit = true;
+      agenda[tick + static_cast<int>(timeout)].push_back(event);
+      if (metrics_ != nullptr) {
+        metrics_->Add(handles_.backoff_wait_ticks, timeout);
+      }
+    }
+    maybe_finalize(index, tick);
   };
 
   for (NodeRuntime& node : nodes_) {
@@ -224,159 +550,47 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     auto agenda_it = agenda.begin();
     const int tick = agenda_it->first;
     result.final_tick = tick;
-    // Dedup entries older than the retry horizon can never be duplicated
-    // again; drop them so the table stays O(in-flight), not O(received).
-    // The boundary is exact: an entry stamped t is retained through
-    // processing tick t + horizon, and the last possible retransmission
-    // of its message arrives at t + horizon - 1 (obs_test pins this).
-    if (tick > retry_horizon_ticks) {
-      const int evict_before =
-          tick - static_cast<int>(retry_horizon_ticks);
+    // Dedup entries older than the (delay-extended) retry horizon can
+    // never be duplicated again; drop them so the table stays
+    // O(in-flight), not O(received). The boundary is exact: an entry
+    // stamped t is retained through processing tick t + horizon, and the
+    // last possible duplicate of its message arrives at
+    // t + horizon - 1 (obs_test pins the clean-channel boundary, the
+    // delayed-duplicate regression the extended one).
+    if (tick > evict_horizon_ticks) {
+      const int evict_before = tick - static_cast<int>(evict_horizon_ticks);
       for (NodeRuntime& node : nodes_) {
         node.EvictSeenPacketsBefore(evict_before);
       }
     }
-    // Entries may be appended to this tick's list while we walk it (a
-    // delivery can trigger a same-tick... it cannot: triggered sends land
-    // at tick + 1 — but index-walk anyway so growth is safe).
+    // Entries may be appended to this tick's list while we walk it — and a
+    // processed event can push into `transfers` (reallocation) — so go
+    // through indices, never held references.
     for (size_t i = 0; i < agenda_it->second.size(); ++i) {
-      // A delivery below can push into `transfers` (reallocation), so go
-      // through the index, never a held reference.
-      const size_t index = agenda_it->second[i];
-      const NodeId sender = transfers[index].sender;
-      const int message_id = transfers[index].packet.local_message_id;
-      const NodeId packet_recipient = transfers[index].packet.recipient;
-      const std::vector<NodeId>& segment =
-          message_segments_[sender][message_id];
-      const int payload =
-          static_cast<int>(transfers[index].packet.payload.size());
-      const int attempt = ++transfers[index].attempts_made;
-      result.attempts += 1;
-      if (attempt > 1) result.retransmissions += 1;
-      if (metrics_ != nullptr) {
-        metrics_->AddNode(handles_.tx_attempts, sender, 1);
-        metrics_->AddNode(handles_.tx_bytes, sender, payload);
-        if (attempt > 1) metrics_->Add(handles_.retransmissions, 1);
-      }
-
-      // Data crosses the segment hop by hop; the first dead hop burns one
-      // transmit and stops the packet.
-      int hops_crossed = 0;
-      bool delivered = alive(packet_recipient);
-      if (delivered) {
-        for (size_t h = 0; h + 1 < segment.size(); ++h) {
-          if (!links.attempt_delivers(segment[h], segment[h + 1], attempt)) {
-            delivered = false;
-            break;
-          }
-          ++hops_crossed;
-          if (metrics_ != nullptr) {
-            metrics_->AddEdge(handles_.hop_transmissions, segment[h],
-                              segment[h + 1], 1);
-          }
-          // Heartbeat evidence: segment[h+1] heard segment[h] transmit.
-          result.heard.emplace(segment[h], segment[h + 1]);
-        }
-      }
-      result.energy_mj += hops_crossed * energy.UnicastHopUj(payload) / 1000.0;
-      if (!delivered && hops_crossed + 2 <= static_cast<int>(segment.size())) {
-        result.energy_mj += energy.TxUj(payload) / 1000.0;
-      }
-
-      obs::SendOutcome outcome = obs::SendOutcome::kDeadRecipient;
-      bool acked = false;
-      if (delivered) {
-        result.deliveries += 1;
-        result.payload_bytes += payload;
-        NodeRuntime& recipient = nodes_[packet_recipient];
-        if (metrics_ != nullptr) {
-          metrics_->AddNode(handles_.rx_packets, packet_recipient, 1);
-          metrics_->AddNode(handles_.rx_bytes, packet_recipient, payload);
-        }
-        switch (recipient.OnReceiveOnce(sender, message_id,
-                                        transfers[index].epoch,
-                                        transfers[index].packet.payload,
-                                        tick)) {
-          case NodeRuntime::ReceiveOutcome::kFresh:
-            transfers[index].delivered_once = true;
-            collect(recipient, tick + 1);
-            outcome = obs::SendOutcome::kRx;
-            break;
-          case NodeRuntime::ReceiveOutcome::kDuplicate:
-            result.duplicates += 1;
-            if (metrics_ != nullptr) {
-              metrics_->AddNode(handles_.dedup_hits, packet_recipient, 1);
-            }
-            outcome = obs::SendOutcome::kDuplicate;
-            break;
-          case NodeRuntime::ReceiveOutcome::kEpochMismatch:
-            // Dropped whole, but still acked below: the mismatch is a plan
-            // generation gap, not a link failure — retrying cannot help.
-            transfers[index].delivered_once = true;
-            result.epoch_rejected += 1;
-            if (metrics_ != nullptr) {
-              metrics_->AddNode(handles_.epoch_gate_drops, packet_recipient,
-                                1);
-            }
-            outcome = obs::SendOutcome::kEpochRejected;
-            break;
-        }
-        // Ack travels the segment in reverse; header-only payload.
-        acked = true;
-        int ack_hops = 0;
-        for (size_t h = segment.size() - 1; h > 0; --h) {
-          if (!links.attempt_delivers(segment[h], segment[h - 1], attempt)) {
-            acked = false;
-            break;
-          }
-          ++ack_hops;
-          result.heard.emplace(segment[h], segment[h - 1]);
-        }
-        result.energy_mj += ack_hops * energy.UnicastHopUj(0) / 1000.0;
-        if (acked) {
-          if (metrics_ != nullptr) {
-            metrics_->AddNode(handles_.acks_delivered, sender, 1);
-          }
-        } else {
-          result.energy_mj += energy.TxUj(0) / 1000.0;
-          result.acks_lost += 1;
-          if (metrics_ != nullptr) {
-            metrics_->AddNode(handles_.acks_lost, sender, 1);
-          }
-        }
-      } else if (alive(packet_recipient)) {
-        outcome = obs::SendOutcome::kDropped;
-      }
-
-      if (trace != nullptr) {
-        trace->Send(tick, sender, packet_recipient, message_id, attempt,
-                    payload, outcome, delivered && !acked,
-                    /*drop_hop=*/outcome == obs::SendOutcome::kDropped
-                        ? hops_crossed + 1
-                        : 0);
-      }
-
-      if (!acked) {
-        if (attempt < retry.max_attempts) {
-          const int64_t timeout = retry.BackoffWaitTicks(attempt);
-          agenda[tick + static_cast<int>(timeout)].push_back(index);
-          if (metrics_ != nullptr) {
-            metrics_->Add(handles_.backoff_wait_ticks, timeout);
-          }
-        } else {
-          observe_message_done(transfers[index]);
-          if (!transfers[index].delivered_once) {
-            result.messages_abandoned += 1;
-            if (metrics_ != nullptr) {
-              metrics_->AddNode(handles_.messages_abandoned, sender, 1);
-            }
-            if (trace != nullptr) {
-              trace->GiveUp(tick, sender, packet_recipient, message_id);
+      const Event event = agenda_it->second[i];
+      switch (event.kind) {
+        case Event::Kind::kTransmit:
+          if (event.retransmit) {
+            transfers[event.index].pending_retransmits -= 1;
+            if (transfers[event.index].acked ||
+                transfers[event.index].done) {
+              maybe_finalize(event.index, tick);
+              break;
             }
           }
-        }
-      } else {
-        observe_message_done(transfers[index]);
+          process_transmit(event.index, tick);
+          break;
+        case Event::Kind::kDeliver:
+          transfers[event.index].pending_events -= 1;
+          process_arrival(event.index, event.attempt, tick, event.corrupt,
+                          event.corrupt_bit, event.is_dup);
+          maybe_finalize(event.index, tick);
+          break;
+        case Event::Kind::kAckArrive:
+          transfers[event.index].pending_events -= 1;
+          apply_ack(event.index);
+          maybe_finalize(event.index, tick);
+          break;
       }
     }
     agenda.erase(agenda_it);
@@ -385,6 +599,29 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     metrics_->Observe(handles_.round_ticks, result.final_tick);
   }
 
+  // Expected contributor sets per destination: the union of
+  // pre-aggregation sites (source -> destination) over every node whose
+  // tables are on the destination's plan epoch. Dead nodes keep their
+  // tables, so a not-yet-repaired plan truthfully reports a dead source as
+  // expected-but-uncovered; once a re-plan routes around it, the new-epoch
+  // tables no longer expect it and coverage returns to 1.
+  std::map<NodeId, std::set<NodeId>> expected_sources;
+  std::map<NodeId, uint32_t> destination_epoch;
+  for (const NodeRuntime& node : nodes_) {
+    if (node.is_destination() && alive(node.id())) {
+      destination_epoch[node.id()] = node.plan_epoch();
+    }
+  }
+  for (const NodeRuntime& node : nodes_) {
+    for (const PreAggTableEntry& entry : node.decoded().state.preagg_table) {
+      auto it = destination_epoch.find(entry.destination);
+      if (it == destination_epoch.end()) continue;
+      if (node.plan_epoch() != it->second) continue;
+      expected_sources[entry.destination].insert(entry.source);
+    }
+  }
+
+  bool any_degraded = false;
   for (const NodeRuntime& node : nodes_) {
     if (!node.is_destination() || !alive(node.id())) continue;
     std::optional<double> value = node.FinalValue();
@@ -394,6 +631,37 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     } else {
       result.incomplete_destinations.push_back(node.id());
     }
+    std::optional<NodeRuntime::CoverageReport> report =
+        node.DestinationCoverage();
+    if (!report.has_value()) continue;
+    LossyResult::DestinationCoverage coverage;
+    const std::set<NodeId>& expected = expected_sources[node.id()];
+    coverage.expected = static_cast<int>(expected.size());
+    coverage.covered = static_cast<int>(report->summary.count);
+    coverage.coverage =
+        coverage.expected > 0
+            ? std::min(1.0, static_cast<double>(coverage.covered) /
+                                coverage.expected)
+            : 1.0;
+    coverage.complete = coverage.covered == coverage.expected;
+    coverage.exact_known = report->summary.exact_known;
+    coverage.xor_fold = report->summary.xor_fold;
+    coverage.sources = report->summary.sources;
+    if (!value.has_value()) {
+      any_degraded = true;
+      if (report->degraded_value.has_value()) {
+        result.degraded_values[node.id()] = *report->degraded_value;
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Observe(
+          handles_.coverage_per_destination,
+          static_cast<int64_t>(coverage.coverage * 100.0 + 0.5));
+    }
+    result.destination_coverage[node.id()] = std::move(coverage);
+  }
+  if (any_degraded && metrics_ != nullptr) {
+    metrics_->Add(handles_.coverage_degraded_rounds, 1);
   }
   return result;
 }

@@ -61,13 +61,38 @@ struct EventTrace : obs::RoundTrace {
   void Append(std::string line) { Text(std::move(line)); }
 };
 
+/// Channel-induced side effects on one hop crossing beyond plain delivery
+/// (all decided per directed link and attempt, like `attempt_delivers`).
+struct HopEffects {
+  /// Extra ticks the packet (or ack) spends on this hop before arriving.
+  int delay_ticks = 0;
+  /// Spontaneous duplication: the hop delivers a second copy.
+  bool duplicate = false;
+  /// Payload bit-corruption in transit. The receiver's CRC32 frame check
+  /// rejects the packet (counted, never decoded) and no ack is sent.
+  bool corrupt = false;
+  /// Which bit to flip when `corrupt` (taken modulo the frame size).
+  uint32_t corrupt_bit = 0;
+};
+
 /// Link-layer behavior for one lossy round. `attempt_delivers` decides each
 /// one-hop transmission attempt (1-based attempt index, directed link); it
 /// must be a pure function for reproducibility. A null `node_alive` means
-/// every node is alive.
+/// every node is alive; a null `hop_effects` means a clean channel (no
+/// delay, duplication, or corruption).
 struct LossyLinkModel {
   std::function<bool(NodeId from, NodeId to, int attempt)> attempt_delivers;
   std::function<bool(NodeId node)> node_alive;
+  /// Adversarial channel effects, also a pure function. Effects apply per
+  /// hop; delays accumulate along a multi-hop segment but the *total*
+  /// added delay of any one attempt (data or ack direction) is clamped to
+  /// `max_delay_ticks`.
+  std::function<HopEffects(NodeId from, NodeId to, int attempt)> hop_effects;
+  /// Upper bound on the accumulated extra delay of one attempt. Must cover
+  /// anything `hop_effects` returns: the receiver dedup-eviction horizon is
+  /// extended by exactly this much, which is what keeps late duplicates of
+  /// evicted entries impossible (see RetryPolicy::RetryHorizonTicks).
+  int max_delay_ticks = 0;
 };
 
 /// Drives a fleet of NodeRuntimes through one round: installs the wire
@@ -123,6 +148,39 @@ class RuntimeNetwork {
     /// This is the piggybacked-heartbeat evidence the failure detector
     /// consumes: a neighbor heard this round is certainly alive.
     std::set<std::pair<NodeId, NodeId>> heard;
+
+    // --- Adversarial-channel accounting ---
+    /// Frames whose CRC32 check failed at the receiver (bit-corruption in
+    /// transit). Rejected before any decoding; the sender retries.
+    int64_t corrupt_frames = 0;
+    /// Channel-duplicated deliveries (spontaneous copies, not retries).
+    int64_t spontaneous_duplicates = 0;
+    /// Arrivals that overtook a later attempt of the same message (delayed
+    /// copy landing after a newer one already arrived).
+    int64_t reordered_deliveries = 0;
+
+    // --- Coverage accounting ---
+    /// Per-destination verdict on which sources this round's aggregate
+    /// actually accounts for (suppression-unaware: the raw runtime counts
+    /// only contributions that arrived; the executor layers suppression
+    /// semantics on top).
+    struct DestinationCoverage {
+      int covered = 0;   ///< Distinct sources the merged record accounts for.
+      int expected = 0;  ///< Sources the installed plan routes to this
+                         ///< destination (union over alive same-epoch
+                         ///< pre-aggregation sites).
+      double coverage = 1.0;  ///< covered / max(expected, 1), in [0, 1].
+      bool complete = false;  ///< covered == expected (no loss visible).
+      bool exact_known = true;  ///< `sources` lists the exact set.
+      uint32_t xor_fold = 0;    ///< XOR of (source id + 1) fingerprint.
+      std::vector<NodeId> sources;
+    };
+    /// Keyed by alive destination (complete and incomplete alike).
+    std::unordered_map<NodeId, DestinationCoverage> destination_coverage;
+    /// Best-effort evaluation for incomplete destinations: the value of the
+    /// partially merged record (what a degraded readout would report).
+    /// Absent when nothing contributed.
+    std::unordered_map<NodeId, double> degraded_values;
   };
 
   /// Runs one round under `links` with stop-and-wait ack/retry per message
@@ -152,8 +210,10 @@ class RuntimeNetwork {
   /// transition). `segments` are the physical routes of the node's outgoing
   /// messages under the new plan, indexed by node-local message id — the
   /// communication-layer half of the state the image's tables reference.
-  /// Idempotent for the already-installed epoch.
-  void InstallNodeImage(NodeId node, const std::vector<uint8_t>& image,
+  /// Idempotent for the already-installed epoch. Returns false (and leaves
+  /// the node untouched) when the image's epoch is older than the node's
+  /// current one: higher epoch wins when plan lineages reconcile.
+  bool InstallNodeImage(NodeId node, const std::vector<uint8_t>& image,
                         std::vector<std::vector<NodeId>> segments);
 
   /// Plan epoch currently installed at `node`.
@@ -183,6 +243,11 @@ class RuntimeNetwork {
     obs::MetricHandle round_ticks;
     obs::MetricHandle installs;
     obs::MetricHandle install_bytes;
+    obs::MetricHandle chan_corrupt_frames;
+    obs::MetricHandle chan_duplicated;
+    obs::MetricHandle chan_reordered;
+    obs::MetricHandle coverage_per_destination;
+    obs::MetricHandle coverage_degraded_rounds;
   };
 
   std::vector<NodeRuntime> nodes_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "agg/aggregate_function.h"
 #include "common/bytes.h"
 #include "common/check.h"
 #include "runtime/wire_functions.h"
@@ -24,9 +25,14 @@ uint8_t MakeTag(bool is_partial, int field_count) {
 NodeRuntime::NodeRuntime(NodeId id, const std::vector<uint8_t>& image)
     : id_(id), state_(DecodeNodeState(image)) {}
 
-void NodeRuntime::InstallImage(const std::vector<uint8_t>& image) {
+bool NodeRuntime::InstallImage(const std::vector<uint8_t>& image) {
   DecodedNodeState incoming = DecodeNodeState(image);
-  if (incoming.plan_epoch == state_.plan_epoch) return;  // Duplicate.
+  if (incoming.plan_epoch == state_.plan_epoch) return true;  // Duplicate.
+  if (incoming.plan_epoch < state_.plan_epoch) {
+    // Stale lineage (e.g. a partition heals and the other side disseminated
+    // under an older epoch): the higher epoch wins, deterministically.
+    return false;
+  }
   state_ = std::move(incoming);
   // Epoch transition: drop all round state. Old-epoch partials must not
   // survive into the new plan (no cross-epoch merges), and message ids /
@@ -39,6 +45,7 @@ void NodeRuntime::InstallImage(const std::vector<uint8_t>& image) {
   pending_emits_.clear();
   final_value_.reset();
   seen_packets_.clear();
+  return true;
 }
 
 void NodeRuntime::StartRound(double reading) {
@@ -82,7 +89,18 @@ void NodeRuntime::AcceptRawValue(NodeId source, double value) {
     AcceptPartialRecord(entry.destination,
                         wire::PreAggregate(meta.kind, meta.weight,
                                            meta.param, source, value));
+    // Pre-aggregation is where a raw reading becomes a partial record, so
+    // this is where its source enters the coverage summary.
+    MergeSummaryInto(entry.destination, wire::SingleSource(source));
   }
+}
+
+void NodeRuntime::MergeSummaryInto(NodeId destination,
+                                   const wire::SourceSummary& summary) {
+  auto it = accumulators_.find(destination);
+  M2M_CHECK(it != accumulators_.end());
+  wire::SourceSummary& mine = it->second.summary;
+  mine = mine.count == 0 ? summary : wire::MergeSummaries(mine, summary);
 }
 
 void NodeRuntime::AcceptPartialRecord(NodeId destination,
@@ -156,6 +174,9 @@ std::vector<NodeRuntime::OutgoingPacket> NodeRuntime::DrainReadyPackets() {
       for (int f = 0; f < fields; ++f) {
         writer.WriteF32(static_cast<float>(accumulator.record.fields[f]));
       }
+      // Coverage summary rides after the record fields so the receiver can
+      // attribute the merge to its contributing sources.
+      wire::AppendSourceSummary(accumulator.summary, writer);
       ++written;
     }
     M2M_CHECK_EQ(written, entry.unit_count)
@@ -182,6 +203,7 @@ void NodeRuntime::OnReceive(const std::vector<uint8_t>& packet) {
         record.fields[f] = reader.ReadF32();
       }
       AcceptPartialRecord(subject, record);
+      MergeSummaryInto(subject, wire::ReadSourceSummary(reader));
     } else {
       M2M_CHECK_EQ(fields, 1);
       AcceptRawValue(subject, reader.ReadF32());
@@ -247,6 +269,40 @@ NodeRuntime::AccumulatorStatuses() const {
                                     accumulator.expected});
   }
   return out;
+}
+
+std::optional<NodeRuntime::CoverageReport> NodeRuntime::DestinationCoverage()
+    const {
+  if (!state_.state.is_destination) return std::nullopt;
+  CoverageReport report;
+  auto it = accumulators_.find(id_);
+  if (it == accumulators_.end()) {
+    // Round not started (or state dropped by an epoch transition): nothing
+    // contributed, but the expected count is still known from the tables.
+    for (const PartialTableEntry& entry : state_.state.partial_table) {
+      if (entry.destination == id_) report.expected = entry.expected_contributions;
+    }
+    return report;
+  }
+  const Accumulator& accumulator = it->second;
+  report.summary = accumulator.summary;
+  report.received = accumulator.received;
+  report.expected = accumulator.expected;
+  if (accumulator.has_record && accumulator.summary.count > 0) {
+    // Guard the kinds whose evaluation divides by an accumulated weight or
+    // count — an empty or zero-weight partial cannot be evaluated.
+    uint8_t kind = accumulator.kind;
+    bool evaluable = true;
+    if (kind == static_cast<uint8_t>(AggregateKind::kWeightedAverage)) {
+      evaluable = accumulator.record.fields[1] > 0.0;
+    } else if (kind == static_cast<uint8_t>(AggregateKind::kWeightedStdDev)) {
+      evaluable = accumulator.record.fields[2] > 0.0;
+    }
+    if (evaluable) {
+      report.degraded_value = wire::Evaluate(kind, accumulator.record);
+    }
+  }
+  return report;
 }
 
 }  // namespace m2m

@@ -10,6 +10,7 @@
 #include "agg/partial_record.h"
 #include "common/ids.h"
 #include "plan/serialization.h"
+#include "runtime/wire_functions.h"
 
 namespace m2m {
 
@@ -48,9 +49,12 @@ class NodeRuntime {
   /// partially merged accumulators of the previous epoch — is dropped: a
   /// partial record is only attributable to the plan that produced it, so
   /// carrying it into the new epoch could silently merge records from
-  /// different plans. Re-installing the currently installed image is a
-  /// no-op (idempotent against duplicated dissemination packets).
-  void InstallImage(const std::vector<uint8_t>& image);
+  /// different plans. Re-installing the currently installed epoch is a
+  /// no-op (idempotent against duplicated dissemination packets) that
+  /// returns true; an image from an *older* epoch is rejected (returns
+  /// false) — when two plan lineages meet after a partition heals, the
+  /// higher epoch wins deterministically and the stale side must re-sync.
+  bool InstallImage(const std::vector<uint8_t>& image);
 
   void StartRound(double reading);
 
@@ -116,6 +120,21 @@ class NodeRuntime {
   };
   std::vector<AccumulatorStatus> AccumulatorStatuses() const;
 
+  /// Coverage accounting for a destination node: the contributing-source
+  /// summary accumulated so far for this node's own aggregate, plus a
+  /// best-effort ("degraded") evaluation of the partially merged record —
+  /// what the destination would report if the round were cut off now.
+  /// nullopt when this node is not a destination.
+  struct CoverageReport {
+    wire::SourceSummary summary;
+    /// Evaluation of the partial merge; nullopt when nothing contributed
+    /// yet (or the kind cannot be evaluated on an empty record).
+    std::optional<double> degraded_value;
+    int received = 0;
+    int expected = 0;
+  };
+  std::optional<CoverageReport> DestinationCoverage() const;
+
  private:
   struct Accumulator {
     PartialRecord record;
@@ -124,10 +143,15 @@ class NodeRuntime {
     int local_message = -1;  // -1: consumed at this node.
     uint8_t kind = 0;
     bool has_record = false;
+    /// Which sources the merged record accounts for (coverage accounting;
+    /// rides with every partial unit on the wire).
+    wire::SourceSummary summary;
   };
 
   void AcceptRawValue(NodeId source, double value);
   void AcceptPartialRecord(NodeId destination, const PartialRecord& record);
+  void MergeSummaryInto(NodeId destination,
+                        const wire::SourceSummary& summary);
   void MarkUnitReady(int local_message);
   void CompleteAccumulator(NodeId destination, Accumulator& accumulator);
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "agg/aggregate_function.h"
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/crc32.h"
 #include "plan/dissemination.h"
 
 namespace m2m::wire {
@@ -106,6 +108,69 @@ double Evaluate(uint8_t kind, const PartialRecord& record) {
   return 0.0;
 }
 
+SourceSummary SingleSource(NodeId source) {
+  SourceSummary summary;
+  summary.count = 1;
+  summary.xor_fold = static_cast<uint32_t>(source) + 1;
+  summary.exact_known = true;
+  summary.sources = {source};
+  return summary;
+}
+
+SourceSummary MergeSummaries(const SourceSummary& a, const SourceSummary& b) {
+  SourceSummary merged;
+  if (a.exact_known && b.exact_known) {
+    merged.sources.reserve(a.sources.size() + b.sources.size());
+    std::set_union(a.sources.begin(), a.sources.end(), b.sources.begin(),
+                   b.sources.end(), std::back_inserter(merged.sources));
+    merged.count = static_cast<uint32_t>(merged.sources.size());
+    merged.xor_fold = 0;
+    for (NodeId s : merged.sources) {
+      merged.xor_fold ^= static_cast<uint32_t>(s) + 1;
+    }
+    if (merged.sources.size() <=
+        static_cast<size_t>(kCoverageExactThreshold)) {
+      merged.exact_known = true;
+      return merged;
+    }
+    merged.exact_known = false;
+    merged.sources.clear();
+    return merged;
+  }
+  // Count-only regime: contributor sets are disjoint along a consistent
+  // plan's aggregation tree, so the sum is the union size.
+  merged.count = a.count + b.count;
+  merged.xor_fold = a.xor_fold ^ b.xor_fold;
+  merged.exact_known = false;
+  return merged;
+}
+
+void AppendSourceSummary(const SourceSummary& summary, ByteWriter& writer) {
+  writer.WriteVarint((static_cast<uint64_t>(summary.count) << 1) |
+                     (summary.exact_known ? 1u : 0u));
+  writer.WriteVarint(summary.xor_fold);
+  if (summary.exact_known) {
+    for (NodeId source : summary.sources) {
+      writer.WriteVarint(static_cast<uint64_t>(source));
+    }
+  }
+}
+
+SourceSummary ReadSourceSummary(ByteReader& reader) {
+  SourceSummary summary;
+  uint64_t header = reader.ReadVarint();
+  summary.exact_known = (header & 1u) != 0;
+  summary.count = static_cast<uint32_t>(header >> 1);
+  summary.xor_fold = static_cast<uint32_t>(reader.ReadVarint());
+  if (summary.exact_known) {
+    summary.sources.reserve(summary.count);
+    for (uint32_t i = 0; i < summary.count; ++i) {
+      summary.sources.push_back(static_cast<NodeId>(reader.ReadVarint()));
+    }
+  }
+  return summary;
+}
+
 namespace {
 
 // Leading tag byte of each control message kind.
@@ -166,6 +231,11 @@ std::vector<uint8_t> EncodeSuspicionReport(const SuspicionReport& report) {
     writer.WriteVarint(static_cast<uint64_t>(neighbor));
     writer.WriteVarint(static_cast<uint64_t>(round));
   }
+  writer.WriteVarint(report.retractions.size());
+  for (const auto& [neighbor, round] : report.retractions) {
+    writer.WriteVarint(static_cast<uint64_t>(neighbor));
+    writer.WriteVarint(static_cast<uint64_t>(round));
+  }
   return writer.bytes();
 }
 
@@ -181,6 +251,13 @@ std::optional<SuspicionReport> TryDecodeSuspicionReport(
     NodeId neighbor = static_cast<NodeId>(reader.ReadVarint());
     int round = static_cast<int>(reader.ReadVarint());
     report.entries.emplace_back(neighbor, round);
+  }
+  uint64_t retraction_count = reader.ReadVarint();
+  if (!reader.ok || retraction_count > bytes.size()) return std::nullopt;
+  for (uint64_t i = 0; i < retraction_count; ++i) {
+    NodeId neighbor = static_cast<NodeId>(reader.ReadVarint());
+    int round = static_cast<int>(reader.ReadVarint());
+    report.retractions.emplace_back(neighbor, round);
   }
   if (!reader.ok || !reader.AtEnd()) return std::nullopt;
   return report;

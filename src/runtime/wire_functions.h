@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "agg/partial_record.h"
+#include "common/bytes.h"
+#include "common/crc32.h"
 #include "common/ids.h"
 
 namespace m2m::wire {
@@ -32,6 +34,68 @@ PartialRecord Merge(uint8_t kind, const PartialRecord& a,
 /// e_d: final value from a fully merged record.
 double Evaluate(uint8_t kind, const PartialRecord& record);
 
+// --- Link-layer framing (CRC32) ---
+//
+// Every frame that crosses a lossy link carries a 4-byte little-endian
+// CRC32 trailer over its payload. A corrupted frame is *detected and
+// counted* at the receiver — never decoded — so bit-flips on the channel
+// can only cost a retransmission, not a wrong merge. The hostile-input
+// Try-decoders (TryDecodeNodeState etc.) remain the second line of
+// defense for frames an adversary crafts with a valid CRC. The primitive
+// lives in common/crc32.h so the plan serializer (which the runtime links
+// against) can frame dissemination images without a dependency cycle.
+
+using ::m2m::Crc32;
+using ::m2m::kCrc32FrameTrailerBytes;
+using ::m2m::TryOpenCrc32Frame;
+
+/// payload -> payload || crc32(payload), little-endian trailer.
+inline std::vector<uint8_t> FrameWithCrc32(
+    const std::vector<uint8_t>& payload) {
+  return Crc32Frame(payload);
+}
+
+// --- Coverage summaries (contributing-source accounting) ---
+
+/// Largest contributing-source set tracked exactly; beyond it the summary
+/// degrades to (count, xor-fold) only. 16 keeps the wire cost of a partial
+/// unit bounded while covering every workload in the test deployments.
+inline constexpr int kCoverageExactThreshold = 16;
+
+/// Compact summary of which sources contributed to a PartialRecord. Rides
+/// with every partial unit so a destination can report per-round coverage
+/// (covered / expected) and a degraded/complete verdict even when loss
+/// starves some accumulators.
+struct SourceSummary {
+  /// Number of distinct contributing sources.
+  uint32_t count = 0;
+  /// XOR of (source id + 1) over contributors — order-independent
+  /// fingerprint that survives the count-only regime (+1 so source 0 is
+  /// not absorbed into the empty fold).
+  uint32_t xor_fold = 0;
+  /// When true, `sources` lists the exact contributor set (sorted).
+  bool exact_known = true;
+  std::vector<NodeId> sources;
+
+  friend bool operator==(const SourceSummary&, const SourceSummary&) = default;
+};
+
+/// Summary of the single contributor `source` (a pre-aggregated reading).
+SourceSummary SingleSource(NodeId source);
+
+/// Union of two summaries. Contributor sets along an aggregation tree are
+/// disjoint (plan consistency: one pre-aggregation site per (source,
+/// destination)), but the union is computed set-wise so a duplicate
+/// contributor can never double-count. Collapses to (count, xor-fold)
+/// once the union exceeds kCoverageExactThreshold or either side is
+/// already inexact.
+SourceSummary MergeSummaries(const SourceSummary& a, const SourceSummary& b);
+
+/// Wire format: varint((count << 1) | exact_known), varint(xor_fold),
+/// then `count` varint source ids (sorted) when exact_known.
+void AppendSourceSummary(const SourceSummary& summary, ByteWriter& writer);
+SourceSummary ReadSourceSummary(ByteReader& reader);
+
 // --- Control-plane wire formats (self-healing protocol) ---
 //
 // These messages ride the same lossy links as data traffic; the encodings
@@ -45,6 +109,10 @@ struct SuspicionReport {
   /// (suspected neighbor, round the suspicion was raised), sorted by
   /// neighbor id.
   std::vector<std::pair<NodeId, int>> entries;
+  /// (readmitted neighbor, round probation completed), sorted by neighbor
+  /// id. A retraction tells the base a previously reported link healed and
+  /// survived probation (detector hysteresis), so the ledger can readmit.
+  std::vector<std::pair<NodeId, int>> retractions;
 
   friend bool operator==(const SuspicionReport&, const SuspicionReport&) =
       default;

@@ -96,6 +96,17 @@ bool SuspicionLedger::RecordSuspicion(NodeId monitor, NodeId neighbor) {
   return true;
 }
 
+bool SuspicionLedger::RecordReadmission(NodeId monitor, NodeId neighbor) {
+  M2M_CHECK(topology_->AreNeighbors(monitor, neighbor))
+      << "readmission for a non-link " << monitor << "-" << neighbor;
+  std::pair<NodeId, NodeId> link{std::min(monitor, neighbor),
+                                 std::max(monitor, neighbor)};
+  if (reported_.erase(link) == 0) return false;
+  Recompute();
+  ++revision_;
+  return true;
+}
+
 void SuspicionLedger::Recompute() {
   links_.assign(reported_.begin(), reported_.end());
   // Dead-node inference: mask only the believed links, then everything the

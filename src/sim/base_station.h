@@ -69,6 +69,13 @@ class SuspicionLedger {
   /// undirected link was not yet believed failed).
   bool RecordSuspicion(NodeId monitor, NodeId neighbor);
 
+  /// Retracts a previously recorded suspicion — the monitor readmitted the
+  /// neighbor after probation (detector hysteresis). Returns true iff the
+  /// undirected link was believed failed; beliefs and dead-node inference
+  /// are recomputed and `revision` bumps, triggering a re-plan that routes
+  /// over the healed link again.
+  bool RecordReadmission(NodeId monitor, NodeId neighbor);
+
   /// Undirected believed-failed links, sorted (lo, hi).
   const std::vector<std::pair<NodeId, NodeId>>& believed_failed_links()
       const {

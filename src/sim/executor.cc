@@ -572,6 +572,21 @@ RoundResult PlanExecutor::RunSuppressedRoundImpl(
         << "destination " << d << " drifted past its suppression bound";
     current_aggregates_[d] = value;
     result.destination_values[d] = value;
+
+    // Suppression-aware coverage: every live source is covered — the ones
+    // that stayed silent are represented by their last transmitted value.
+    RoundResult::DestinationCoverage coverage;
+    coverage.expected = static_cast<int>(task.sources.size());
+    coverage.covered = coverage.expected;
+    for (NodeId s : task.sources) {
+      if (changed[s]) {
+        ++coverage.transmitted;
+      } else {
+        ++coverage.suppressed;
+      }
+    }
+    coverage.coverage = 1.0;
+    result.destination_coverage[d] = coverage;
   }
 
   // Commit the new readings of changed sources.

@@ -38,6 +38,21 @@ struct RoundResult {
   std::vector<double> node_energy_mj;
   /// The aggregate each destination computed this round.
   std::unordered_map<NodeId, double> destination_values;
+
+  /// Suppression-aware per-destination coverage (suppressed rounds only).
+  /// A suppressed-but-live source still counts as *covered*: its last
+  /// transmitted contribution is part of the maintained aggregate, so
+  /// silence under suppression is deliberate economy, not data loss — the
+  /// semantic that distinguishes this accounting from the lossy runtime's
+  /// delivery-based coverage (RuntimeNetwork::LossyResult).
+  struct DestinationCoverage {
+    int covered = 0;      ///< Sources represented in the maintained value.
+    int expected = 0;     ///< Sources in the destination's task.
+    int transmitted = 0;  ///< Sources that shipped a delta this round.
+    int suppressed = 0;   ///< Live sources that stayed silent (covered).
+    double coverage = 1.0;
+  };
+  std::unordered_map<NodeId, DestinationCoverage> destination_coverage;
 };
 
 /// Runtime override policies for temporal suppression (paper section 3 /

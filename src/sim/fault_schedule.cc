@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <set>
 #include <sstream>
 
 #include "common/check.h"
@@ -70,6 +71,10 @@ std::string ToString(FaultType type) {
       return "persistent-link";
     case FaultType::kNodeDeath:
       return "node-death";
+    case FaultType::kLinkHeal:
+      return "link-heal";
+    case FaultType::kNodeRecover:
+      return "node-recover";
   }
   return "unknown";
 }
@@ -157,6 +162,33 @@ FaultSchedule FaultSchedule::Generate(
     schedule.events_.push_back(event);
   }
 
+  // Recoveries: the first `node_recoveries` accepted deaths and the first
+  // `link_heals` accepted link failures come back after
+  // `recovery_delay_rounds`. Recoveries only restore capacity, so the
+  // connectivity invariant established above cannot be violated. A
+  // recovery that would land past the schedule is dropped (the fault is
+  // then effectively permanent).
+  const int delay = std::max(1, options.recovery_delay_rounds);
+  int recoveries_left = options.node_recoveries;
+  int heals_left = options.link_heals;
+  std::vector<FaultEvent> recoveries;
+  for (const FaultEvent& event : schedule.events_) {
+    const int recover_round = event.round + delay;
+    if (recover_round >= options.rounds) continue;
+    if (event.type == FaultType::kNodeDeath && recoveries_left > 0) {
+      --recoveries_left;
+      recoveries.push_back(FaultEvent{recover_round,
+                                      FaultType::kNodeRecover, event.a,
+                                      kInvalidNode});
+    } else if (event.type == FaultType::kPersistentLink && heals_left > 0) {
+      --heals_left;
+      recoveries.push_back(FaultEvent{recover_round, FaultType::kLinkHeal,
+                                      event.a, event.b});
+    }
+  }
+  schedule.events_.insert(schedule.events_.end(), recoveries.begin(),
+                          recoveries.end());
+
   // Transient flaky links, drawn per round from a forked stream so the
   // persistent draw above doesn't shift them.
   Rng transient_rng = rng.Fork(0x71a);
@@ -199,53 +231,70 @@ std::vector<FaultEvent> FaultSchedule::PersistentEventsAt(int round) const {
 }
 
 bool FaultSchedule::NodeAliveAt(int round, NodeId n) const {
+  // Interval semantics: the latest death/recovery at or before `round`
+  // wins (events_ is sorted by round).
+  bool alive = true;
   for (const FaultEvent& event : events_) {
-    if (event.type == FaultType::kNodeDeath && event.a == n &&
-        event.round <= round) {
-      return false;
-    }
+    if (event.round > round) break;
+    if (event.a != n) continue;
+    if (event.type == FaultType::kNodeDeath) alive = false;
+    if (event.type == FaultType::kNodeRecover) alive = true;
   }
-  return true;
+  return alive;
 }
 
 std::vector<NodeId> FaultSchedule::DeadNodesThrough(int round) const {
-  std::vector<NodeId> out;
+  std::set<NodeId> dead;
   for (const FaultEvent& event : events_) {
-    if (event.type == FaultType::kNodeDeath && event.round <= round) {
-      out.push_back(event.a);
-    }
+    if (event.round > round) break;
+    if (event.type == FaultType::kNodeDeath) dead.insert(event.a);
+    if (event.type == FaultType::kNodeRecover) dead.erase(event.a);
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return {dead.begin(), dead.end()};
 }
 
 std::vector<std::pair<NodeId, NodeId>> FaultSchedule::FailedLinksThrough(
     int round) const {
-  std::vector<std::pair<NodeId, NodeId>> out;
+  std::set<std::pair<NodeId, NodeId>> failed;
   for (const FaultEvent& event : events_) {
-    if (event.type == FaultType::kPersistentLink && event.round <= round) {
-      out.emplace_back(event.a, event.b);
+    if (event.round > round) break;
+    if (event.type == FaultType::kPersistentLink) {
+      failed.emplace(event.a, event.b);
+    }
+    if (event.type == FaultType::kLinkHeal) {
+      failed.erase({event.a, event.b});
     }
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return {failed.begin(), failed.end()};
 }
 
 bool FaultSchedule::AttemptDelivers(int round, NodeId from, NodeId to,
                                     int attempt) const {
+  bool from_alive = true;
+  bool to_alive = true;
+  bool link_up = true;
   for (const FaultEvent& event : events_) {
-    if (event.round > round || event.type == FaultType::kTransientLink) {
-      continue;
-    }
-    if (event.type == FaultType::kNodeDeath &&
-        (event.a == from || event.a == to)) {
-      return false;
-    }
-    if (event.type == FaultType::kPersistentLink &&
-        LinkKey(event.a, event.b) == LinkKey(from, to)) {
-      return false;
+    if (event.round > round) break;
+    switch (event.type) {
+      case FaultType::kTransientLink:
+        break;
+      case FaultType::kNodeDeath:
+        if (event.a == from) from_alive = false;
+        if (event.a == to) to_alive = false;
+        break;
+      case FaultType::kNodeRecover:
+        if (event.a == from) from_alive = true;
+        if (event.a == to) to_alive = true;
+        break;
+      case FaultType::kPersistentLink:
+        if (LinkKey(event.a, event.b) == LinkKey(from, to)) link_up = false;
+        break;
+      case FaultType::kLinkHeal:
+        if (LinkKey(event.a, event.b) == LinkKey(from, to)) link_up = true;
+        break;
     }
   }
+  if (!from_alive || !to_alive || !link_up) return false;
   if (!transient_.contains(RoundLinkKey(round, from, to))) return true;
   // Stateless per-attempt draw: hash of (seed, round, directed link,
   // attempt) to a uniform double. Direction matters so data and ack

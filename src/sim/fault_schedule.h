@@ -18,13 +18,21 @@ enum class FaultType : uint8_t {
   /// independently drops with the schedule's drop probability. Ack/retry at
   /// the runtime layer recovers from these without touching the plan.
   kTransientLink,
-  /// The link is down from `round` onward; recovery requires re-routing and
-  /// a (local, Corollary 1) re-plan.
+  /// The link is down from `round` onward (until a scheduled kLinkHeal, if
+  /// any); recovery requires re-routing and a (local, Corollary 1) re-plan.
   kPersistentLink,
-  /// The node is dead from `round` onward: it neither transmits nor
-  /// receives, and it stops being a source. Recovery removes it from the
-  /// workload and re-plans.
+  /// The node is dead from `round` onward (until a scheduled kNodeRecover,
+  /// if any): it neither transmits nor receives, and it stops being a
+  /// source. Recovery removes it from the workload and re-plans.
   kNodeDeath,
+  /// A previously failed link carries traffic again from `round` onward.
+  /// Monitors readmit it through detector probation and the base station
+  /// re-plans over it.
+  kLinkHeal,
+  /// A previously dead node rejoins from `round` onward: it boots with its
+  /// last installed (now stale) plan image and must be readmitted and
+  /// re-imaged before it contributes again.
+  kNodeRecover,
 };
 
 std::string ToString(FaultType type);
@@ -48,14 +56,27 @@ struct FaultScheduleOptions {
   double transient_drop_probability = 0.6;
   int persistent_link_failures = 2;
   int node_deaths = 1;
+  /// How many of the accepted persistent link failures later heal
+  /// (kLinkHeal), and how many of the accepted node deaths later recover
+  /// (kNodeRecover). Defaults keep the legacy fail-only schedules.
+  int link_heals = 0;
+  int node_recoveries = 0;
+  /// Rounds between a persistent fault and its scheduled recovery (>= 1; a
+  /// recovery that would land past the schedule is dropped).
+  int recovery_delay_rounds = 2;
   uint64_t seed = 1;
 };
 
-/// A reproducible schedule of link and node faults, deterministic in
-/// (topology, protected set, options). Persistent faults are generated so
-/// the surviving subgraph stays connected after every event — the network
-/// always *can* recover by re-planning — and nodes in `protected_nodes`
-/// (typically the destinations) never die.
+/// A reproducible schedule of link and node faults — and, optionally, their
+/// recoveries — deterministic in (topology, protected set, options).
+/// Persistent faults are generated so the surviving subgraph stays
+/// connected after every event — the network always *can* recover by
+/// re-planning — and nodes in `protected_nodes` (typically the
+/// destinations) never die. Persistent state is interval-based: for each
+/// node/link the latest scheduled event at or before the queried round
+/// wins, so a death followed by a recovery leaves the node alive again.
+/// Recoveries only ever add capacity, so they cannot violate the
+/// connectivity invariant.
 ///
 /// Per-attempt delivery decisions are a pure hash of (seed, round, link,
 /// direction, attempt), so replaying the same schedule yields byte-identical
@@ -72,11 +93,12 @@ class FaultSchedule {
   /// Persistent events (link failures, deaths) taking effect at `round`.
   std::vector<FaultEvent> PersistentEventsAt(int round) const;
 
-  /// True iff `n` has not died at or before `round`.
+  /// True iff `n` is alive at `round`: the latest death/recovery event at
+  /// or before `round` wins (alive if none).
   bool NodeAliveAt(int round, NodeId n) const;
   std::vector<NodeId> DeadNodesThrough(int round) const;
-  /// Persistently failed links through `round`, as (lo, hi) pairs; excludes
-  /// links implied by node deaths.
+  /// Links persistently down at `round`, as (lo, hi) pairs (latest
+  /// failure/heal event wins); excludes links implied by node deaths.
   std::vector<std::pair<NodeId, NodeId>> FailedLinksThrough(int round) const;
 
   /// Whether transmission attempt `attempt` (1-based) from `from` to `to`

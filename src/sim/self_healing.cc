@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/crc32.h"
 #include "plan/dissemination.h"
 #include "plan/serialization.h"
 #include "routing/multicast.h"
@@ -47,6 +48,7 @@ SelfHealingRuntime::SelfHealingRuntime(const Topology& topology,
     : topology_(&topology),
       base_(base_station),
       options_(options),
+      original_workload_(workload),
       workload_(workload),
       plan_(BuildPlan(std::make_shared<MulticastForest>(PathSystem(topology),
                                                         workload.tasks),
@@ -88,6 +90,10 @@ void SelfHealingRuntime::set_metrics(obs::MetricsRegistry* metrics) {
   handles_.edges_reoptimized =
       metrics_->Counter("heal.replan_edges_reoptimized");
   handles_.pending_installs = metrics_->Gauge("heal.pending_installs");
+  handles_.readmissions = metrics_->Counter("readmit.readmissions");
+  handles_.probation_rounds = metrics_->Counter("readmit.probation_rounds");
+  handles_.epoch_reconciliations =
+      metrics_->Counter("readmit.epoch_reconciliations");
 }
 
 int SelfHealingRuntime::pending_installs() const {
@@ -130,15 +136,40 @@ SelfHealingRoundResult SelfHealingRuntime::RunRound(
     metrics_->Add(handles_.probe_tx, detection.probe_transmissions);
     metrics_->Add(handles_.probe_confirms, detection.probe_confirmations);
   }
+  result.readmissions = static_cast<int>(detection.readmitted.size());
   for (const SuspectedLink& suspicion : detection.new_suspicions) {
-    monitor_outbox_[suspicion.monitor].pending.emplace(suspicion.neighbor,
-                                                       suspicion.round);
+    MonitorOutbox& outbox = monitor_outbox_[suspicion.monitor];
+    outbox.pending.emplace(suspicion.neighbor, suspicion.round);
+    // A re-suspicion supersedes any queued retraction of the same link, so
+    // at most one verdict per neighbor is ever in a report.
+    std::erase_if(outbox.retractions, [&suspicion](const auto& entry) {
+      return entry.first == suspicion.neighbor;
+    });
     if (metrics_ != nullptr) {
       metrics_->AddNode(handles_.suspicions, suspicion.monitor, 1);
     }
     if (trace != nullptr) {
       trace->Suspect(round, suspicion.monitor, suspicion.neighbor);
     }
+  }
+  for (const SuspectedLink& readmit : detection.readmitted) {
+    MonitorOutbox& outbox = monitor_outbox_[readmit.monitor];
+    // If the suspicion never reached the base it needs no retraction, but
+    // an unacked report may still have been *delivered* (ack lost), so the
+    // retraction is sent regardless; RecordReadmission of a link the base
+    // never believed failed is a harmless no-op.
+    std::erase_if(outbox.pending, [&readmit](const auto& entry) {
+      return entry.first == readmit.neighbor;
+    });
+    outbox.retractions.emplace(readmit.neighbor, readmit.round);
+    if (metrics_ != nullptr) {
+      metrics_->AddNode(handles_.readmissions, readmit.monitor, 1);
+    }
+  }
+  if (metrics_ != nullptr && detector_.probation_link_count() > 0) {
+    // One count per link per round spent in probation.
+    metrics_->Add(handles_.probation_rounds,
+                  detector_.probation_link_count());
   }
 
   // 3. Control plane: reports toward the base station, plan images / epoch
@@ -191,8 +222,10 @@ void SelfHealingRuntime::RefreshControlPaths() {
        ledger_.believed_failed_links()) {
     suspected.insert(link);
   }
-  if (suspected.size() == control_paths_suspicions_) return;
-  control_paths_suspicions_ = suspected.size();
+  // Compare the set, not its size: a readmission paired with a fresh
+  // suspicion keeps the count constant while the routes must change.
+  if (suspected == control_paths_suspected_) return;
+  control_paths_suspected_ = suspected;
   std::vector<std::pair<NodeId, NodeId>> links(suspected.begin(),
                                                suspected.end());
   control_paths_ =
@@ -208,12 +241,16 @@ void SelfHealingRuntime::AdvanceControlPlane(int round,
   // (a) Emit / re-emit suspicion reports. The base station's own
   // suspicions go straight into the ledger (it is the base).
   for (auto& [monitor, outbox] : monitor_outbox_) {
-    if (outbox.pending.empty()) continue;
+    if (outbox.pending.empty() && outbox.retractions.empty()) continue;
     if (monitor == base_) {
       for (const auto& [neighbor, raised] : outbox.pending) {
         ledger_.RecordSuspicion(monitor, neighbor);
       }
+      for (const auto& [neighbor, readmit_round] : outbox.retractions) {
+        ledger_.RecordReadmission(monitor, neighbor);
+      }
       outbox.pending.clear();
+      outbox.retractions.clear();
       continue;
     }
     if (outbox.last_sent_round >= 0 &&
@@ -229,6 +266,8 @@ void SelfHealingRuntime::AdvanceControlPlane(int round,
     wire::SuspicionReport report;
     report.monitor = monitor;
     report.entries.assign(outbox.pending.begin(), outbox.pending.end());
+    report.retractions.assign(outbox.retractions.begin(),
+                              outbox.retractions.end());
     QueueControl(ControlMessage::Kind::kReport, monitor, base_,
                  wire::EncodeSuspicionReport(report), 0);
     outbox.last_sent_round = round;
@@ -252,8 +291,10 @@ void SelfHealingRuntime::AdvanceControlPlane(int round,
       QueueControl(ControlMessage::Kind::kBump, base_, node,
                    wire::EncodeEpochBump(epoch_), epoch_);
     } else {
-      QueueControl(ControlMessage::Kind::kImage, base_, node, images_[node],
-                   epoch_);
+      // Full images cross many hops; the CRC32 frame lets the installer
+      // prove the bytes arrived intact before decoding them.
+      QueueControl(ControlMessage::Kind::kImage, base_, node,
+                   FrameNodeImage(images_[node]), epoch_);
     }
     pending.last_sent_round = round;
     pending.in_flight = true;
@@ -330,6 +371,9 @@ void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
       for (const auto& [neighbor, raised] : report->entries) {
         ledger_.RecordSuspicion(report->monitor, neighbor);
       }
+      for (const auto& [neighbor, readmit_round] : report->retractions) {
+        ledger_.RecordReadmission(report->monitor, neighbor);
+      }
       // Ack echoes the report so the monitor knows which entries landed.
       QueueControl(ControlMessage::Kind::kReportAck, base_, report->monitor,
                    message.payload, 0);
@@ -342,12 +386,20 @@ void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
       for (const auto& entry : report->entries) {
         outbox.pending.erase(entry);
       }
+      for (const auto& entry : report->retractions) {
+        outbox.retractions.erase(entry);
+      }
       outbox.report_in_flight = false;
       break;
     }
     case ControlMessage::Kind::kImage: {
       if (message.epoch != epoch_) break;  // Superseded mid-flight.
-      network_.InstallNodeImage(message.target, message.payload,
+      std::optional<std::vector<uint8_t>> image =
+          TryOpenCrc32Frame(message.payload);
+      M2M_CHECK(image.has_value())
+          << "plan image for node " << message.target
+          << " failed its CRC32 frame check";
+      network_.InstallNodeImage(message.target, *image,
                                 SegmentsFor(message.target));
       QueueControl(ControlMessage::Kind::kAck, message.target, base_,
                    wire::EncodeInstallAck(message.target, message.epoch),
@@ -387,7 +439,10 @@ void SelfHealingRuntime::MaybeReplan(int round,
   ledger_revision_applied_ = ledger_.revision();
 
   // Believed-dead nodes stop being sources (paper section 3: membership
-  // changes shrink the workload, then the plan is patched locally).
+  // changes shrink the workload, then the plan is patched locally). The
+  // believed workload is recomputed from the original on every belief
+  // change, so a readmitted node resumes as a source.
+  workload_ = original_workload_;
   for (NodeId dead : ledger_.believed_dead()) {
     for (const Task& task : std::vector<Task>(workload_.tasks)) {
       if (Contains(task.sources, dead)) {
@@ -395,6 +450,17 @@ void SelfHealingRuntime::MaybeReplan(int round,
       }
     }
   }
+  // Nodes leaving the believed-dead set rebooted with whatever epoch they
+  // last installed; their actual tables are unknown to the image diff
+  // below, so they are forced a full image (lineage reconciliation:
+  // higher epoch wins, the rejoiner re-syncs).
+  std::vector<NodeId> readmitted_nodes;
+  for (NodeId node : believed_dead_applied_) {
+    if (!Contains(ledger_.believed_dead(), node)) {
+      readmitted_nodes.push_back(node);
+    }
+  }
+  believed_dead_applied_ = ledger_.believed_dead();
 
   PathSystem believed_paths(ledger_.BelievedTopology());
   UpdateStats stats;
@@ -433,13 +499,33 @@ void SelfHealingRuntime::MaybeReplan(int round,
       network_.InstallNodeImage(base_, images_[base_], SegmentsFor(base_));
       continue;
     }
+    const bool force_image = Contains(readmitted_nodes, delta.node);
     PendingInstall pending;
-    pending.is_bump = !delta.ship_image;
+    pending.is_bump = !delta.ship_image && !force_image;
     pending_installs_.emplace(delta.node, pending);
-    if (delta.ship_image) {
-      ++images_queued;
-    } else {
+    if (pending.is_bump) {
       ++bumps_queued;
+    } else {
+      ++images_queued;
+    }
+  }
+  // The diff only covers nodes whose image content changed or is non-empty,
+  // but a rejoiner's actual tables are unknown regardless — it may hold no
+  // delta entry yet still carry stale pre-death state. Every readmitted
+  // node gets a full framed image, diff or not.
+  for (NodeId node : readmitted_nodes) {
+    if (node == base_ || Contains(ledger_.believed_dead(), node)) continue;
+    auto [it, inserted] = pending_installs_.emplace(node, PendingInstall{});
+    if (inserted) {
+      it->second.is_bump = false;
+      ++images_queued;
+    } else if (it->second.is_bump) {
+      it->second.is_bump = false;
+      --bumps_queued;
+      ++images_queued;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->AddNode(handles_.epoch_reconciliations, node, 1);
     }
   }
 

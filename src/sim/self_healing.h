@@ -44,6 +44,8 @@ struct SelfHealingRoundResult {
   int64_t probe_confirmations = 0;
   /// Suspicions newly raised by monitors this round.
   int new_suspicions = 0;
+  /// Suspected links readmitted this round (probation completed).
+  int readmissions = 0;
   /// Control-plane traffic this round (reports, images, bumps, acks).
   int64_t control_hop_attempts = 0;
   int64_t control_hops_crossed = 0;
@@ -69,8 +71,9 @@ struct SelfHealingRoundResult {
 ///      with ack/retry and the receiver-side epoch gate.
 ///   2. Failure detection: piggybacked heartbeats from the round's traffic
 ///      plus explicit probes for silent neighbors (runtime/detector.h);
-///      monitors whose missed count crosses the threshold raise sticky
-///      suspicions.
+///      monitors whose missed count crosses the threshold raise suspicions,
+///      and keep probing suspected links so a recovered neighbor can earn
+///      readmission through the detector's probation hysteresis.
 ///   3. Control plane: suspicion reports route hop-by-hop to the base
 ///      station, which folds them into its SuspicionLedger; plan images,
 ///      epoch bumps and install acks route the other way. Every message is
@@ -79,7 +82,10 @@ struct SelfHealingRoundResult {
 ///      its believed topology (ReplanForTopology — Corollary 1 keeps the
 ///      patch local), opens a new plan epoch, and disseminates only the
 ///      diff: full images to content-changed nodes, 5-byte epoch bumps to
-///      unchanged participants.
+///      unchanged participants. Readmitted nodes always get a full image —
+///      whatever stale-epoch tables they rebooted with, the install
+///      reconciles their lineage with the base station's (higher epoch
+///      wins).
 ///
 /// Safe transitions fall out of the epoch protocol: a node installing an
 /// image drops its old-epoch round state, and the runtime's epoch gate
@@ -116,7 +122,9 @@ class SelfHealingRuntime {
   uint32_t base_epoch() const { return epoch_; }
   const GlobalPlan& plan() const { return plan_; }
   const CompiledPlan& compiled() const { return *compiled_; }
-  /// The believed workload (sources of believed-dead nodes removed).
+  /// The believed workload: the original workload minus the sources of
+  /// currently-believed-dead nodes. Recomputed from the original on every
+  /// belief change, so a readmitted node's sources come back.
   const Workload& current_workload() const { return workload_; }
   const SuspicionLedger& ledger() const { return ledger_; }
   const FailureDetector& detector() const { return detector_; }
@@ -170,11 +178,17 @@ class SelfHealingRuntime {
     obs::MetricHandle edges_reused;
     obs::MetricHandle edges_reoptimized;
     obs::MetricHandle pending_installs;
+    obs::MetricHandle readmissions;
+    obs::MetricHandle probation_rounds;
+    obs::MetricHandle epoch_reconciliations;
   };
 
   const Topology* topology_;
   NodeId base_;
   SelfHealingOptions options_;
+  /// The deployment's full workload, as configured. Never mutated.
+  Workload original_workload_;
+  /// The believed workload: original minus believed-dead sources.
   Workload workload_;
   uint32_t epoch_ = 0;
   GlobalPlan plan_;
@@ -191,7 +205,7 @@ class SelfHealingRuntime {
   /// control plane itself; routing around them immediately is what lets a
   /// report escape a region whose primary path just failed).
   PathSystem control_paths_;
-  size_t control_paths_suspicions_ = 0;
+  std::set<std::pair<NodeId, NodeId>> control_paths_suspected_;
 
   std::vector<ControlMessage> in_flight_;
   int next_seq_ = 0;
@@ -200,6 +214,8 @@ class SelfHealingRuntime {
   /// station, with the round their report was last emitted.
   struct MonitorOutbox {
     std::set<std::pair<NodeId, int>> pending;  // (neighbor, round raised).
+    /// Readmissions not yet acked: (neighbor, round probation completed).
+    std::set<std::pair<NodeId, int>> retractions;
     int last_sent_round = -1;
     bool report_in_flight = false;
   };
@@ -215,6 +231,10 @@ class SelfHealingRuntime {
   std::map<NodeId, PendingInstall> pending_installs_;
 
   std::map<uint32_t, int> epoch_opened_round_;
+
+  /// believed_dead() as of the last applied replan; a node leaving this set
+  /// is a readmission and is forced a full image (not a bump).
+  std::vector<NodeId> believed_dead_applied_;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   MetricHandles handles_;

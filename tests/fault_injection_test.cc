@@ -437,6 +437,138 @@ TEST(LossyRuntimeTest, DedupTableStaysConstantSizeOverTenThousandRounds) {
   EXPECT_EQ(trace.dropped(), trace.total_appended() - kTraceCapacity);
 }
 
+// Boundary regression for dedup under reordering + delay: a maximally
+// delayed first attempt that lands AFTER a retransmission was already
+// delivered and acked arrives right at the eviction boundary — the dedup
+// horizon is extended by exactly the channel's max delay, so the late copy
+// must still be recognized and suppressed, never re-applied. Were the
+// horizon not extended, the stale copy would double-count its contribution
+// and the differential below would break.
+TEST(LossyRuntimeTest, DelayedDuplicateAtEvictionBoundaryIsSuppressed) {
+  Topology topology = MakeGrid(6, 1, 10.0, 15.0);
+  Workload workload;
+  workload.tasks = {Task{5, {0, 1, 2}}};
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.weights = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  workload.specs = {spec};
+  workload.RebuildFunctions();
+
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload.functions);
+  RuntimeNetwork network(compiled, workload.functions);
+
+  // Every first ack drops (forcing a retransmission of a delivered packet)
+  // and every first data attempt is delayed by the full channel bound: the
+  // retransmission overtakes the original, which then arrives as a stale
+  // reordered duplicate near the end of the dedup window.
+  const int kMaxDelay = 4;
+  LossyLinkModel links;
+  links.attempt_delivers = [](NodeId from, NodeId to, int attempt) {
+    return !(from > to && attempt == 1);
+  };
+  links.hop_effects = [](NodeId from, NodeId to, int attempt) {
+    HopEffects effects;
+    if (from < to && attempt == 1) effects.delay_ticks = kMaxDelay;
+    return effects;
+  };
+  links.max_delay_ticks = kMaxDelay;
+
+  RetryPolicy retry;
+  retry.ack_timeout_ticks = 2;  // Retransmit before the delayed original.
+
+  ReadingGenerator readings(topology.node_count(), 53);
+  const double expected = 1.0 * readings.values()[0] +
+                          2.0 * readings.values()[1] +
+                          3.0 * readings.values()[2];
+  int64_t reordered_total = 0;
+  for (int round = 0; round < 50; ++round) {
+    RuntimeNetwork::LossyResult lossy =
+        network.RunRoundLossy(readings.values(), links, retry);
+    ASSERT_GT(lossy.duplicates, 0) << "round " << round;
+    reordered_total += lossy.reordered_deliveries;
+    ASSERT_TRUE(lossy.incomplete_destinations.empty()) << "round " << round;
+    ASSERT_TRUE(ValuesClose(lossy.destination_values.at(5), expected))
+        << "round " << round << ": stale duplicate re-applied";
+    // Dedup entries live `max_delay_ticks` longer than the clean-channel
+    // horizon but are still evicted: the table stays bounded.
+    for (NodeId n = 0; n < topology.node_count(); ++n) {
+      ASSERT_LE(network.node_runtime(n).seen_packet_count(), 12u)
+          << "round " << round;
+    }
+  }
+  EXPECT_GT(reordered_total, 0) << "delay never caused a reorder";
+}
+
+// Exactly-once delivery under delayed acks, across the whole retry-budget
+// range: an ack in flight while the sender retransmits must not cause a
+// double-apply, whether the budget is a single attempt (no retransmission
+// possible), the default-ish 8, or 40 (deep backoff, exercising the
+// overflow clamp).
+TEST(LossyRuntimeTest, DelayedAcksPreserveExactlyOnceAcrossRetryBudgets) {
+  Topology topology = MakeGrid(6, 1, 10.0, 15.0);
+  Workload workload;
+  workload.tasks = {Task{5, {0, 1, 2}}};
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedSum;
+  spec.weights = {{0, 1.0}, {1, 2.0}, {2, 3.0}};
+  workload.specs = {spec};
+  workload.RebuildFunctions();
+
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload.functions);
+
+  // Data always delivers; acks always deliver but arrive 3 ticks late —
+  // after the sender's first backoff expires, so budgets > 1 retransmit a
+  // message whose ack is already in flight.
+  const int kAckDelay = 3;
+  LossyLinkModel links;
+  links.attempt_delivers = [](NodeId, NodeId, int) { return true; };
+  links.hop_effects = [](NodeId from, NodeId to, int) {
+    HopEffects effects;
+    if (from > to) effects.delay_ticks = kAckDelay;
+    return effects;
+  };
+  links.max_delay_ticks = kAckDelay;
+
+  ReadingGenerator readings(topology.node_count(), 61);
+  const double expected = 1.0 * readings.values()[0] +
+                          2.0 * readings.values()[1] +
+                          3.0 * readings.values()[2];
+  for (int max_attempts : {1, 8, 40}) {
+    RuntimeNetwork network(compiled, workload.functions);
+    RetryPolicy retry;
+    retry.max_attempts = max_attempts;
+    retry.ack_timeout_ticks = 2;
+    RuntimeNetwork::LossyResult lossy =
+        network.RunRoundLossy(readings.values(), links, retry);
+    // Data never drops, so every destination completes for every budget,
+    // and the late ack must stop the retransmission loop before the budget
+    // matters: nothing is ever abandoned.
+    EXPECT_EQ(lossy.messages_abandoned, 0) << "max_attempts " << max_attempts;
+    ASSERT_TRUE(lossy.incomplete_destinations.empty())
+        << "max_attempts " << max_attempts;
+    ASSERT_TRUE(ValuesClose(lossy.destination_values.at(5), expected))
+        << "max_attempts " << max_attempts << ": duplicate applied twice";
+    if (max_attempts == 1) {
+      // No budget to retransmit: the delayed ack is simply absorbed.
+      EXPECT_EQ(lossy.retransmissions, 0);
+      EXPECT_EQ(lossy.duplicates, 0);
+    } else {
+      // The sender retransmitted into the ack's delay window at least once;
+      // the receiver-side dedup absorbed every extra copy.
+      EXPECT_GT(lossy.retransmissions, 0) << "max_attempts " << max_attempts;
+      EXPECT_GT(lossy.duplicates, 0) << "max_attempts " << max_attempts;
+    }
+  }
+}
+
 // The sampled-failure path (LinkOutcome) and the oracle masking path
 // (Topology::WithFailures) must agree on what "node X is down" means:
 // identical alive link sets.

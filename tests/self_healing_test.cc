@@ -363,13 +363,16 @@ TEST(FailureDetectorTest, DeadLinkSuspectedAfterExactlyThresholdRounds) {
   EXPECT_TRUE(detector.Suspects(2, 1));
   EXPECT_FALSE(detector.Suspects(0, 1));
 
-  // Sticky: the link coming back (transient glitch) does not retract, and
-  // the monitor stops probing it.
+  // Hysteresis: a single round of renewed evidence (transient glitch) only
+  // moves the link into probation — it stays suspected until
+  // `probation_rounds` consecutive evidence rounds complete.
   auto all_up = [](NodeId, NodeId, int) { return true; };
   auto after = detector.ObserveRound(options.suspicion_threshold, silent,
                                      all_up, nullptr);
   EXPECT_TRUE(after.new_suspicions.empty());
+  EXPECT_TRUE(after.readmitted.empty());
   EXPECT_TRUE(detector.Suspects(1, 2));
+  EXPECT_TRUE(detector.InProbation(1, 2));
 }
 
 TEST(FailureDetectorTest, IntermittentEvidenceResetsTheCounter) {
