@@ -1,0 +1,136 @@
+#include "lifecycle/admission.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "plan/tdma.h"
+
+namespace m2m {
+
+std::string ToString(AdmissionReason reason) {
+  switch (reason) {
+    case AdmissionReason::kAdmitted:
+      return "admitted";
+    case AdmissionReason::kDuplicateDestination:
+      return "duplicate_destination";
+    case AdmissionReason::kUnknownDestination:
+      return "unknown_destination";
+    case AdmissionReason::kDuplicateSource:
+      return "duplicate_source";
+    case AdmissionReason::kUnknownSource:
+      return "unknown_source";
+    case AdmissionReason::kEmptySourceSet:
+      return "empty_source_set";
+    case AdmissionReason::kInvalidNode:
+      return "invalid_node";
+    case AdmissionReason::kNoAliveSources:
+      return "no_alive_sources";
+    case AdmissionReason::kStateBound:
+      return "state_bound";
+    case AdmissionReason::kTdmaCapacity:
+      return "tdma_capacity";
+    case AdmissionReason::kEnergyBudget:
+      return "energy_budget";
+  }
+  return "unknown";
+}
+
+AdmissionDecision AdmissionDecision::Admit() {
+  AdmissionDecision decision;
+  decision.admitted = true;
+  return decision;
+}
+
+AdmissionDecision AdmissionDecision::Reject(AdmissionReason reason,
+                                            std::string detail) {
+  M2M_CHECK(reason != AdmissionReason::kAdmitted);
+  AdmissionDecision decision;
+  decision.admitted = false;
+  decision.reason = reason;
+  decision.detail = std::move(detail);
+  return decision;
+}
+
+std::vector<double> PerNodeRoundEnergyMj(const CompiledPlan& compiled,
+                                         const FunctionSet& functions,
+                                         const EnergyModel& energy) {
+  (void)functions;  // Unit byte sizes are already baked into the schedule.
+  std::vector<double> node_uj(compiled.node_count(), 0.0);
+  const MessageSchedule& schedule = compiled.schedule();
+  for (const MessageSchedule::Message& message : schedule.messages()) {
+    int payload_bytes = 0;
+    for (int u : message.unit_ids) {
+      payload_bytes += schedule.units()[u].unit_bytes;
+    }
+    const ForestEdge& edge =
+        compiled.plan().forest().edges()[message.edge_index];
+    for (size_t hop = 0; hop + 1 < edge.segment.size(); ++hop) {
+      node_uj[edge.segment[hop]] += energy.TxUj(payload_bytes);
+      node_uj[edge.segment[hop + 1]] += energy.RxUj(payload_bytes);
+    }
+  }
+  for (double& uj : node_uj) uj /= 1000.0;
+  return node_uj;
+}
+
+AdmissionDecision CheckPlanBudgets(const CompiledPlan& compiled,
+                                   const FunctionSet& functions,
+                                   const Topology& topology,
+                                   const AdmissionLimits& limits) {
+  if (limits.state_bound_factor > 0.0) {
+    const StateTotals totals = compiled.ComputeStateTotals();
+    const int64_t reference = std::min(totals.sum_multicast_tree_sizes,
+                                       totals.sum_aggregation_tree_sizes);
+    const double bound =
+        limits.state_bound_factor * static_cast<double>(reference);
+    if (static_cast<double>(totals.total()) > bound) {
+      std::ostringstream detail;
+      detail << "Theorem 3 state bound: " << totals.total()
+             << " table entries > " << limits.state_bound_factor
+             << " * min(sum |T_s| = " << totals.sum_multicast_tree_sizes
+             << ", sum |A_d| = " << totals.sum_aggregation_tree_sizes
+             << ")";
+      AdmissionDecision decision = AdmissionDecision::Reject(
+          AdmissionReason::kStateBound, detail.str());
+      decision.observed = static_cast<double>(totals.total());
+      decision.limit = bound;
+      return decision;
+    }
+  }
+  if (limits.max_tdma_slots > 0) {
+    const TdmaSchedule tdma = BuildTdmaSchedule(compiled, topology);
+    if (tdma.slot_count > limits.max_tdma_slots) {
+      std::ostringstream detail;
+      detail << "TDMA round needs " << tdma.slot_count << " slots > budget "
+             << limits.max_tdma_slots;
+      AdmissionDecision decision = AdmissionDecision::Reject(
+          AdmissionReason::kTdmaCapacity, detail.str());
+      decision.observed = tdma.slot_count;
+      decision.limit = limits.max_tdma_slots;
+      return decision;
+    }
+  }
+  if (limits.max_node_energy_mj > 0.0) {
+    const std::vector<double> node_mj =
+        PerNodeRoundEnergyMj(compiled, functions, limits.energy);
+    for (NodeId node = 0; node < static_cast<NodeId>(node_mj.size());
+         ++node) {
+      if (node_mj[node] > limits.max_node_energy_mj) {
+        std::ostringstream detail;
+        detail << "node " << node << " would spend " << node_mj[node]
+               << " mJ per round > budget " << limits.max_node_energy_mj;
+        AdmissionDecision decision = AdmissionDecision::Reject(
+            AdmissionReason::kEnergyBudget, detail.str());
+        decision.offending_node = node;
+        decision.observed = node_mj[node];
+        decision.limit = limits.max_node_energy_mj;
+        return decision;
+      }
+    }
+  }
+  return AdmissionDecision::Admit();
+}
+
+}  // namespace m2m

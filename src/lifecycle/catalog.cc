@@ -1,0 +1,130 @@
+#include "lifecycle/catalog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace m2m {
+
+namespace {
+
+/// Canonicalizes a spec's weights: sorted by source, unique keys.
+void SortWeights(FunctionSpec& spec) {
+  std::sort(spec.weights.begin(), spec.weights.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+}  // namespace
+
+std::vector<NodeId> QueryDefinition::Sources() const {
+  std::vector<NodeId> sources;
+  sources.reserve(spec.weights.size());
+  for (const auto& [s, w] : spec.weights) sources.push_back(s);
+  std::sort(sources.begin(), sources.end());
+  return sources;
+}
+
+bool QueryDefinition::HasSource(NodeId source) const {
+  for (const auto& [s, w] : spec.weights) {
+    if (s == source) return true;
+  }
+  return false;
+}
+
+QueryCatalog QueryCatalog::FromWorkload(const Workload& workload) {
+  M2M_CHECK_EQ(workload.tasks.size(), workload.specs.size());
+  QueryCatalog catalog;
+  for (size_t i = 0; i < workload.tasks.size(); ++i) {
+    QueryDefinition query;
+    query.destination = workload.tasks[i].destination;
+    query.spec = workload.specs[i];
+    catalog.Admit(query);
+  }
+  catalog.version_ = 0;  // Seeding is version zero, not |tasks| mutations.
+  return catalog;
+}
+
+bool QueryCatalog::Contains(NodeId destination) const {
+  return queries_.contains(destination);
+}
+
+const QueryDefinition& QueryCatalog::Get(NodeId destination) const {
+  auto it = queries_.find(destination);
+  M2M_CHECK(it != queries_.end())
+      << "no query for destination " << destination;
+  return it->second;
+}
+
+void QueryCatalog::Admit(const QueryDefinition& query) {
+  M2M_CHECK(query.destination != kInvalidNode);
+  M2M_CHECK(!Contains(query.destination))
+      << "destination " << query.destination << " already has a query";
+  M2M_CHECK(!query.spec.weights.empty())
+      << "query for destination " << query.destination << " has no sources";
+  QueryDefinition stored = query;
+  SortWeights(stored.spec);
+  for (size_t i = 0; i < stored.spec.weights.size(); ++i) {
+    M2M_CHECK(stored.spec.weights[i].first != stored.destination)
+        << "destination " << stored.destination << " is its own source";
+    M2M_CHECK(i == 0 ||
+              stored.spec.weights[i - 1].first < stored.spec.weights[i].first)
+        << "duplicate source " << stored.spec.weights[i].first
+        << " for destination " << stored.destination;
+  }
+  queries_.emplace(stored.destination, std::move(stored));
+  ++version_;
+}
+
+QueryDefinition QueryCatalog::Retire(NodeId destination) {
+  auto it = queries_.find(destination);
+  M2M_CHECK(it != queries_.end())
+      << "no query for destination " << destination;
+  QueryDefinition retired = std::move(it->second);
+  queries_.erase(it);
+  ++version_;
+  return retired;
+}
+
+void QueryCatalog::AddSource(NodeId destination, NodeId source,
+                             double weight) {
+  auto it = queries_.find(destination);
+  M2M_CHECK(it != queries_.end())
+      << "no query for destination " << destination;
+  M2M_CHECK(source != destination)
+      << "destination " << destination << " cannot be its own source";
+  M2M_CHECK(!it->second.HasSource(source))
+      << "source " << source << " already present for " << destination;
+  it->second.spec.weights.emplace_back(source, weight);
+  SortWeights(it->second.spec);
+  ++version_;
+}
+
+void QueryCatalog::RemoveSource(NodeId destination, NodeId source) {
+  auto it = queries_.find(destination);
+  M2M_CHECK(it != queries_.end())
+      << "no query for destination " << destination;
+  M2M_CHECK(it->second.HasSource(source))
+      << "source " << source << " not present for " << destination;
+  M2M_CHECK_GT(it->second.spec.weights.size(), 1u)
+      << "removing source " << source << " would leave destination "
+      << destination << " with no sources";
+  auto& weights = it->second.spec.weights;
+  weights.erase(std::remove_if(weights.begin(), weights.end(),
+                               [source](const auto& entry) {
+                                 return entry.first == source;
+                               }),
+                weights.end());
+  ++version_;
+}
+
+Workload QueryCatalog::ToWorkload() const {
+  Workload workload;
+  for (const auto& [destination, query] : queries_) {
+    workload.tasks.push_back(Task{destination, query.Sources()});
+    workload.specs.push_back(query.spec);
+  }
+  workload.RebuildFunctions();
+  return workload;
+}
+
+}  // namespace m2m

@@ -1,0 +1,78 @@
+#ifndef M2M_LIFECYCLE_CATALOG_H_
+#define M2M_LIFECYCLE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "common/ids.h"
+#include "workload/workload.h"
+
+namespace m2m {
+
+/// One registered query: a destination plus its declarative function spec.
+/// The source set is the spec's weight keys; the catalog keeps the weights
+/// sorted by source id, so every view derived from catalog *content* is
+/// independent of the order in which mutations arrived.
+struct QueryDefinition {
+  NodeId destination = kInvalidNode;
+  FunctionSpec spec;
+
+  /// The query's sources, ascending.
+  std::vector<NodeId> Sources() const;
+  bool HasSource(NodeId source) const;
+};
+
+/// The base station's versioned query catalog: the authoritative record of
+/// which many-to-many aggregation queries are live. Pure bookkeeping with
+/// CHECKed structural preconditions — the lifecycle manager's admission
+/// layer validates (and rejects with a typed reason) *before* mutating, so
+/// a catalog mutation never fails at runtime. `version` bumps on every
+/// successful mutation; equal versions mean equal content.
+class QueryCatalog {
+ public:
+  QueryCatalog() = default;
+
+  /// Seeds a catalog from a configured workload (one query per task).
+  static QueryCatalog FromWorkload(const Workload& workload);
+
+  bool Contains(NodeId destination) const;
+  /// Requires Contains(destination).
+  const QueryDefinition& Get(NodeId destination) const;
+  int size() const { return static_cast<int>(queries_.size()); }
+  int64_t version() const { return version_; }
+  /// All queries, ascending by destination.
+  const std::map<NodeId, QueryDefinition>& queries() const {
+    return queries_;
+  }
+
+  /// Registers a new query. Requires: destination not present, at least
+  /// one source, sources unique, destination not among its own sources.
+  void Admit(const QueryDefinition& query);
+
+  /// Removes and returns the query. Requires Contains(destination).
+  QueryDefinition Retire(NodeId destination);
+
+  /// Adds `source` to an existing query. Requires the query to exist and
+  /// the source to be absent (and distinct from the destination).
+  void AddSource(NodeId destination, NodeId source, double weight);
+
+  /// Removes `source` from an existing query. Requires the query to exist,
+  /// the source to be present, and at least one other source to remain.
+  void RemoveSource(NodeId destination, NodeId source);
+
+  /// Materializes the catalog as a Workload: tasks ascending by
+  /// destination, sources ascending, functions rebuilt. Deterministic in
+  /// catalog content — any mutation history reaching the same content
+  /// yields the same workload, and therefore the same plan bytes.
+  Workload ToWorkload() const;
+
+ private:
+  std::map<NodeId, QueryDefinition> queries_;
+  int64_t version_ = 0;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_LIFECYCLE_CATALOG_H_

@@ -1,0 +1,216 @@
+#include "lifecycle/churn_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace m2m {
+
+std::string ToString(ChurnType type) {
+  switch (type) {
+    case ChurnType::kAdmit:
+      return "admit";
+    case ChurnType::kRetire:
+      return "retire";
+    case ChurnType::kAddSource:
+      return "add_source";
+    case ChurnType::kRemoveSource:
+      return "remove_source";
+  }
+  return "unknown";
+}
+
+ChurnSchedule ChurnSchedule::Generate(
+    const Topology& topology, const Workload& initial,
+    const std::vector<NodeId>& forbidden_destinations,
+    const ChurnScheduleOptions& options) {
+  M2M_CHECK_GE(options.rounds, 2);
+  M2M_CHECK_GE(options.sources_per_admission, 1);
+  M2M_CHECK_LT(options.sources_per_admission, topology.node_count());
+  M2M_CHECK_LE(options.weight_min, options.weight_max);
+
+  const std::set<NodeId> forbidden(forbidden_destinations.begin(),
+                                   forbidden_destinations.end());
+  // Simulated catalog membership, assuming every prior event commits.
+  std::map<NodeId, std::set<NodeId>> membership;
+  for (const Task& task : initial.tasks) {
+    membership.emplace(task.destination, std::set<NodeId>(
+                                             task.sources.begin(),
+                                             task.sources.end()));
+  }
+
+  Rng rng(options.seed);
+  std::vector<ChurnType> types;
+  types.insert(types.end(), options.admissions, ChurnType::kAdmit);
+  types.insert(types.end(), options.retirements, ChurnType::kRetire);
+  types.insert(types.end(), options.source_adds, ChurnType::kAddSource);
+  types.insert(types.end(), options.source_removes,
+               ChurnType::kRemoveSource);
+  rng.Shuffle(types);
+  std::vector<int> rounds;
+  rounds.reserve(types.size());
+  for (size_t i = 0; i < types.size(); ++i) {
+    rounds.push_back(
+        static_cast<int>(rng.UniformRange(1, options.rounds - 1)));
+  }
+  std::sort(rounds.begin(), rounds.end());
+
+  ChurnSchedule schedule;
+  schedule.options_ = options;
+  for (size_t i = 0; i < types.size(); ++i) {
+    Rng event_rng = rng.Fork(static_cast<uint64_t>(i));
+    ChurnEvent event;
+    event.round = rounds[i];
+    event.type = types[i];
+    switch (types[i]) {
+      case ChurnType::kAdmit: {
+        std::vector<NodeId> candidates;
+        for (NodeId n = 0; n < topology.node_count(); ++n) {
+          if (!membership.contains(n) && !forbidden.contains(n)) {
+            candidates.push_back(n);
+          }
+        }
+        if (candidates.empty()) continue;
+        event.destination = candidates[event_rng.UniformInt(
+            static_cast<uint64_t>(candidates.size()))];
+        std::vector<NodeId> pool;
+        for (NodeId n = 0; n < topology.node_count(); ++n) {
+          if (n != event.destination) pool.push_back(n);
+        }
+        event_rng.Shuffle(pool);
+        pool.resize(options.sources_per_admission);
+        std::sort(pool.begin(), pool.end());
+        event.spec.kind = options.kind;
+        for (NodeId source : pool) {
+          event.spec.weights.emplace_back(
+              source, event_rng.UniformDouble(options.weight_min,
+                                              options.weight_max));
+        }
+        membership.emplace(event.destination,
+                           std::set<NodeId>(pool.begin(), pool.end()));
+        break;
+      }
+      case ChurnType::kRetire: {
+        // The manager refuses to empty the catalog; keep two live queries
+        // so a subsequent retirement still has a target.
+        if (membership.size() <= 2) continue;
+        std::vector<NodeId> candidates;
+        for (const auto& [destination, sources] : membership) {
+          if (!forbidden.contains(destination)) {
+            candidates.push_back(destination);
+          }
+        }
+        if (candidates.empty()) continue;
+        event.destination = candidates[event_rng.UniformInt(
+            static_cast<uint64_t>(candidates.size()))];
+        membership.erase(event.destination);
+        break;
+      }
+      case ChurnType::kAddSource: {
+        std::vector<NodeId> candidates;
+        for (const auto& [destination, sources] : membership) {
+          if (static_cast<int>(sources.size()) + 1 <
+              topology.node_count()) {
+            candidates.push_back(destination);
+          }
+        }
+        if (candidates.empty()) continue;
+        event.destination = candidates[event_rng.UniformInt(
+            static_cast<uint64_t>(candidates.size()))];
+        std::set<NodeId>& sources = membership.at(event.destination);
+        std::vector<NodeId> addable;
+        for (NodeId n = 0; n < topology.node_count(); ++n) {
+          if (n != event.destination && !sources.contains(n)) {
+            addable.push_back(n);
+          }
+        }
+        event.source = addable[event_rng.UniformInt(
+            static_cast<uint64_t>(addable.size()))];
+        event.weight = event_rng.UniformDouble(options.weight_min,
+                                               options.weight_max);
+        sources.insert(event.source);
+        break;
+      }
+      case ChurnType::kRemoveSource: {
+        std::vector<NodeId> candidates;
+        for (const auto& [destination, sources] : membership) {
+          if (sources.size() >= 2) candidates.push_back(destination);
+        }
+        if (candidates.empty()) continue;
+        event.destination = candidates[event_rng.UniformInt(
+            static_cast<uint64_t>(candidates.size()))];
+        std::set<NodeId>& sources = membership.at(event.destination);
+        std::vector<NodeId> removable(sources.begin(), sources.end());
+        event.source = removable[event_rng.UniformInt(
+            static_cast<uint64_t>(removable.size()))];
+        sources.erase(event.source);
+        break;
+      }
+    }
+    schedule.events_.push_back(std::move(event));
+  }
+  return schedule;
+}
+
+std::vector<ChurnEvent> ChurnSchedule::EventsAt(int round) const {
+  std::vector<ChurnEvent> at;
+  for (const ChurnEvent& event : events_) {
+    if (event.round == round) at.push_back(event);
+  }
+  return at;
+}
+
+std::vector<NodeId> ChurnSchedule::ReferencedNodes() const {
+  std::set<NodeId> nodes;
+  for (const ChurnEvent& event : events_) {
+    if (event.destination != kInvalidNode) nodes.insert(event.destination);
+    if (event.source != kInvalidNode) nodes.insert(event.source);
+    for (const auto& [source, weight] : event.spec.weights) {
+      nodes.insert(source);
+    }
+  }
+  return {nodes.begin(), nodes.end()};
+}
+
+std::string ChurnSchedule::Describe() const {
+  std::ostringstream os;
+  for (const ChurnEvent& event : events_) {
+    os << "round " << event.round << ": " << ToString(event.type)
+       << " destination " << event.destination;
+    if (event.type == ChurnType::kAdmit) {
+      os << " sources {";
+      for (size_t i = 0; i < event.spec.weights.size(); ++i) {
+        if (i > 0) os << ",";
+        os << event.spec.weights[i].first;
+      }
+      os << "}";
+    } else if (event.type == ChurnType::kAddSource ||
+               event.type == ChurnType::kRemoveSource) {
+      os << " source " << event.source;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+MutationResult ApplyChurnEvent(QueryLifecycleManager& manager,
+                               const ChurnEvent& event) {
+  switch (event.type) {
+    case ChurnType::kAdmit:
+      return manager.AdmitQuery(event.destination, event.spec);
+    case ChurnType::kRetire:
+      return manager.RetireQuery(event.destination);
+    case ChurnType::kAddSource:
+      return manager.AddSource(event.destination, event.source,
+                               event.weight);
+    case ChurnType::kRemoveSource:
+      return manager.RemoveSource(event.destination, event.source);
+  }
+  M2M_CHECK(false) << "unreachable churn type";
+}
+
+}  // namespace m2m

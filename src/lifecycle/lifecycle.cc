@@ -1,0 +1,322 @@
+#include "lifecycle/lifecycle.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "plan/dissemination.h"
+#include "plan/serialization.h"
+
+namespace m2m {
+
+namespace {
+
+bool Contains(const std::vector<NodeId>& nodes, NodeId node) {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+constexpr AdmissionReason kAllReasons[] = {
+    AdmissionReason::kAdmitted,
+    AdmissionReason::kDuplicateDestination,
+    AdmissionReason::kUnknownDestination,
+    AdmissionReason::kDuplicateSource,
+    AdmissionReason::kUnknownSource,
+    AdmissionReason::kEmptySourceSet,
+    AdmissionReason::kInvalidNode,
+    AdmissionReason::kNoAliveSources,
+    AdmissionReason::kStateBound,
+    AdmissionReason::kTdmaCapacity,
+    AdmissionReason::kEnergyBudget,
+};
+
+}  // namespace
+
+QueryLifecycleManager::QueryLifecycleManager(const Topology& topology,
+                                             const Workload& initial,
+                                             NodeId base_station,
+                                             const LifecycleOptions& options)
+    : topology_(&topology),
+      base_(base_station),
+      options_(options),
+      paths_(topology),
+      catalog_(QueryCatalog::FromWorkload(initial)),
+      // The live workload is the catalog's canonical materialization, so
+      // every later delta diffs against catalog-derived bytes.
+      workload_(catalog_.ToWorkload()),
+      plan_(BuildPlan(
+          std::make_shared<MulticastForest>(paths_, workload_.tasks),
+          workload_.functions, options.planner)),
+      compiled_(std::make_shared<CompiledPlan>(CompiledPlan::Compile(
+          plan_, workload_.functions, MergePolicy::kGreedyMergePerEdge,
+          static_cast<uint32_t>(catalog_.version())))),
+      images_(EncodeAllNodeStates(*compiled_, workload_.functions)) {
+  M2M_CHECK(base_ >= 0 && base_ < topology.node_count());
+  M2M_CHECK(!workload_.tasks.empty()) << "initial workload has no queries";
+}
+
+void QueryLifecycleManager::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) return;
+  handles_.admissions = metrics_->Counter("qlm.admissions");
+  handles_.rejections = metrics_->Counter("qlm.rejections");
+  handles_.rejections_by_reason.clear();
+  for (AdmissionReason reason : kAllReasons) {
+    handles_.rejections_by_reason.push_back(
+        metrics_->Counter("qlm.rejections." + ToString(reason)));
+  }
+  handles_.edges_reused = metrics_->Counter("qlm.replan_edges_reused");
+  handles_.edges_reoptimized =
+      metrics_->Counter("qlm.replan_edges_reoptimized");
+  handles_.images_shipped = metrics_->Counter("qlm.images_shipped");
+  handles_.bumps_shipped = metrics_->Counter("qlm.bumps_shipped");
+  handles_.delta_state_bytes = metrics_->Counter("qlm.delta_state_bytes");
+  handles_.catalog_size = metrics_->Gauge("qlm.catalog_size");
+  handles_.catalog_version = metrics_->Gauge("qlm.catalog_version");
+  metrics_->Set(handles_.catalog_size, catalog_.size());
+  metrics_->Set(handles_.catalog_version, catalog_.version());
+}
+
+bool QueryLifecycleManager::BelievedDead(NodeId node) const {
+  return runtime_ != nullptr &&
+         Contains(runtime_->ledger().believed_dead(), node);
+}
+
+MutationResult QueryLifecycleManager::Reject(AdmissionReason reason,
+                                             std::string detail) {
+  MutationResult result;
+  result.decision = AdmissionDecision::Reject(reason, std::move(detail));
+  result.catalog_version = catalog_.version();
+  if (metrics_ != nullptr) {
+    metrics_->Add(handles_.rejections, 1);
+    metrics_->Add(
+        handles_.rejections_by_reason[static_cast<size_t>(reason)], 1);
+  }
+  return result;
+}
+
+MutationResult QueryLifecycleManager::AdmitQuery(NodeId destination,
+                                                 const FunctionSpec& spec) {
+  if (destination < 0 || destination >= topology_->node_count()) {
+    std::ostringstream detail;
+    detail << "destination " << destination << " outside the deployment";
+    return Reject(AdmissionReason::kInvalidNode, detail.str());
+  }
+  if (catalog_.Contains(destination)) {
+    std::ostringstream detail;
+    detail << "destination " << destination << " already has a query";
+    return Reject(AdmissionReason::kDuplicateDestination, detail.str());
+  }
+  if (spec.weights.empty()) {
+    return Reject(AdmissionReason::kEmptySourceSet,
+                  "admission requires at least one source");
+  }
+  std::set<NodeId> seen;
+  for (const auto& [source, weight] : spec.weights) {
+    if (source < 0 || source >= topology_->node_count() ||
+        source == destination) {
+      std::ostringstream detail;
+      detail << "source " << source << " invalid for destination "
+             << destination;
+      return Reject(AdmissionReason::kInvalidNode, detail.str());
+    }
+    if (!seen.insert(source).second) {
+      std::ostringstream detail;
+      detail << "source " << source << " listed twice";
+      return Reject(AdmissionReason::kDuplicateSource, detail.str());
+    }
+  }
+  if (BelievedDead(destination)) {
+    std::ostringstream detail;
+    detail << "destination " << destination << " is believed dead";
+    return Reject(AdmissionReason::kInvalidNode, detail.str());
+  }
+  QueryCatalog candidate = catalog_;
+  QueryDefinition query;
+  query.destination = destination;
+  query.spec = spec;
+  candidate.Admit(query);
+  return Commit(std::move(candidate), destination);
+}
+
+MutationResult QueryLifecycleManager::RetireQuery(NodeId destination) {
+  if (!catalog_.Contains(destination)) {
+    std::ostringstream detail;
+    detail << "no query for destination " << destination;
+    return Reject(AdmissionReason::kUnknownDestination, detail.str());
+  }
+  if (catalog_.size() == 1) {
+    return Reject(AdmissionReason::kEmptySourceSet,
+                  "retiring the last query would empty the catalog");
+  }
+  QueryCatalog candidate = catalog_;
+  candidate.Retire(destination);
+  return Commit(std::move(candidate), kInvalidNode);
+}
+
+MutationResult QueryLifecycleManager::AddSource(NodeId destination,
+                                                NodeId source,
+                                                double weight) {
+  if (!catalog_.Contains(destination)) {
+    std::ostringstream detail;
+    detail << "no query for destination " << destination;
+    return Reject(AdmissionReason::kUnknownDestination, detail.str());
+  }
+  if (source < 0 || source >= topology_->node_count() ||
+      source == destination) {
+    std::ostringstream detail;
+    detail << "source " << source << " invalid for destination "
+           << destination;
+    return Reject(AdmissionReason::kInvalidNode, detail.str());
+  }
+  if (catalog_.Get(destination).HasSource(source)) {
+    std::ostringstream detail;
+    detail << "source " << source << " already feeds destination "
+           << destination;
+    return Reject(AdmissionReason::kDuplicateSource, detail.str());
+  }
+  QueryCatalog candidate = catalog_;
+  candidate.AddSource(destination, source, weight);
+  return Commit(std::move(candidate), destination);
+}
+
+MutationResult QueryLifecycleManager::RemoveSource(NodeId destination,
+                                                   NodeId source) {
+  if (!catalog_.Contains(destination)) {
+    std::ostringstream detail;
+    detail << "no query for destination " << destination;
+    return Reject(AdmissionReason::kUnknownDestination, detail.str());
+  }
+  const QueryDefinition& query = catalog_.Get(destination);
+  if (!query.HasSource(source)) {
+    std::ostringstream detail;
+    detail << "source " << source << " does not feed destination "
+           << destination;
+    return Reject(AdmissionReason::kUnknownSource, detail.str());
+  }
+  if (query.spec.weights.size() == 1) {
+    std::ostringstream detail;
+    detail << "source " << source << " is destination " << destination
+           << "'s last source";
+    return Reject(AdmissionReason::kEmptySourceSet, detail.str());
+  }
+  QueryCatalog candidate = catalog_;
+  candidate.RemoveSource(destination, source);
+  return Commit(std::move(candidate), destination);
+}
+
+MutationResult QueryLifecycleManager::Commit(QueryCatalog candidate,
+                                             NodeId affected) {
+  Workload candidate_workload = candidate.ToWorkload();
+
+  // An attached runtime prunes believed-dead sources before planning; a
+  // query left with zero believed-alive sources would be unservable (and
+  // trip the runtime's no-empty-task invariant), so it never commits.
+  if (runtime_ != nullptr && affected != kInvalidNode) {
+    for (const Task& task : candidate_workload.tasks) {
+      if (task.destination != affected) continue;
+      bool any_alive = false;
+      for (NodeId source : task.sources) {
+        any_alive = any_alive || !BelievedDead(source);
+      }
+      if (!any_alive) {
+        std::ostringstream detail;
+        detail << "every source of destination " << affected
+               << " is believed dead";
+        return Reject(AdmissionReason::kNoAliveSources, detail.str());
+      }
+    }
+  }
+
+  // Incremental Corollary 1 replan of the candidate workload over the
+  // deployment routing trees.
+  UpdateStats stats;
+  GlobalPlan candidate_plan =
+      ReplanForWorkload(plan_, paths_, candidate_workload.tasks,
+                        candidate_workload.functions, &stats);
+
+  // Theorem 1: every per-edge solution must still cover every route.
+  M2M_CHECK(FindConsistencyViolations(candidate_plan).empty())
+      << "candidate plan violates Theorem 1 consistency";
+  // Corollary 1: the patch may only have touched predicted edges.
+  std::vector<DirectedEdge> divergent =
+      DivergentEdgeKeys(plan_, candidate_plan);
+  std::vector<DirectedEdge> predicted = PredictedPerturbedEdges(
+      plan_, workload_.functions, candidate_plan,
+      candidate_workload.functions);
+  for (const DirectedEdge& edge : divergent) {
+    M2M_CHECK(std::binary_search(predicted.begin(), predicted.end(), edge))
+        << "edge " << edge.tail << "->" << edge.head
+        << " changed outside the Corollary 1 predicted perturbation set";
+  }
+
+  auto candidate_compiled = std::make_shared<CompiledPlan>(
+      CompiledPlan::Compile(candidate_plan, candidate_workload.functions,
+                            MergePolicy::kGreedyMergePerEdge,
+                            static_cast<uint32_t>(candidate.version())));
+
+  AdmissionDecision budgets =
+      CheckPlanBudgets(*candidate_compiled, candidate_workload.functions,
+                       *topology_, options_.limits);
+  if (!budgets.admitted) {
+    // Candidate state is discarded wholesale; the live catalog, plan,
+    // compiled tables, and images are untouched.
+    MutationResult result;
+    result.decision = budgets;
+    result.catalog_version = catalog_.version();
+    if (metrics_ != nullptr) {
+      metrics_->Add(handles_.rejections, 1);
+      metrics_->Add(handles_.rejections_by_reason[static_cast<size_t>(
+                        budgets.reason)],
+                    1);
+    }
+    return result;
+  }
+
+  std::vector<std::vector<uint8_t>> new_images =
+      EncodeAllNodeStates(*candidate_compiled, candidate_workload.functions);
+  std::vector<NodeImageDelta> deltas = DiffNodeImages(images_, new_images);
+
+  MutationResult result;
+  result.decision = AdmissionDecision::Admit();
+  result.replan = stats;
+  result.predicted_edges = std::move(predicted);
+  result.divergent_edges = std::move(divergent);
+  for (const NodeImageDelta& delta : deltas) {
+    if (delta.ship_image) {
+      ++result.images_shipped;
+      result.delta_state_bytes +=
+          static_cast<int64_t>(new_images[delta.node].size());
+    } else {
+      ++result.bumps_shipped;
+      result.delta_state_bytes += kEpochBumpPayloadBytes;
+    }
+  }
+
+  catalog_ = std::move(candidate);
+  workload_ = std::move(candidate_workload);
+  plan_ = std::move(candidate_plan);
+  compiled_ = std::move(candidate_compiled);
+  images_ = std::move(new_images);
+  result.catalog_version = catalog_.version();
+
+  if (runtime_ != nullptr) {
+    runtime_->SubmitWorkload(workload_);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add(handles_.admissions, 1);
+    metrics_->Add(handles_.edges_reused, result.replan.edges_reused);
+    metrics_->Add(handles_.edges_reoptimized,
+                  result.replan.edges_reoptimized);
+    metrics_->Add(handles_.images_shipped, result.images_shipped);
+    metrics_->Add(handles_.bumps_shipped, result.bumps_shipped);
+    metrics_->Add(handles_.delta_state_bytes, result.delta_state_bytes);
+    metrics_->Set(handles_.catalog_size, catalog_.size());
+    metrics_->Set(handles_.catalog_version, catalog_.version());
+  }
+  return result;
+}
+
+}  // namespace m2m

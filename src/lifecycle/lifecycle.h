@@ -1,0 +1,161 @@
+#ifndef M2M_LIFECYCLE_LIFECYCLE_H_
+#define M2M_LIFECYCLE_LIFECYCLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate_function.h"
+#include "common/ids.h"
+#include "lifecycle/admission.h"
+#include "lifecycle/catalog.h"
+#include "obs/metrics.h"
+#include "plan/consistency.h"
+#include "plan/node_tables.h"
+#include "plan/planner.h"
+#include "routing/path_system.h"
+#include "sim/self_healing.h"
+#include "topology/topology.h"
+#include "workload/workload.h"
+
+namespace m2m {
+
+/// Knobs for the query lifecycle manager.
+struct LifecycleOptions {
+  PlannerOptions planner;
+  AdmissionLimits limits;
+};
+
+/// Outcome of one lifecycle mutation. On rejection the decision carries the
+/// typed reason and every other field reflects the *unchanged* state — the
+/// catalog, plan, and images are exactly what they were before the call.
+struct MutationResult {
+  AdmissionDecision decision;
+  /// Catalog version after the call (unchanged on rejection).
+  int64_t catalog_version = 0;
+  /// Incremental replan bookkeeping (zeros on rejection).
+  UpdateStats replan;
+  /// Corollary 1 accounting for admitted mutations: the predicted
+  /// perturbation set for the workload delta, and the edges the plan
+  /// actually changed on (always a subset — CHECKed at commit).
+  std::vector<DirectedEdge> predicted_edges;
+  std::vector<DirectedEdge> divergent_edges;
+  /// Dissemination delta for admitted mutations: full images vs. 5-byte
+  /// epoch bumps, and their total payload bytes.
+  int images_shipped = 0;
+  int bumps_shipped = 0;
+  int64_t delta_state_bytes = 0;
+};
+
+/// The query lifecycle manager (QLM): owns the versioned query catalog at
+/// the base station and serves runtime workload churn — AdmitQuery,
+/// RetireQuery, AddSource / RemoveSource — with incremental Corollary 1
+/// re-planning and typed admission control.
+///
+/// Every mutation runs one pipeline:
+///   1. Structural validation against the current catalog (typed rejection,
+///      nothing mutated).
+///   2. Candidate build: the mutated catalog is materialized as a workload
+///      and incrementally re-planned with ReplanForWorkload — routing trees
+///      and per-edge solutions are reused wherever the mutation's bipartite
+///      neighborhoods are untouched.
+///   3. Validation: the candidate must pass the Theorem 1 consistency
+///      checker, and its divergence from the live plan must lie inside the
+///      Corollary 1 predicted perturbation set (both CHECKed — a violation
+///      is a planner bug, not an admissible outcome).
+///   4. Admission control: the candidate plan is evaluated against the
+///      Theorem 3 state bound, the TDMA slot budget, and the per-node
+///      energy budget; violations reject with a typed reason and leave the
+///      catalog and plan untouched.
+///   5. Commit: the catalog versions forward, the candidate becomes the
+///      live plan (compiled at plan epoch = catalog version), the
+///      per-node image diff is the dissemination delta, and — when a
+///      self-healing runtime is attached — the new workload is submitted
+///      so the delta rides the epoch-versioned control plane and churn
+///      composes with failures, loss, and rejoin.
+///
+/// The QLM plans against the *deployment* topology: admission budgets are
+/// capacity questions, answered against configured capacity rather than
+/// transient failure beliefs. An attached runtime prunes believed-dead
+/// sources itself, exactly as it does for its configured workload; the
+/// only belief the QLM consults is the alive-source check (admitting a
+/// query every source of which is believed dead would hand the runtime an
+/// unservable task).
+class QueryLifecycleManager {
+ public:
+  QueryLifecycleManager(const Topology& topology, const Workload& initial,
+                        NodeId base_station,
+                        const LifecycleOptions& options = {});
+
+  /// Registers a new query for `destination` aggregating `spec`'s weight
+  /// keys. The spec's weights need not be sorted; the catalog canonicalizes.
+  MutationResult AdmitQuery(NodeId destination, const FunctionSpec& spec);
+
+  /// Unregisters `destination`'s query. The last query cannot be retired
+  /// (an empty catalog has no plan to disseminate).
+  MutationResult RetireQuery(NodeId destination);
+
+  /// Adds `source` to `destination`'s query.
+  MutationResult AddSource(NodeId destination, NodeId source, double weight);
+
+  /// Removes `source` from `destination`'s query; the query must keep at
+  /// least one source (and, when a runtime is attached, at least one
+  /// believed-alive source).
+  MutationResult RemoveSource(NodeId destination, NodeId source);
+
+  /// Attaches the self-healing runtime that should receive admitted
+  /// workloads (SubmitWorkload on every commit). Pass nullptr to detach.
+  void AttachRuntime(SelfHealingRuntime* runtime) { runtime_ = runtime; }
+
+  /// Attaches a metrics registry; mutations then record qlm.* counters
+  /// (admissions, rejections by reason, replan edge reuse, dissemination
+  /// bytes per delta) and catalog gauges. Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  const QueryCatalog& catalog() const { return catalog_; }
+  /// The live workload (the catalog, materialized).
+  const Workload& workload() const { return workload_; }
+  const GlobalPlan& plan() const { return plan_; }
+  const CompiledPlan& compiled() const { return *compiled_; }
+  /// Current wire images per node, stamped with epoch = catalog version.
+  const std::vector<std::vector<uint8_t>>& images() const { return images_; }
+  const PathSystem& paths() const { return paths_; }
+
+ private:
+  /// Pre-resolved qlm.* metric handles.
+  struct MetricHandles {
+    obs::MetricHandle admissions;
+    obs::MetricHandle rejections;
+    /// One per AdmissionReason rejection slug.
+    std::vector<obs::MetricHandle> rejections_by_reason;
+    obs::MetricHandle edges_reused;
+    obs::MetricHandle edges_reoptimized;
+    obs::MetricHandle images_shipped;
+    obs::MetricHandle bumps_shipped;
+    obs::MetricHandle delta_state_bytes;
+    obs::MetricHandle catalog_size;
+    obs::MetricHandle catalog_version;
+  };
+
+  MutationResult Reject(AdmissionReason reason, std::string detail);
+  /// Steps 2-5 of the pipeline for a structurally valid candidate.
+  /// `affected` is the mutated destination (alive-source check scope).
+  MutationResult Commit(QueryCatalog candidate, NodeId affected);
+  bool BelievedDead(NodeId node) const;
+
+  const Topology* topology_;
+  NodeId base_;
+  LifecycleOptions options_;
+  PathSystem paths_;
+  QueryCatalog catalog_;
+  Workload workload_;
+  GlobalPlan plan_;
+  std::shared_ptr<CompiledPlan> compiled_;
+  std::vector<std::vector<uint8_t>> images_;
+  SelfHealingRuntime* runtime_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  MetricHandles handles_;
+};
+
+}  // namespace m2m
+
+#endif  // M2M_LIFECYCLE_LIFECYCLE_H_

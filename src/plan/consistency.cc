@@ -1,8 +1,11 @@
 #include "plan/consistency.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
+#include "agg/partial_record.h"
+#include "common/relation.h"
 #include "plan/serialization.h"
 
 namespace m2m {
@@ -104,6 +107,103 @@ std::vector<std::string> FindPlanDivergence(const GlobalPlan& patched,
 
 bool PlansEquivalent(const GlobalPlan& a, const GlobalPlan& b) {
   return FindPlanDivergence(a, b).empty();
+}
+
+std::vector<DirectedEdge> DivergentEdgeKeys(const GlobalPlan& a,
+                                            const GlobalPlan& b) {
+  std::set<DirectedEdge> keys;
+  const auto& b_edges = b.forest().edges();
+  for (size_t e = 0; e < b_edges.size(); ++e) {
+    int a_index = a.forest().EdgeIndexOf(b_edges[e].edge);
+    if (a_index < 0) {
+      keys.insert(b_edges[e].edge);
+      continue;
+    }
+    const EdgePlan& pa = a.plan_for(a_index);
+    const EdgePlan& pb = b.plan_for(static_cast<int>(e));
+    if (pa.raw_sources != pb.raw_sources ||
+        pa.agg_destinations != pb.agg_destinations) {
+      keys.insert(b_edges[e].edge);
+    }
+  }
+  for (const ForestEdge& edge : a.forest().edges()) {
+    if (b.forest().EdgeIndexOf(edge.edge) < 0) keys.insert(edge.edge);
+  }
+  return {keys.begin(), keys.end()};
+}
+
+namespace {
+
+/// The route of `pair` as milestone-level edge keys, in path order.
+std::vector<DirectedEdge> RouteKeys(const GlobalPlan& plan,
+                                    SourceDestPair pair) {
+  std::vector<DirectedEdge> keys;
+  for (int edge_index : plan.forest().Route(pair)) {
+    keys.push_back(plan.forest().edges()[edge_index].edge);
+  }
+  return keys;
+}
+
+int PartialUnitBytesOf(const FunctionSet& functions, NodeId destination) {
+  return kIdTagBytes + functions.Get(destination).partial_record_bytes();
+}
+
+}  // namespace
+
+std::vector<DirectedEdge> PredictedPerturbedEdges(
+    const GlobalPlan& old_plan, const FunctionSet& old_functions,
+    const GlobalPlan& new_plan, const FunctionSet& new_functions) {
+  std::set<SourceDestPair> old_pairs, new_pairs;
+  for (const SourceDestPair& p :
+       TasksToPairs(old_plan.forest().tasks())) {
+    old_pairs.insert(p);
+  }
+  for (const SourceDestPair& p :
+       TasksToPairs(new_plan.forest().tasks())) {
+    new_pairs.insert(p);
+  }
+
+  // A pair perturbs its edge neighborhoods when it is inserted, deleted,
+  // routed differently, or its destination's partial unit size changed
+  // (the only per-pair inputs of BuildEdgeInstance).
+  std::set<SourceDestPair> perturbed;
+  for (const SourceDestPair& p : old_pairs) {
+    if (!new_pairs.contains(p)) {
+      perturbed.insert(p);
+    } else if (RouteKeys(old_plan, p) != RouteKeys(new_plan, p) ||
+               PartialUnitBytesOf(old_functions, p.destination) !=
+                   PartialUnitBytesOf(new_functions, p.destination)) {
+      perturbed.insert(p);
+    }
+  }
+  for (const SourceDestPair& p : new_pairs) {
+    if (!old_pairs.contains(p)) perturbed.insert(p);
+  }
+
+  std::set<DirectedEdge> predicted;
+  for (const SourceDestPair& p : perturbed) {
+    if (old_pairs.contains(p)) {
+      for (const DirectedEdge& key : RouteKeys(old_plan, p)) {
+        predicted.insert(key);
+      }
+    }
+    if (new_pairs.contains(p)) {
+      for (const DirectedEdge& key : RouteKeys(new_plan, p)) {
+        predicted.insert(key);
+      }
+    }
+  }
+  for (const ForestEdge& edge : old_plan.forest().edges()) {
+    if (new_plan.forest().EdgeIndexOf(edge.edge) < 0) {
+      predicted.insert(edge.edge);
+    }
+  }
+  for (const ForestEdge& edge : new_plan.forest().edges()) {
+    if (old_plan.forest().EdgeIndexOf(edge.edge) < 0) {
+      predicted.insert(edge.edge);
+    }
+  }
+  return {predicted.begin(), predicted.end()};
 }
 
 std::vector<std::string> FindEpochTransitionHazards(

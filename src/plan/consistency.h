@@ -32,6 +32,27 @@ std::vector<std::string> FindPlanDivergence(const GlobalPlan& patched,
 /// True iff FindPlanDivergence is empty.
 bool PlansEquivalent(const GlobalPlan& a, const GlobalPlan& b);
 
+/// The milestone-level edge keys on which two plans actually differ:
+/// edges present in only one forest, plus shared edges whose raw-source /
+/// aggregated-destination choices diverge. Sorted ascending, deduplicated.
+/// This is the structured form of FindPlanDivergence, for callers that
+/// bound the difference set rather than render it.
+std::vector<DirectedEdge> DivergentEdgeKeys(const GlobalPlan& a,
+                                            const GlobalPlan& b);
+
+/// Corollary 1's predicted perturbation set for the transition old -> new
+/// (topology or workload form): an edge instance can change only if (a) the
+/// edge exists in just one forest, or (b) it serves a *perturbed* pair — a
+/// (source, destination) pair that was inserted, deleted, re-routed, or
+/// whose destination's partial-record unit size changed. Returns the edge
+/// keys, in either forest, satisfying (a) or serving a pair in (b); sorted
+/// ascending, deduplicated. Any sound incremental planner's change set
+/// (DivergentEdgeKeys against the old plan) is a subset of this — the
+/// locality bound the self-healing and query-lifecycle validators enforce.
+std::vector<DirectedEdge> PredictedPerturbedEdges(
+    const GlobalPlan& old_plan, const FunctionSet& old_functions,
+    const GlobalPlan& new_plan, const FunctionSet& new_functions);
+
 /// Safe-transition precondition for the self-healing epoch protocol: if two
 /// plan generations differ in any node's installed tables, they must carry
 /// distinct plan epochs — otherwise the runtime's epoch gate cannot tell

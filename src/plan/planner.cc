@@ -210,4 +210,19 @@ GlobalPlan ReplanForTopology(const GlobalPlan& old_plan,
   return UpdatePlan(old_plan, std::move(forest), functions, stats);
 }
 
+GlobalPlan ReplanForWorkload(const GlobalPlan& old_plan,
+                             const PathSystem& paths,
+                             std::vector<Task> tasks,
+                             const FunctionSet& functions,
+                             UpdateStats* stats) {
+  // Topology and workload perturbations are symmetric under Corollary 1:
+  // both reduce to rebuilding the forest and re-solving only the edges
+  // whose instance signatures changed. The two entry points exist because
+  // their callers reason about different invariants (believed topology vs.
+  // query catalog) and their perturbation oracles differ
+  // (PredictedPerturbedEdges derives the workload form).
+  auto forest = std::make_shared<MulticastForest>(paths, std::move(tasks));
+  return UpdatePlan(old_plan, std::move(forest), functions, stats);
+}
+
 }  // namespace m2m

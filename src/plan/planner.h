@@ -106,6 +106,20 @@ GlobalPlan ReplanForTopology(const GlobalPlan& old_plan,
                              const FunctionSet& functions,
                              UpdateStats* stats = nullptr);
 
+/// Local re-plan after a *workload* change (Corollary 1, workload form):
+/// inserting or deleting queries — or individual (source, destination)
+/// pairs — perturbs only the edge instances whose bipartite neighborhoods
+/// changed, so all other per-edge solutions carry over verbatim. `tasks`
+/// and `functions` describe the new workload; `paths` is unchanged
+/// routing. The result equals a from-scratch BuildPlan for the new
+/// workload (validate with FindPlanDivergence / PredictedPerturbedEdges
+/// when it matters).
+GlobalPlan ReplanForWorkload(const GlobalPlan& old_plan,
+                             const PathSystem& paths,
+                             std::vector<Task> tasks,
+                             const FunctionSet& functions,
+                             UpdateStats* stats = nullptr);
+
 }  // namespace m2m
 
 #endif  // M2M_PLAN_PLANNER_H_

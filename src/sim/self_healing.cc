@@ -69,6 +69,11 @@ SelfHealingRuntime::SelfHealingRuntime(const Topology& topology,
   epoch_opened_round_[0] = -1;
 }
 
+void SelfHealingRuntime::SubmitWorkload(const Workload& workload) {
+  original_workload_ = workload;
+  ++workload_revision_;
+}
+
 void SelfHealingRuntime::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   network_.set_metrics(metrics);
@@ -435,8 +440,12 @@ void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
 void SelfHealingRuntime::MaybeReplan(int round,
                                      SelfHealingRoundResult& result,
                                      EventTrace* trace) {
-  if (ledger_.revision() == ledger_revision_applied_) return;
+  if (ledger_.revision() == ledger_revision_applied_ &&
+      workload_revision_ == workload_revision_applied_) {
+    return;
+  }
   ledger_revision_applied_ = ledger_.revision();
+  workload_revision_applied_ = workload_revision_;
 
   // Believed-dead nodes stop being sources (paper section 3: membership
   // changes shrink the workload, then the plan is patched locally). The

@@ -110,6 +110,14 @@ class SelfHealingRuntime {
                                   const LossyLinkModel& physical,
                                   EventTrace* trace = nullptr);
 
+  /// Replaces the configured workload (query-lifecycle churn: queries
+  /// admitted, retired, or modified at the base station). Takes effect at
+  /// the next RunRound through the same replan / epoch / dissemination
+  /// machinery as failure repair — the believed workload becomes this
+  /// workload minus believed-dead sources — so churn composes with
+  /// failures, loss, and rejoin.
+  void SubmitWorkload(const Workload& workload);
+
   /// Attaches a metrics registry to the control loop and the underlying
   /// RuntimeNetwork: rounds then record detector traffic (probes,
   /// confirmations, suspicion raises), control-plane hop attempts and
@@ -199,6 +207,10 @@ class SelfHealingRuntime {
   FailureDetector detector_;
   SuspicionLedger ledger_;
   int ledger_revision_applied_ = 0;
+  /// Bumped by SubmitWorkload; a lagging applied counter triggers a replan
+  /// exactly like a ledger revision change.
+  int workload_revision_ = 0;
+  int workload_revision_applied_ = 0;
 
   /// Paths control messages route over: the deployment topology minus
   /// every link any monitor suspects (suspicions propagate through the

@@ -1,0 +1,604 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "fault_test_util.h"
+#include "lifecycle/admission.h"
+#include "lifecycle/catalog.h"
+#include "lifecycle/churn_schedule.h"
+#include "lifecycle/lifecycle.h"
+#include "obs/metrics.h"
+#include "plan/consistency.h"
+#include "plan/dissemination.h"
+#include "plan/node_tables.h"
+#include "plan/planner.h"
+#include "plan/serialization.h"
+#include "routing/multicast.h"
+#include "routing/path_system.h"
+#include "sim/base_station.h"
+#include "sim/fault_schedule.h"
+#include "sim/readings.h"
+#include "sim/self_healing.h"
+#include "topology/generator.h"
+#include "topology/topology.h"
+#include "workload/workload.h"
+
+namespace m2m {
+namespace {
+
+using fault_test::Destinations;
+
+Workload InitialWorkload(const Topology& topology, uint64_t seed) {
+  WorkloadSpec spec;
+  spec.destination_count = 5;
+  spec.sources_per_destination = 5;
+  spec.max_hops = 4;
+  spec.seed = seed;
+  return GenerateWorkload(topology, spec);
+}
+
+/// From-scratch oracle: plan + compile the catalog's workload with the same
+/// options and epoch the manager uses, and encode every node image.
+std::vector<std::vector<uint8_t>> FromScratchImages(
+    const PathSystem& paths, const QueryCatalog& catalog,
+    std::optional<GlobalPlan>* plan_out) {
+  Workload workload = catalog.ToWorkload();
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan compiled = CompiledPlan::Compile(
+      plan, workload.functions, MergePolicy::kGreedyMergePerEdge,
+      static_cast<uint32_t>(catalog.version()));
+  std::vector<std::vector<uint8_t>> images =
+      EncodeAllNodeStates(compiled, workload.functions);
+  if (plan_out != nullptr) plan_out->emplace(std::move(plan));
+  return images;
+}
+
+/// Everything a rejection must leave untouched.
+struct ManagerSnapshot {
+  int64_t catalog_version;
+  int catalog_size;
+  std::vector<std::vector<uint8_t>> images;
+  std::vector<Task> tasks;
+};
+
+ManagerSnapshot Capture(const QueryLifecycleManager& manager) {
+  return ManagerSnapshot{manager.catalog().version(),
+                         manager.catalog().size(), manager.images(),
+                         manager.workload().tasks};
+}
+
+void ExpectUnchanged(const ManagerSnapshot& before,
+                     const QueryLifecycleManager& manager) {
+  EXPECT_EQ(before.catalog_version, manager.catalog().version());
+  EXPECT_EQ(before.catalog_size, manager.catalog().size());
+  EXPECT_EQ(before.images, manager.images());
+  ASSERT_EQ(before.tasks.size(), manager.workload().tasks.size());
+  for (size_t i = 0; i < before.tasks.size(); ++i) {
+    EXPECT_EQ(before.tasks[i].destination,
+              manager.workload().tasks[i].destination);
+    EXPECT_EQ(before.tasks[i].sources, manager.workload().tasks[i].sources);
+  }
+}
+
+/// A destination id no current query serves (and not the base station).
+NodeId UnservedDestination(const Topology& topology,
+                           const QueryCatalog& catalog, NodeId base) {
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    if (n != base && !catalog.Contains(n)) return n;
+  }
+  M2M_CHECK(false) << "no unserved destination";
+}
+
+/// A source the given query does not yet use.
+NodeId AddableSource(const Topology& topology, const QueryDefinition& query) {
+  for (NodeId n = 0; n < topology.node_count(); ++n) {
+    if (n != query.destination && !query.HasSource(n)) return n;
+  }
+  M2M_CHECK(false) << "no addable source";
+}
+
+FunctionSpec SpecOver(const std::vector<NodeId>& sources) {
+  FunctionSpec spec;
+  spec.kind = AggregateKind::kWeightedAverage;
+  double weight = 1.0;
+  for (NodeId source : sources) {
+    spec.weights.emplace_back(source, weight);
+    weight += 0.25;
+  }
+  return spec;
+}
+
+// --- The tentpole differential: after ANY admit/retire/modify sequence,
+// the live plan is byte-identical to a from-scratch compile of the final
+// workload, and every incremental replan touched only Corollary-1-predicted
+// edges. 20 seeds.
+class ChurnDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurnDifferential, IncrementalEqualsFromScratchAfterEveryMutation) {
+  const uint64_t seed = GetParam();
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload initial = InitialWorkload(topology, seed * 13 + 7);
+  NodeId base = PickBaseStation(topology);
+
+  QueryLifecycleManager manager(topology, initial, base);
+  ChurnScheduleOptions churn_options;
+  churn_options.rounds = 10;
+  churn_options.admissions = 3;
+  churn_options.retirements = 2;
+  churn_options.source_adds = 3;
+  churn_options.source_removes = 2;
+  churn_options.seed = seed;
+  ChurnSchedule schedule =
+      ChurnSchedule::Generate(topology, initial, {base}, churn_options);
+
+  int admitted = 0;
+  for (const ChurnEvent& event : schedule.events()) {
+    MutationResult result = ApplyChurnEvent(manager, event);
+    if (!result.decision.admitted) continue;
+    ++admitted;
+
+    // Corollary 1 accounting: the edges the plan actually changed on are a
+    // subset of the predicted perturbation set for this workload delta.
+    for (const DirectedEdge& edge : result.divergent_edges) {
+      EXPECT_TRUE(std::binary_search(result.predicted_edges.begin(),
+                                     result.predicted_edges.end(), edge))
+          << "seed " << seed << ": edge " << edge.tail << "->" << edge.head
+          << " outside the predicted set";
+    }
+
+    // Differential: incremental == from-scratch, down to the wire bytes.
+    std::optional<GlobalPlan> fresh;
+    std::vector<std::vector<uint8_t>> oracle_images =
+        FromScratchImages(manager.paths(), manager.catalog(), &fresh);
+    std::vector<std::string> divergence =
+        FindPlanDivergence(manager.plan(), *fresh);
+    EXPECT_TRUE(divergence.empty())
+        << "seed " << seed << ": " << divergence.front();
+    EXPECT_EQ(manager.images(), oracle_images) << "seed " << seed;
+    EXPECT_TRUE(ValidatePlanConsistency(manager.plan())) << "seed " << seed;
+  }
+  EXPECT_GT(admitted, 0) << "seed " << seed;
+
+  // Replay determinism: the same schedule against a fresh manager lands on
+  // byte-identical state.
+  QueryLifecycleManager replay(topology, initial, base);
+  for (const ChurnEvent& event : schedule.events()) {
+    ApplyChurnEvent(replay, event);
+  }
+  EXPECT_EQ(manager.catalog().version(), replay.catalog().version());
+  EXPECT_EQ(manager.images(), replay.images()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, ChurnDifferential,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Churn composed with failures: the lifecycle manager drives a live
+// self-healing runtime while a fault schedule kills nodes and links. The
+// runtime must converge to the from-scratch plan of the FINAL workload over
+// the TRUE surviving topology, and replay byte-identically. 20 seeds.
+class ChurnWithFaults : public ::testing::TestWithParam<uint64_t> {};
+
+struct ChurnFaultRun {
+  std::string trace;
+  std::vector<std::vector<uint8_t>> manager_images;
+  int64_t manager_version = 0;
+  std::vector<NodeId> believed_dead;
+  int final_pending_installs = -1;
+  std::vector<NodeId> final_incomplete;
+  Workload final_workload;
+  std::optional<GlobalPlan> final_plan;
+};
+
+ChurnFaultRun RunChurnWithFaults(const Topology& topology,
+                                 const Workload& initial,
+                                 const ChurnSchedule& churn,
+                                 const FaultSchedule& faults, NodeId base,
+                                 uint64_t readings_seed, int total_rounds) {
+  EventTrace trace;
+  trace.Append(faults.Describe());
+  trace.Append(churn.Describe());
+
+  SelfHealingRuntime runtime(topology, initial, base, SelfHealingOptions{});
+  QueryLifecycleManager manager(topology, initial, base);
+  manager.AttachRuntime(&runtime);
+
+  ChurnFaultRun run;
+  for (int round = 0; round < total_rounds; ++round) {
+    for (const ChurnEvent& event : churn.EventsAt(round)) {
+      MutationResult result = ApplyChurnEvent(manager, event);
+      std::ostringstream line;
+      line << "r" << round << " churn " << ToString(event.type)
+           << " d" << event.destination << " -> "
+           << (result.decision.admitted
+                   ? "admitted"
+                   : ToString(result.decision.reason));
+      trace.Append(line.str());
+    }
+
+    ReadingGenerator readings(topology.node_count(),
+                              readings_seed + static_cast<uint64_t>(round));
+    LossyLinkModel physical;
+    physical.attempt_delivers = [&faults, round](NodeId from, NodeId to,
+                                                 int attempt) {
+      return faults.AttemptDelivers(round, from, to, attempt);
+    };
+    physical.node_alive = [&faults, round](NodeId n) {
+      return faults.NodeAliveAt(round, n);
+    };
+    SelfHealingRoundResult result =
+        runtime.RunRound(round, readings.values(), physical, &trace);
+    if (round == total_rounds - 1) {
+      run.final_pending_installs = result.pending_installs;
+      run.final_incomplete = result.data.incomplete_destinations;
+    }
+  }
+  run.trace = trace.ToString();
+  run.manager_images = manager.images();
+  run.manager_version = manager.catalog().version();
+  run.believed_dead = runtime.ledger().believed_dead();
+  run.final_workload = runtime.current_workload();
+  run.final_plan = runtime.plan();
+  return run;
+}
+
+TEST_P(ChurnWithFaults, RuntimeConvergesToFinalWorkloadUnderFailures) {
+  const uint64_t seed = GetParam();
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload initial = InitialWorkload(topology, seed * 29 + 11);
+  NodeId base = PickBaseStation(topology);
+
+  ChurnScheduleOptions churn_options;
+  churn_options.rounds = 5;
+  churn_options.seed = seed;
+  ChurnSchedule churn =
+      ChurnSchedule::Generate(topology, initial, {base}, churn_options);
+
+  // Protect the initial destinations, the base station, and every node the
+  // churn schedule references: a scheduled mutation must never race a node
+  // death (an admitted query with a dead destination is a different test).
+  std::vector<NodeId> referenced = churn.ReferencedNodes();
+  std::set<NodeId> protect(referenced.begin(), referenced.end());
+  for (NodeId d : Destinations(initial)) protect.insert(d);
+  protect.insert(base);
+  FaultScheduleOptions fault_options;
+  fault_options.rounds = 5;
+  fault_options.transient_link_fraction = 0.05;
+  fault_options.transient_drop_probability = 0.5;
+  fault_options.persistent_link_failures = 1;
+  fault_options.node_deaths = 1;
+  fault_options.seed = seed + 500;
+  FaultSchedule faults = FaultSchedule::Generate(
+      topology, {protect.begin(), protect.end()}, fault_options);
+
+  const int total_rounds = fault_options.rounds + 12;
+  ChurnFaultRun run = RunChurnWithFaults(topology, initial, churn, faults,
+                                         base, seed + 2000, total_rounds);
+
+  // Churn actually happened and the control plane drained.
+  EXPECT_GT(run.manager_version, 0) << "seed " << seed;
+  EXPECT_EQ(run.final_pending_installs, 0) << "seed " << seed;
+  EXPECT_TRUE(run.final_incomplete.empty())
+      << "seed " << seed << ": destination " << run.final_incomplete.front()
+      << " did not converge";
+
+  // The runtime detected exactly the schedule's deaths...
+  std::vector<NodeId> true_dead = faults.DeadNodesThrough(total_rounds);
+  EXPECT_EQ(run.believed_dead, true_dead) << "seed " << seed;
+
+  // ...and its live plan equals a from-scratch plan of the FINAL churned
+  // workload (believed-dead sources pruned) over the true surviving
+  // topology — churn and failure recovery compose.
+  Workload expected = run.final_workload;
+  Topology masked = Topology::WithFailures(
+      topology, faults.FailedLinksThrough(total_rounds), true_dead);
+  PathSystem masked_paths(masked);
+  GlobalPlan oracle = BuildPlan(
+      std::make_shared<MulticastForest>(masked_paths, expected.tasks),
+      expected.functions);
+  ASSERT_TRUE(run.final_plan.has_value());
+  std::vector<std::string> divergence =
+      FindPlanDivergence(*run.final_plan, oracle);
+  EXPECT_TRUE(divergence.empty())
+      << "seed " << seed << ": " << divergence.front();
+
+  // The runtime's final workload serves every catalog query that has a
+  // believed-alive source, with dead sources pruned.
+  ChurnFaultRun replay = RunChurnWithFaults(topology, initial, churn, faults,
+                                            base, seed + 2000, total_rounds);
+  EXPECT_EQ(run.trace, replay.trace) << "seed " << seed;
+  EXPECT_EQ(run.manager_images, replay.manager_images) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, ChurnWithFaults,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Admission control: budget rejections are typed and provably leave
+// the catalog, plan, and wire images untouched.
+
+class AdmissionControlTest : public ::testing::Test {
+ protected:
+  AdmissionControlTest()
+      : topology_(MakeGreatDuckIslandLike()),
+        initial_(InitialWorkload(topology_, 41)),
+        base_(PickBaseStation(topology_)) {}
+
+  Topology topology_;
+  Workload initial_;
+  NodeId base_;
+};
+
+TEST_F(AdmissionControlTest, StateBoundRejectionMutatesNothing) {
+  // A state-bound factor far below the Theorem 3 constant: any candidate
+  // plan's total table state exceeds it, so the admission layer must
+  // reject the query that would blow the budget.
+  LifecycleOptions options;
+  options.limits.state_bound_factor = 0.01;
+  QueryLifecycleManager manager(topology_, initial_, base_, options);
+  ManagerSnapshot before = Capture(manager);
+
+  NodeId destination =
+      UnservedDestination(topology_, manager.catalog(), base_);
+  std::vector<NodeId> sources;
+  for (NodeId n = 0; sources.size() < 3; ++n) {
+    if (n != destination) sources.push_back(n);
+  }
+  MutationResult result =
+      manager.AdmitQuery(destination, SpecOver(sources));
+
+  EXPECT_FALSE(result.decision.admitted);
+  EXPECT_EQ(result.decision.reason, AdmissionReason::kStateBound);
+  EXPECT_GT(result.decision.observed, result.decision.limit);
+  EXPECT_EQ(result.catalog_version, before.catalog_version);
+  EXPECT_FALSE(manager.catalog().Contains(destination));
+  ExpectUnchanged(before, manager);
+}
+
+TEST_F(AdmissionControlTest, TdmaCapacityRejectionMutatesNothing) {
+  LifecycleOptions options;
+  options.limits.max_tdma_slots = 1;  // No real schedule fits one slot.
+  QueryLifecycleManager manager(topology_, initial_, base_, options);
+  ManagerSnapshot before = Capture(manager);
+
+  const QueryDefinition& query =
+      manager.catalog().queries().begin()->second;
+  NodeId source = AddableSource(topology_, query);
+  MutationResult result =
+      manager.AddSource(query.destination, source, 1.0);
+
+  EXPECT_FALSE(result.decision.admitted);
+  EXPECT_EQ(result.decision.reason, AdmissionReason::kTdmaCapacity);
+  EXPECT_GT(result.decision.observed, result.decision.limit);
+  ExpectUnchanged(before, manager);
+}
+
+TEST_F(AdmissionControlTest, EnergyBudgetRejectionMutatesNothing) {
+  LifecycleOptions options;
+  options.limits.max_node_energy_mj = 1e-6;  // Below any real TX cost.
+  QueryLifecycleManager manager(topology_, initial_, base_, options);
+  ManagerSnapshot before = Capture(manager);
+
+  const QueryDefinition& query =
+      manager.catalog().queries().begin()->second;
+  NodeId source = AddableSource(topology_, query);
+  MutationResult result =
+      manager.AddSource(query.destination, source, 1.0);
+
+  EXPECT_FALSE(result.decision.admitted);
+  EXPECT_EQ(result.decision.reason, AdmissionReason::kEnergyBudget);
+  EXPECT_NE(result.decision.offending_node, kInvalidNode);
+  ExpectUnchanged(before, manager);
+}
+
+TEST_F(AdmissionControlTest, GenerousBudgetsAdmit) {
+  LifecycleOptions options;
+  options.limits.max_tdma_slots = 1 << 20;
+  options.limits.max_node_energy_mj = 1e9;
+  QueryLifecycleManager manager(topology_, initial_, base_, options);
+
+  NodeId destination =
+      UnservedDestination(topology_, manager.catalog(), base_);
+  std::vector<NodeId> sources;
+  for (NodeId n = 0; sources.size() < 3; ++n) {
+    if (n != destination) sources.push_back(n);
+  }
+  MutationResult result =
+      manager.AdmitQuery(destination, SpecOver(sources));
+  EXPECT_TRUE(result.decision.admitted);
+  EXPECT_EQ(result.decision.reason, AdmissionReason::kAdmitted);
+  EXPECT_TRUE(manager.catalog().Contains(destination));
+  EXPECT_EQ(result.catalog_version, 1);
+  EXPECT_GT(result.images_shipped + result.bumps_shipped, 0);
+  EXPECT_GT(result.delta_state_bytes, 0);
+}
+
+TEST_F(AdmissionControlTest, StructuralRejectionsAreTypedAndPure) {
+  QueryLifecycleManager manager(topology_, initial_, base_);
+  const QueryDefinition& query =
+      manager.catalog().queries().begin()->second;
+  NodeId served = query.destination;
+  NodeId unserved = UnservedDestination(topology_, manager.catalog(), base_);
+  NodeId existing_source = query.Sources().front();
+  ManagerSnapshot before = Capture(manager);
+
+  auto expect_reject = [&](const MutationResult& result,
+                           AdmissionReason reason) {
+    EXPECT_FALSE(result.decision.admitted);
+    EXPECT_EQ(result.decision.reason, reason);
+    EXPECT_FALSE(result.decision.detail.empty());
+    ExpectUnchanged(before, manager);
+  };
+
+  expect_reject(manager.AdmitQuery(served, SpecOver({existing_source})),
+                AdmissionReason::kDuplicateDestination);
+  expect_reject(manager.AdmitQuery(unserved, FunctionSpec{}),
+                AdmissionReason::kEmptySourceSet);
+  expect_reject(manager.AdmitQuery(topology_.node_count(),
+                                   SpecOver({existing_source})),
+                AdmissionReason::kInvalidNode);
+  expect_reject(manager.AdmitQuery(unserved, SpecOver({unserved})),
+                AdmissionReason::kInvalidNode);
+  FunctionSpec doubled = SpecOver({existing_source});
+  doubled.weights.emplace_back(existing_source, 2.0);
+  expect_reject(manager.AdmitQuery(unserved, doubled),
+                AdmissionReason::kDuplicateSource);
+  expect_reject(manager.RetireQuery(unserved),
+                AdmissionReason::kUnknownDestination);
+  expect_reject(manager.AddSource(unserved, existing_source, 1.0),
+                AdmissionReason::kUnknownDestination);
+  expect_reject(manager.AddSource(served, existing_source, 1.0),
+                AdmissionReason::kDuplicateSource);
+  expect_reject(manager.AddSource(served, served, 1.0),
+                AdmissionReason::kInvalidNode);
+  expect_reject(manager.RemoveSource(served, unserved),
+                AdmissionReason::kUnknownSource);
+  expect_reject(manager.RemoveSource(unserved, existing_source),
+                AdmissionReason::kUnknownDestination);
+}
+
+TEST_F(AdmissionControlTest, LastSourceAndLastQueryAreProtected) {
+  // Two small queries; drain one down to a single source, then hit the
+  // floors: the last source and the last query must survive.
+  Workload small;
+  small.tasks = {Task{5, {0, 1}}, Task{6, {2, 3}}};
+  FunctionSpec spec_a = SpecOver({0, 1});
+  FunctionSpec spec_b = SpecOver({2, 3});
+  small.specs = {spec_a, spec_b};
+  small.RebuildFunctions();
+  QueryLifecycleManager manager(topology_, small, base_);
+
+  EXPECT_TRUE(manager.RemoveSource(5, 0).decision.admitted);
+  MutationResult last_source = manager.RemoveSource(5, 1);
+  EXPECT_FALSE(last_source.decision.admitted);
+  EXPECT_EQ(last_source.decision.reason, AdmissionReason::kEmptySourceSet);
+
+  EXPECT_TRUE(manager.RetireQuery(5).decision.admitted);
+  MutationResult last_query = manager.RetireQuery(6);
+  EXPECT_FALSE(last_query.decision.admitted);
+  EXPECT_EQ(last_query.decision.reason, AdmissionReason::kEmptySourceSet);
+  EXPECT_TRUE(manager.catalog().Contains(6));
+}
+
+TEST_F(AdmissionControlTest, MetricsRecordMutationOutcomes) {
+  obs::MetricsRegistry metrics;
+  QueryLifecycleManager manager(topology_, initial_, base_);
+  manager.set_metrics(&metrics);
+  EXPECT_EQ(metrics.Total("qlm.catalog_size"),
+            static_cast<int64_t>(initial_.tasks.size()));
+
+  // Copy before mutating: a committed mutation replaces the catalog, so
+  // references into it do not survive.
+  NodeId destination = manager.catalog().queries().begin()->first;
+  NodeId source =
+      AddableSource(topology_, manager.catalog().Get(destination));
+  ASSERT_TRUE(manager.AddSource(destination, source, 1.0).decision.admitted);
+  ASSERT_FALSE(
+      manager.AddSource(destination, source, 1.0).decision.admitted);
+
+  EXPECT_EQ(metrics.Total("qlm.admissions"), 1);
+  EXPECT_EQ(metrics.Total("qlm.rejections"), 1);
+  EXPECT_EQ(metrics.Total("qlm.rejections.duplicate_source"), 1);
+  EXPECT_EQ(metrics.Total("qlm.catalog_version"), 1);
+  EXPECT_GT(metrics.Total("qlm.replan_edges_reused"), 0);
+  EXPECT_GT(metrics.Total("qlm.delta_state_bytes"), 0);
+}
+
+// --- Determinism audit regression (satellite): two different mutation
+// orders that reach the same catalog content must produce byte-identical
+// compiled plans and wire images — no container-iteration or
+// arrival-order effect may leak into plan or wire bytes.
+TEST(ChurnOrderIndependenceTest, SameContentSamePlanBytes) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload initial = InitialWorkload(topology, 97);
+  NodeId base = PickBaseStation(topology);
+
+  QueryLifecycleManager a(topology, initial, base);
+  QueryLifecycleManager b(topology, initial, base);
+  NodeId new_destination =
+      UnservedDestination(topology, a.catalog(), base);
+  std::vector<NodeId> new_sources;
+  for (NodeId n = 0; new_sources.size() < 3; ++n) {
+    if (n != new_destination) new_sources.push_back(n);
+  }
+  FunctionSpec new_spec = SpecOver(new_sources);
+  const QueryDefinition& existing =
+      a.catalog().queries().begin()->second;
+  NodeId target = existing.destination;
+  NodeId extra = AddableSource(topology, existing);
+
+  // Order A: admit the new query, then grow the existing one.
+  ASSERT_TRUE(a.AdmitQuery(new_destination, new_spec).decision.admitted);
+  ASSERT_TRUE(a.AddSource(target, extra, 2.0).decision.admitted);
+  // Order B: grow first, then admit — same final content.
+  ASSERT_TRUE(b.AddSource(target, extra, 2.0).decision.admitted);
+  ASSERT_TRUE(b.AdmitQuery(new_destination, new_spec).decision.admitted);
+
+  EXPECT_EQ(a.catalog().version(), b.catalog().version());
+  EXPECT_TRUE(FindPlanDivergence(a.plan(), b.plan()).empty());
+  EXPECT_EQ(a.images(), b.images());
+
+  // And a spec whose weights arrive unsorted canonicalizes to the same
+  // bytes as the sorted submission.
+  QueryLifecycleManager c(topology, initial, base);
+  FunctionSpec reversed = new_spec;
+  std::reverse(reversed.weights.begin(), reversed.weights.end());
+  ASSERT_TRUE(c.AddSource(target, extra, 2.0).decision.admitted);
+  ASSERT_TRUE(c.AdmitQuery(new_destination, reversed).decision.admitted);
+  EXPECT_EQ(b.images(), c.images());
+}
+
+// --- ChurnSchedule: deterministic, bounded, and respectful of the
+// forbidden set.
+TEST(ChurnScheduleTest, DeterministicAndBounded) {
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload initial = InitialWorkload(topology, 7);
+  NodeId base = PickBaseStation(topology);
+
+  ChurnScheduleOptions options;
+  options.seed = 42;
+  ChurnSchedule one =
+      ChurnSchedule::Generate(topology, initial, {base}, options);
+  ChurnSchedule two =
+      ChurnSchedule::Generate(topology, initial, {base}, options);
+  EXPECT_EQ(one.Describe(), two.Describe());
+  EXPECT_EQ(one.events().size(), two.events().size());
+  EXPECT_FALSE(one.events().empty());
+
+  int last_round = 0;
+  for (const ChurnEvent& event : one.events()) {
+    EXPECT_GE(event.round, 1);
+    EXPECT_LE(event.round, options.rounds - 1);
+    EXPECT_GE(event.round, last_round);  // Sorted by round.
+    last_round = event.round;
+    if (event.type == ChurnType::kAdmit ||
+        event.type == ChurnType::kRetire) {
+      EXPECT_NE(event.destination, base);
+    }
+  }
+
+  ChurnScheduleOptions other = options;
+  other.seed = 43;
+  ChurnSchedule three =
+      ChurnSchedule::Generate(topology, initial, {base}, other);
+  EXPECT_NE(one.Describe(), three.Describe());
+
+  // EventsAt partitions events().
+  size_t counted = 0;
+  for (int round = 0; round < options.rounds; ++round) {
+    counted += one.EventsAt(round).size();
+  }
+  EXPECT_EQ(counted, one.events().size());
+}
+
+}  // namespace
+}  // namespace m2m

@@ -85,6 +85,9 @@ struct SelfHealRun {
   std::string trace;
   /// Completed values whose attributed epoch's analytic executor disagreed.
   std::vector<std::string> value_mismatches;
+  /// Corollary 1 violations: a replan changed an edge outside the
+  /// predicted perturbation set for its old -> new transition.
+  std::vector<std::string> corollary_violations;
   /// (lo, hi) believed-failed link -> first round it was believed.
   std::map<std::pair<NodeId, NodeId>, int> first_believed_link;
   /// Believed-dead node -> first round it was believed dead.
@@ -132,6 +135,11 @@ SelfHealRun RunSelfHealing(const Topology& topology, const Workload& workload,
       return schedule.NodeAliveAt(round, n);
     };
 
+    // Snapshot the live plan so each replan's divergence can be bounded by
+    // its Corollary 1 predicted perturbation set.
+    GlobalPlan pre_plan = runtime.plan();
+    FunctionSet pre_functions = runtime.current_workload().functions;
+
     SelfHealingRoundResult result =
         runtime.RunRound(round, readings.values(), physical, &trace);
     run.probe_transmissions += result.probe_transmissions;
@@ -144,6 +152,23 @@ SelfHealRun RunSelfHealing(const Topology& topology, const Workload& workload,
           runtime.base_epoch(),
           PlanExecutor(std::make_shared<CompiledPlan>(runtime.compiled()),
                        runtime.current_workload().functions, EnergyModel{}));
+      // Corollary 1, per replan: the edges this transition actually
+      // changed must lie inside the predicted perturbation set.
+      std::vector<DirectedEdge> divergent =
+          DivergentEdgeKeys(pre_plan, runtime.plan());
+      std::vector<DirectedEdge> predicted = PredictedPerturbedEdges(
+          pre_plan, pre_functions, runtime.plan(),
+          runtime.current_workload().functions);
+      for (const DirectedEdge& edge : divergent) {
+        if (!std::binary_search(predicted.begin(), predicted.end(), edge)) {
+          std::ostringstream violation;
+          violation << "r" << round << " edge " << edge.tail << "->"
+                    << edge.head << " outside the predicted set ("
+                    << divergent.size() << " divergent, "
+                    << predicted.size() << " predicted)";
+          run.corollary_violations.push_back(violation.str());
+        }
+      }
     }
 
     // Epoch attribution: every completed value must equal the analytic
@@ -262,6 +287,11 @@ TEST_P(SelfHealingDifferential, DetectsRepairsAndConvergesWithoutOracle) {
   // --- Mixed-epoch rounds never produced a wrong value.
   EXPECT_TRUE(run.value_mismatches.empty())
       << "seed " << seed << ": " << run.value_mismatches.front();
+
+  // --- Corollary 1, per replan: every incremental replan touched only
+  // edges inside its predicted perturbation set.
+  EXPECT_TRUE(run.corollary_violations.empty())
+      << "seed " << seed << ": " << run.corollary_violations.front();
 
   // --- Differential against the oracle-driven path: the self-healed plan
   // equals a from-scratch plan over the TRUE surviving topology (the PR 1

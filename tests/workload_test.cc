@@ -1,8 +1,16 @@
 #include <algorithm>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "lifecycle/catalog.h"
+#include "plan/node_tables.h"
+#include "plan/planner.h"
+#include "plan/serialization.h"
+#include "routing/multicast.h"
+#include "routing/path_system.h"
 #include "topology/generator.h"
 #include "workload/workload.h"
 
@@ -183,6 +191,77 @@ TEST_F(WorkloadTest, TooManySourcesAborts) {
   spec.selection = SourceSelection::kUniform;
   spec.sources_per_destination = topology_.node_count();  // > n-1.
   EXPECT_DEATH(GenerateWorkload(topology_, spec), "too small");
+}
+
+// --- Query catalog round trips (lifecycle layer) ---
+
+void ExpectSameWorkload(const Workload& a, const Workload& b) {
+  EXPECT_EQ(a.tasks, b.tasks);
+  ASSERT_EQ(a.specs.size(), b.specs.size());
+  for (size_t i = 0; i < a.specs.size(); ++i) {
+    EXPECT_EQ(a.specs[i].kind, b.specs[i].kind) << "spec " << i;
+    EXPECT_EQ(a.specs[i].weights, b.specs[i].weights) << "spec " << i;
+  }
+}
+
+std::vector<std::vector<uint8_t>> NodeImagesOf(const Topology& topology,
+                                               const Workload& workload) {
+  PathSystem paths(topology);
+  GlobalPlan plan = BuildPlan(
+      std::make_shared<MulticastForest>(paths, workload.tasks),
+      workload.functions);
+  CompiledPlan compiled = CompiledPlan::Compile(plan, workload.functions);
+  return EncodeAllNodeStates(compiled, workload.functions);
+}
+
+// The generator emits destination-sorted tasks, ascending sources, and
+// source-sorted weights — exactly the catalog's canonical form — so a
+// catalog seeded from a generated workload materializes it back exactly.
+TEST_F(WorkloadTest, CatalogRoundTripRestoresExactSeedWorkload) {
+  Workload seed = GenerateWorkload(topology_, BaseSpec());
+  QueryCatalog catalog = QueryCatalog::FromWorkload(seed);
+  EXPECT_EQ(catalog.size(), static_cast<int>(seed.tasks.size()));
+  EXPECT_EQ(catalog.version(), 0);
+  ExpectSameWorkload(seed, catalog.ToWorkload());
+  // Idempotent: materialize -> reseed -> materialize is a fixed point.
+  ExpectSameWorkload(catalog.ToWorkload(),
+                     QueryCatalog::FromWorkload(catalog.ToWorkload())
+                         .ToWorkload());
+}
+
+// Admit -> modify -> retire that net to nothing restores the exact seed
+// workload AND byte-identical node tables: catalog content, not mutation
+// history, determines the plan bytes.
+TEST_F(WorkloadTest, CatalogMutationCycleRestoresWorkloadAndNodeTables) {
+  Workload seed = GenerateWorkload(topology_, BaseSpec());
+  std::vector<std::vector<uint8_t>> seed_images =
+      NodeImagesOf(topology_, seed);
+  QueryCatalog catalog = QueryCatalog::FromWorkload(seed);
+
+  // A destination no query serves, and a source its first query lacks.
+  NodeId extra_destination = 0;
+  while (catalog.Contains(extra_destination)) ++extra_destination;
+  NodeId existing = catalog.queries().begin()->first;
+  NodeId extra_source = 0;
+  while (extra_source == existing || extra_source == extra_destination ||
+         catalog.Get(existing).HasSource(extra_source)) {
+    ++extra_source;
+  }
+
+  QueryDefinition query;
+  query.destination = extra_destination;
+  query.spec.kind = AggregateKind::kWeightedAverage;
+  query.spec.weights = {{existing, 1.0}, {extra_source, 2.0}};
+  catalog.Admit(query);
+  catalog.AddSource(existing, extra_source, 0.75);
+  EXPECT_TRUE(catalog.Get(existing).HasSource(extra_source));
+
+  // Unwind: the cycle nets to the seed content at a later version.
+  catalog.RemoveSource(existing, extra_source);
+  catalog.Retire(extra_destination);
+  EXPECT_EQ(catalog.version(), 4);
+  ExpectSameWorkload(seed, catalog.ToWorkload());
+  EXPECT_EQ(seed_images, NodeImagesOf(topology_, catalog.ToWorkload()));
 }
 
 }  // namespace
