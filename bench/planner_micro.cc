@@ -1,11 +1,15 @@
 // Microbenchmarks for the optimizer itself: single-edge vertex-cover
 // solves, full plan construction, incremental update vs rebuild, path
-// system and compilation costs.
+// system and compilation costs. The *_Threads variants sweep the
+// thread-pool width (Arg = worker threads) over the same fixture;
+// `--threads N` additionally sets the pool width for every other
+// benchmark (default 1 = serial).
 
 #include <memory>
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "harness.h"
 
 namespace {
@@ -137,6 +141,16 @@ void BM_RebuildAfterAddSource(benchmark::State& state) {
 }
 BENCHMARK(BM_RebuildAfterAddSource);
 
+void BM_BuildFullPlan_Threads(benchmark::State& state) {
+  PlanFixture& fx = Fixture();
+  ScopedParallelism parallelism(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    GlobalPlan plan = BuildPlan(fx.forest, fx.workload.functions, {});
+    benchmark::DoNotOptimize(plan.TotalPayloadBytes());
+  }
+}
+BENCHMARK(BM_BuildFullPlan_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_CompilePlan(benchmark::State& state) {
   PlanFixture& fx = Fixture();
   GlobalPlan plan = BuildPlan(fx.forest, fx.workload.functions, {});
@@ -162,6 +176,30 @@ void BM_ExecuteRound(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteRound);
 
+void BM_ExecuteRound_Threads(benchmark::State& state) {
+  PlanFixture& fx = Fixture();
+  GlobalPlan plan = BuildPlan(fx.forest, fx.workload.functions, {});
+  CompiledPlan compiled = CompiledPlan::Compile(plan, fx.workload.functions);
+  PlanExecutor executor(std::make_shared<CompiledPlan>(compiled),
+                        fx.workload.functions, EnergyModel{});
+  ReadingGenerator readings(fx.topology.node_count(), 3);
+  ScopedParallelism parallelism(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        executor.RunRound(readings.values()).energy_mj);
+  }
+}
+BENCHMARK(BM_ExecuteRound_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the harness parallelism flags. The explicit main
+// skips ReportUnrecognizedArguments so `--threads` / `--shards` pass
+// through to FlagParser.
+int main(int argc, char** argv) {
+  m2m::bench::ApplyParallelismFlags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

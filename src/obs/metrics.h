@@ -2,6 +2,7 @@
 #define M2M_OBS_METRICS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,14 @@ struct MetricHandle {
 /// `ToJson` renders a deterministic snapshot (registration order, node
 /// ids ascending, edges sorted) against the `m2m.metrics.v1` schema that
 /// the CI smoke job validates.
+///
+/// Thread safety: the hot-path updates are serialized by an internal
+/// mutex, because observational counting can run inside sharded round
+/// execution (ChannelModel counts burst transitions from delivery queries
+/// the simulator fans out). Counter totals are commutative integer sums,
+/// so concurrent updates stay deterministic. Snapshot reads (`ToJson`,
+/// `Total`, ...) are unsynchronized and must happen between rounds, which
+/// is the only place the runtime and tests read them.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -115,6 +124,8 @@ class MetricsRegistry {
 
   std::vector<Metric> metrics_;
   std::unordered_map<std::string, int32_t> index_;
+  /// Guards hot-path updates (see the thread-safety note above).
+  std::mutex update_mutex_;
 };
 
 }  // namespace m2m::obs

@@ -36,42 +36,98 @@ int64_t LinkWeight(NodeId a, NodeId b, uint64_t seed,
 
 PathSystem::PathSystem(const Topology& topology, uint64_t perturbation_seed,
                        const LinkCostFn& link_cost)
-    : node_count_(topology.node_count()) {
-  const int n = node_count_;
-  weight_.assign(static_cast<size_t>(n) * n, kUnreachable);
-  next_hop_.assign(static_cast<size_t>(n) * n, kInvalidNode);
+    : node_count_(topology.node_count()),
+      topology_(topology),
+      perturbation_seed_(perturbation_seed),
+      link_cost_(link_cost),
+      columns_(topology.node_count()) {}
 
-  // One Dijkstra per target t: parent[u] is u's neighbor on the unique
+PathSystem::PathSystem(const PathSystem& other)
+    : node_count_(other.node_count_),
+      topology_(other.topology_),
+      perturbation_seed_(other.perturbation_seed_),
+      link_cost_(other.link_cost_) {
+  std::lock_guard<std::mutex> lock(other.columns_mutex_);
+  columns_ = other.columns_;
+}
+
+PathSystem& PathSystem::operator=(const PathSystem& other) {
+  if (this == &other) return *this;
+  std::vector<std::shared_ptr<const Column>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(other.columns_mutex_);
+    snapshot = other.columns_;
+  }
+  node_count_ = other.node_count_;
+  topology_ = other.topology_;
+  perturbation_seed_ = other.perturbation_seed_;
+  link_cost_ = other.link_cost_;
+  std::lock_guard<std::mutex> lock(columns_mutex_);
+  columns_ = std::move(snapshot);
+  return *this;
+}
+
+PathSystem::Column PathSystem::BuildColumn(NodeId t) const {
+  const int n = node_count_;
+  Column column;
+  column.weight.assign(n, kUnreachable);
+  column.next_hop.assign(n, kInvalidNode);
+
+  // One Dijkstra from target t: toward[u] is u's neighbor on the unique
   // shortest path from u toward t, i.e. NextHop(u, t).
   using QueueEntry = std::pair<int64_t, NodeId>;
-  std::vector<int64_t> dist(n);
-  std::vector<NodeId> toward(n);
-  for (NodeId t = 0; t < n; ++t) {
-    std::fill(dist.begin(), dist.end(), kUnreachable);
-    std::fill(toward.begin(), toward.end(), kInvalidNode);
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>>
-        queue;
-    dist[t] = 0;
-    queue.push({0, t});
-    while (!queue.empty()) {
-      auto [d, u] = queue.top();
-      queue.pop();
-      if (d != dist[u]) continue;
-      for (NodeId v : topology.neighbors(u)) {
-        int64_t w = LinkWeight(u, v, perturbation_seed, link_cost);
-        if (dist[u] != kUnreachable && dist[u] + w < dist[v]) {
-          dist[v] = dist[u] + w;
-          toward[v] = u;
-          queue.push({dist[v], v});
-        }
+  std::vector<int64_t>& dist = column.weight;
+  std::vector<NodeId> toward(n, kInvalidNode);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  dist[t] = 0;
+  queue.push({0, t});
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d != dist[u]) continue;
+    for (NodeId v : topology_.neighbors(u)) {
+      int64_t w = LinkWeight(u, v, perturbation_seed_, link_cost_);
+      if (dist[u] != kUnreachable && dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        toward[v] = u;
+        queue.push({dist[v], v});
       }
     }
-    for (NodeId u = 0; u < n; ++u) {
-      weight_[Index(u, t)] = dist[u];
-      next_hop_[Index(u, t)] = (u == t) ? t : toward[u];
-    }
   }
+  for (NodeId u = 0; u < n; ++u) {
+    column.next_hop[u] = (u == t) ? t : toward[u];
+  }
+  return column;
+}
+
+const PathSystem::Column& PathSystem::ColumnFor(NodeId t) const {
+  {
+    std::lock_guard<std::mutex> lock(columns_mutex_);
+    const std::shared_ptr<const Column>& existing = columns_[t];
+    if (existing != nullptr) return *existing;
+  }
+  // Build outside the lock: a concurrent racer computes the identical
+  // column, and whichever publishes second is discarded.
+  auto built = std::make_shared<const Column>(BuildColumn(t));
+  std::lock_guard<std::mutex> lock(columns_mutex_);
+  std::shared_ptr<const Column>& slot = columns_[t];
+  if (slot == nullptr) slot = std::move(built);
+  return *slot;
+}
+
+int64_t PathSystem::SymmetricWeight(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  {
+    std::lock_guard<std::mutex> lock(columns_mutex_);
+    if (columns_[v] != nullptr) return columns_[v]->weight[u];
+    if (columns_[u] != nullptr) return columns_[u]->weight[v];
+  }
+  // Neither endpoint is materialized: build u's column, so query patterns
+  // with a fixed first argument (eccentricity scans, base-station distance
+  // sweeps) amortize to a single Dijkstra.
+  return ColumnFor(u).weight[v];
 }
 
 void PathSystem::CheckNode(NodeId n) const {
@@ -81,7 +137,7 @@ void PathSystem::CheckNode(NodeId n) const {
 int PathSystem::HopDistance(NodeId u, NodeId v) const {
   CheckNode(u);
   CheckNode(v);
-  int64_t w = weight_[Index(u, v)];
+  int64_t w = SymmetricWeight(u, v);
   M2M_CHECK_NE(w, kUnreachable) << "node " << v << " unreachable from " << u;
   return static_cast<int>(w >> 40);
 }
@@ -89,14 +145,20 @@ int PathSystem::HopDistance(NodeId u, NodeId v) const {
 int64_t PathSystem::PathWeight(NodeId u, NodeId v) const {
   CheckNode(u);
   CheckNode(v);
-  return weight_[Index(u, v)];
+  return SymmetricWeight(u, v);
 }
 
 NodeId PathSystem::NextHop(NodeId u, NodeId v) const {
   CheckNode(u);
   CheckNode(v);
   M2M_CHECK_NE(u, v);
-  NodeId next = next_hop_[Index(u, v)];
+  // Under the default link cost the direct link (one hop base weight plus
+  // epsilon < 2^27) strictly beats any detour (>= two hop base weights), so
+  // adjacency decides the next hop without a column. This keeps the default
+  // milestone policy (every node a milestone => every forest edge a single
+  // physical hop) from materializing a column per route node.
+  if (link_cost_ == nullptr && topology_.AreNeighbors(u, v)) return v;
+  NodeId next = ColumnFor(v).next_hop[u];
   M2M_CHECK_NE(next, kInvalidNode)
       << "node " << v << " unreachable from " << u;
   return next;
@@ -119,9 +181,15 @@ std::vector<NodeId> PathSystem::Path(NodeId u, NodeId v) const {
 
 int PathSystem::Eccentricity(NodeId u) const {
   CheckNode(u);
+  // Distances are symmetric, so u's own column holds d(u, v) for every v —
+  // one Dijkstra instead of n.
+  const Column& column = ColumnFor(u);
   int best = 0;
   for (NodeId v = 0; v < node_count_; ++v) {
-    best = std::max(best, HopDistance(u, v));
+    int64_t w = column.weight[v];
+    M2M_CHECK_NE(w, kUnreachable) << "node " << v << " unreachable from "
+                                  << u;
+    best = std::max(best, static_cast<int>(w >> 40));
   }
   return best;
 }

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/ids.h"
@@ -24,6 +26,15 @@ namespace m2m {
 /// source therefore (a) are trees, and (b) satisfy the path-sharing
 /// restriction across trees. Hop count stays the primary routing metric: the
 /// perturbation sum along any simple path is below one hop's base weight.
+///
+/// Storage is lazy and per-target: a dense all-pairs matrix is O(n^2)
+/// (~120 GB of next-hop/weight state at 100k nodes), but every consumer only
+/// ever routes toward a small set of targets (task destinations, milestone
+/// heads, the base station). Each target's shortest-path tree ("column") is
+/// materialized by one Dijkstra on first use and cached. Columns are
+/// immutable once built and computed by the same deterministic relaxation
+/// regardless of build order or thread, so laziness is unobservable: every
+/// query answers exactly as the eager all-pairs construction would.
 class PathSystem {
  public:
   /// Relative cost of using a link (>= 1.0); hop count times this is the
@@ -31,17 +42,19 @@ class PathSystem {
   /// making paths hop-count shortest.
   using LinkCostFn = std::function<double(NodeId, NodeId)>;
 
-  /// Computes all-pairs unique shortest paths; O(n * (m log n)).
-  /// `perturbation_seed` feeds the per-link epsilon values. A non-null
-  /// `link_cost` biases routing (e.g. away from unstable links); paths then
-  /// minimize summed link cost instead of pure hop count, and HopDistance
-  /// reports the integer cost of the chosen route.
+  /// Defines the path system (no paths are computed yet; each target costs
+  /// one O(m log n) Dijkstra on first use). `perturbation_seed` feeds the
+  /// per-link epsilon values. A non-null `link_cost` biases routing (e.g.
+  /// away from unstable links); paths then minimize summed link cost
+  /// instead of pure hop count, and HopDistance reports the integer cost of
+  /// the chosen route.
   explicit PathSystem(const Topology& topology,
                       uint64_t perturbation_seed = 0x5eed,
                       const LinkCostFn& link_cost = nullptr);
 
-  PathSystem(const PathSystem&) = default;
-  PathSystem& operator=(const PathSystem&) = default;
+  /// Copies share already-materialized columns (they are immutable).
+  PathSystem(const PathSystem& other);
+  PathSystem& operator=(const PathSystem& other);
 
   int node_count() const { return node_count_; }
 
@@ -67,13 +80,33 @@ class PathSystem {
   bool PathIsConsistent(NodeId u, NodeId v) const;
 
  private:
+  /// Shortest-path state toward one target t: weight[u] is the perturbed
+  /// path weight u -> t, next_hop[u] the first hop on the canonical path
+  /// u -> t (t at u == t, kInvalidNode when unreachable).
+  struct Column {
+    std::vector<int64_t> weight;
+    std::vector<NodeId> next_hop;
+  };
+
   void CheckNode(NodeId n) const;
-  int Index(NodeId u, NodeId v) const { return u * node_count_ + v; }
+  /// Returns target t's column, materializing it (one Dijkstra) on first
+  /// use. Thread-safe: concurrent builders race to publish, but both
+  /// compute the identical column, so the loser's copy is just discarded.
+  const Column& ColumnFor(NodeId t) const;
+  Column BuildColumn(NodeId t) const;
+  /// Path weight u -> v read through whichever endpoint's column is already
+  /// materialized (link weights are symmetric, so both agree exactly),
+  /// building u's column when neither is.
+  int64_t SymmetricWeight(NodeId u, NodeId v) const;
 
   int node_count_ = 0;
-  // Flattened n x n matrices.
-  std::vector<int64_t> weight_;
-  std::vector<NodeId> next_hop_;
+  Topology topology_;
+  uint64_t perturbation_seed_ = 0;
+  LinkCostFn link_cost_;
+  mutable std::mutex columns_mutex_;
+  /// Lazily materialized per-target columns, indexed by target id. Entries
+  /// are immutable once published and shared across copies.
+  mutable std::vector<std::shared_ptr<const Column>> columns_;
 };
 
 }  // namespace m2m

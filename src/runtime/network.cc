@@ -1,15 +1,28 @@
 #include "runtime/network.h"
 
 #include <algorithm>
-#include <deque>
 #include <map>
 #include <set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "plan/serialization.h"
 #include "runtime/wire_functions.h"
 
 namespace m2m {
+
+namespace {
+
+/// Contiguous node-id region owning node `node` when ids are split into
+/// `shard_count` ranges. Region sharding keys every piece of mutable
+/// per-delivery state: a packet's recipient fixes its transfer, so all
+/// state a delivery touches lives in one shard.
+int ShardOfNode(NodeId node, int shard_count, int64_t node_count) {
+  return static_cast<int>(static_cast<int64_t>(node) * shard_count /
+                          node_count);
+}
+
+}  // namespace
 
 int64_t RetryPolicy::BackoffWaitTicks(int attempt) const {
   M2M_CHECK_GE(attempt, 1);
@@ -132,31 +145,70 @@ RuntimeNetwork::Result RuntimeNetwork::RunRound(
     NodeId sender;
     NodeRuntime::OutgoingPacket packet;
   };
-  std::deque<InFlight> in_flight;
-  auto collect = [&](NodeRuntime& node) {
-    for (NodeRuntime::OutgoingPacket& packet : node.DrainReadyPackets()) {
-      in_flight.push_back(InFlight{node.id(), std::move(packet)});
-    }
-  };
+  const int64_t node_count = static_cast<int64_t>(nodes_.size());
 
-  for (NodeRuntime& node : nodes_) {
-    node.StartRound(readings[node.id()]);
-    collect(node);
+  // Round start touches every node exactly once, so node-id ranges shard
+  // freely; merging drained packets in node-id order reproduces the serial
+  // emission order byte for byte.
+  std::vector<std::vector<NodeRuntime::OutgoingPacket>> drained(
+      nodes_.size());
+  ParallelFor(node_count, [&](int64_t begin, int64_t end) {
+    for (int64_t n = begin; n < end; ++n) {
+      nodes_[n].StartRound(readings[n]);
+      drained[n] = nodes_[n].DrainReadyPackets();
+    }
+  });
+  std::vector<InFlight> batch;
+  for (int64_t n = 0; n < node_count; ++n) {
+    for (NodeRuntime::OutgoingPacket& packet : drained[n]) {
+      batch.push_back(InFlight{static_cast<NodeId>(n), std::move(packet)});
+    }
   }
-  while (!in_flight.empty()) {
+
+  while (!batch.empty()) {
     ++result.delivery_passes;
-    std::deque<InFlight> batch;
-    batch.swap(in_flight);
-    while (!batch.empty()) {
-      InFlight flight = std::move(batch.front());
-      batch.pop_front();
+    // Parallel phase: deliveries bucket by recipient region, so each
+    // node's state is mutated by exactly one shard, in original batch
+    // order. Only the recipient's OnReceive/drain runs here; accounting,
+    // metrics, and next-batch assembly happen in the serial merge below in
+    // flight order, so the result — including the next pass's packet
+    // order — is byte-identical to the serial walk for any shard count.
+    std::vector<std::vector<NodeRuntime::OutgoingPacket>> emitted(
+        batch.size());
+    auto deliver = [&](size_t i) {
+      NodeRuntime& recipient = nodes_[batch[i].packet.recipient];
+      recipient.OnReceive(batch[i].packet.payload);
+      emitted[i] = recipient.DrainReadyPackets();
+    };
+    ThreadPool* pool = GlobalThreadPool();
+    const int shard_count =
+        pool == nullptr
+            ? 1
+            : static_cast<int>(std::min<int64_t>(GlobalShardCount(),
+                                                 node_count));
+    if (shard_count <= 1) {
+      for (size_t i = 0; i < batch.size(); ++i) deliver(i);
+    } else {
+      std::vector<std::vector<size_t>> buckets(shard_count);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        buckets[ShardOfNode(batch[i].packet.recipient, shard_count,
+                            node_count)]
+            .push_back(i);
+      }
+      pool->RunShards(shard_count, [&](int s) {
+        for (size_t i : buckets[s]) deliver(i);
+      });
+    }
+
+    std::vector<InFlight> next;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const InFlight& flight = batch[i];
       int payload = static_cast<int>(flight.packet.payload.size());
       int hops =
           message_hops_[flight.sender][flight.packet.local_message_id];
       result.packets += 1;
       result.payload_bytes += payload;
       result.energy_mj += hops * energy.UnicastHopUj(payload) / 1000.0;
-      NodeRuntime& recipient = nodes_[flight.packet.recipient];
       if (metrics_ != nullptr) {
         metrics_->AddNode(handles_.tx_packets, flight.sender, 1);
         metrics_->AddNode(handles_.tx_bytes, flight.sender, payload);
@@ -164,9 +216,12 @@ RuntimeNetwork::Result RuntimeNetwork::RunRound(
         metrics_->AddNode(handles_.rx_bytes, flight.packet.recipient,
                           payload);
       }
-      recipient.OnReceive(flight.packet.payload);
-      collect(recipient);
+      for (NodeRuntime::OutgoingPacket& packet : emitted[i]) {
+        next.push_back(
+            InFlight{flight.packet.recipient, std::move(packet)});
+      }
     }
+    batch = std::move(next);
   }
   if (metrics_ != nullptr) {
     metrics_->Add(handles_.delivery_passes, result.delivery_passes);
@@ -245,50 +300,129 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     bool is_dup = false;  ///< Channel-duplicated copy, not a retry.
   };
   std::map<int, std::vector<Event>> agenda;
-  auto collect = [&](NodeRuntime& node, int tick) {
+
+  // Deferred-effects execution: when the tick loop below runs sharded,
+  // each event mutates only its own transfer and its recipient node's
+  // state inline, and records every write to shared round state — result
+  // counters, energy terms, heard-evidence, metric/trace records, agenda
+  // appends, and packet emissions — into a per-event `Fx`. The merge
+  // applies the records serially in original event order, reproducing the
+  // serial path's floating-point addition order, trace byte order, and
+  // agenda order exactly (THEORY.md §12). In serial mode each Fx is
+  // applied immediately after its event — the old inline behavior.
+  struct Fx {
+    int64_t attempts = 0;
+    int64_t deliveries = 0;
+    int64_t duplicates = 0;
+    int64_t retransmissions = 0;
+    int64_t acks_lost = 0;
+    int64_t messages_abandoned = 0;
+    int64_t epoch_rejected = 0;
+    int64_t payload_bytes = 0;
+    int64_t corrupt_frames = 0;
+    int64_t spontaneous_duplicates = 0;
+    int64_t reordered_deliveries = 0;
+    /// Energy deltas, replayed with += in recorded order (floating-point
+    /// addition does not commute; the order is part of the byte-identity
+    /// contract).
+    std::vector<double> energy_terms;
+    std::vector<std::pair<NodeId, NodeId>> heard;
+    struct MetricOp {
+      enum class Kind : uint8_t { kAdd, kAddNode, kAddEdge, kObserve };
+      Kind kind = Kind::kAdd;
+      obs::MetricHandle handle;
+      NodeId a = kInvalidNode;  ///< Node (kAddNode) or from (kAddEdge).
+      NodeId b = kInvalidNode;  ///< To (kAddEdge).
+      int64_t value = 0;
+    };
+    std::vector<MetricOp> metric_ops;
+    struct TraceOp {
+      bool give_up = false;
+      int tick = 0;
+      NodeId from = kInvalidNode;
+      NodeId to = kInvalidNode;
+      int message_id = 0;
+      int attempt = 0;
+      int payload = 0;
+      obs::SendOutcome outcome = obs::SendOutcome::kRx;
+      bool ack_lost = false;
+      int drop_hop = 0;
+    };
+    std::vector<TraceOp> trace_ops;
+    /// An emitted packet: becomes a new transfer plus its first transmit
+    /// event at `tick`.
+    struct Emission {
+      NodeId sender = kInvalidNode;
+      NodeRuntime::OutgoingPacket packet;
+      uint32_t epoch = 0;
+      int tick = 0;
+    };
+    /// Agenda appends and emissions interleave within one event (an
+    /// arrival can emit packets before scheduling its ack), so they share
+    /// one ordered op list.
+    struct Op {
+      bool emit = false;
+      int tick = 0;
+      Event event;        ///< !emit: appended verbatim at `tick`.
+      Emission emission;  ///< emit: new transfer + first transmit.
+    };
+    std::vector<Op> ops;
+  };
+
+  auto collect = [&](NodeRuntime& node, int tick, Fx& fx) {
     for (NodeRuntime::OutgoingPacket& packet : node.DrainReadyPackets()) {
-      transfers.push_back(
-          Transfer{node.id(), std::move(packet), node.plan_epoch()});
-      Event event;
-      event.index = transfers.size() - 1;
-      agenda[tick].push_back(event);
+      Fx::Op op;
+      op.emit = true;
+      op.emission = Fx::Emission{node.id(), std::move(packet),
+                                 node.plan_epoch(), tick};
+      fx.ops.push_back(std::move(op));
     }
   };
-  auto observe_message_done = [&](const Transfer& transfer) {
+  auto observe_message_done = [&](const Transfer& transfer, Fx& fx) {
     if (metrics_ != nullptr) {
-      metrics_->Observe(handles_.attempts_per_message,
-                        transfer.attempts_made);
+      fx.metric_ops.push_back({Fx::MetricOp::Kind::kObserve,
+                               handles_.attempts_per_message, kInvalidNode,
+                               kInvalidNode, transfer.attempts_made});
     }
   };
   // Records the final verdict for a message exactly once, as soon as it is
   // known: acked, or retry budget spent with nothing left in flight.
-  auto maybe_finalize = [&](size_t index, int tick) {
+  auto maybe_finalize = [&](size_t index, int tick, Fx& fx) {
     Transfer& t = transfers[index];
     if (t.done) return;
     if (t.acked) {
       t.done = true;
-      observe_message_done(t);
+      observe_message_done(t, fx);
       return;
     }
     if (t.attempts_made >= retry.max_attempts && t.pending_events == 0 &&
         t.pending_retransmits == 0) {
       t.done = true;
-      observe_message_done(t);
+      observe_message_done(t, fx);
       if (!t.delivered_once) {
-        result.messages_abandoned += 1;
+        fx.messages_abandoned += 1;
         if (metrics_ != nullptr) {
-          metrics_->AddNode(handles_.messages_abandoned, t.sender, 1);
+          fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                                   handles_.messages_abandoned, t.sender,
+                                   kInvalidNode, 1});
         }
         if (trace != nullptr) {
-          trace->GiveUp(tick, t.sender, t.packet.recipient,
-                        t.packet.local_message_id);
+          Fx::TraceOp op;
+          op.give_up = true;
+          op.tick = tick;
+          op.from = t.sender;
+          op.to = t.packet.recipient;
+          op.message_id = t.packet.local_message_id;
+          fx.trace_ops.push_back(op);
         }
       }
     }
   };
-  auto apply_ack = [&](size_t index) {
+  auto apply_ack = [&](size_t index, Fx& fx) {
     if (metrics_ != nullptr) {
-      metrics_->AddNode(handles_.acks_delivered, transfers[index].sender, 1);
+      fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                               handles_.acks_delivered,
+                               transfers[index].sender, kInvalidNode, 1});
     }
     transfers[index].acked = true;
   };
@@ -297,8 +431,8 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
   // channel adds no delay, or as a popped kDeliver event): CRC gate, then
   // dedup/epoch-gated receive, then the reverse-path ack walk.
   auto process_arrival = [&](size_t index, int attempt, int arrival_tick,
-                             bool corrupt, uint32_t corrupt_bit,
-                             bool is_dup) {
+                             bool corrupt, uint32_t corrupt_bit, bool is_dup,
+                             Fx& fx) {
     const NodeId sender = transfers[index].sender;
     const int message_id = transfers[index].packet.local_message_id;
     const NodeId packet_recipient = transfers[index].packet.recipient;
@@ -318,15 +452,22 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       std::optional<std::vector<uint8_t>> opened =
           wire::TryOpenCrc32Frame(frame);
       if (!opened.has_value()) {
-        result.corrupt_frames += 1;
+        fx.corrupt_frames += 1;
         if (metrics_ != nullptr) {
-          metrics_->AddNode(handles_.chan_corrupt_frames, packet_recipient,
-                            1);
+          fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                                   handles_.chan_corrupt_frames,
+                                   packet_recipient, kInvalidNode, 1});
         }
         if (trace != nullptr) {
-          trace->Send(arrival_tick, sender, packet_recipient, message_id,
-                      attempt, payload, obs::SendOutcome::kCorrupt,
-                      /*ack_lost=*/false);
+          Fx::TraceOp op;
+          op.tick = arrival_tick;
+          op.from = sender;
+          op.to = packet_recipient;
+          op.message_id = message_id;
+          op.attempt = attempt;
+          op.payload = payload;
+          op.outcome = obs::SendOutcome::kCorrupt;
+          fx.trace_ops.push_back(op);
         }
         return;
       }
@@ -334,23 +475,35 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       // error); if the checksum somehow matched, the frame is intact.
     }
 
-    result.deliveries += 1;
-    result.payload_bytes += payload;
+    fx.deliveries += 1;
+    fx.payload_bytes += payload;
     if (is_dup) {
-      result.spontaneous_duplicates += 1;
-      if (metrics_ != nullptr) metrics_->Add(handles_.chan_duplicated, 1);
+      fx.spontaneous_duplicates += 1;
+      if (metrics_ != nullptr) {
+        fx.metric_ops.push_back({Fx::MetricOp::Kind::kAdd,
+                                 handles_.chan_duplicated, kInvalidNode,
+                                 kInvalidNode, 1});
+      }
     }
     if (attempt < transfers[index].last_arrival_attempt) {
       // A delayed copy landed after a newer attempt already arrived.
-      result.reordered_deliveries += 1;
-      if (metrics_ != nullptr) metrics_->Add(handles_.chan_reordered, 1);
+      fx.reordered_deliveries += 1;
+      if (metrics_ != nullptr) {
+        fx.metric_ops.push_back({Fx::MetricOp::Kind::kAdd,
+                                 handles_.chan_reordered, kInvalidNode,
+                                 kInvalidNode, 1});
+      }
     } else {
       transfers[index].last_arrival_attempt = attempt;
     }
     NodeRuntime& recipient = nodes_[packet_recipient];
     if (metrics_ != nullptr) {
-      metrics_->AddNode(handles_.rx_packets, packet_recipient, 1);
-      metrics_->AddNode(handles_.rx_bytes, packet_recipient, payload);
+      fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                               handles_.rx_packets, packet_recipient,
+                               kInvalidNode, 1});
+      fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                               handles_.rx_bytes, packet_recipient,
+                               kInvalidNode, payload});
     }
     obs::SendOutcome outcome = obs::SendOutcome::kRx;
     switch (recipient.OnReceiveOnce(sender, message_id,
@@ -359,13 +512,15 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
                                     arrival_tick)) {
       case NodeRuntime::ReceiveOutcome::kFresh:
         transfers[index].delivered_once = true;
-        collect(recipient, arrival_tick + 1);
+        collect(recipient, arrival_tick + 1, fx);
         outcome = obs::SendOutcome::kRx;
         break;
       case NodeRuntime::ReceiveOutcome::kDuplicate:
-        result.duplicates += 1;
+        fx.duplicates += 1;
         if (metrics_ != nullptr) {
-          metrics_->AddNode(handles_.dedup_hits, packet_recipient, 1);
+          fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                                   handles_.dedup_hits, packet_recipient,
+                                   kInvalidNode, 1});
         }
         outcome = obs::SendOutcome::kDuplicate;
         break;
@@ -373,9 +528,11 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
         // Dropped whole, but still acked below: the mismatch is a plan
         // generation gap, not a link failure — retrying cannot help.
         transfers[index].delivered_once = true;
-        result.epoch_rejected += 1;
+        fx.epoch_rejected += 1;
         if (metrics_ != nullptr) {
-          metrics_->AddNode(handles_.epoch_gate_drops, packet_recipient, 1);
+          fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                                   handles_.epoch_gate_drops,
+                                   packet_recipient, kInvalidNode, 1});
         }
         outcome = obs::SendOutcome::kEpochRejected;
         break;
@@ -393,40 +550,53 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
         break;
       }
       ++ack_hops;
-      result.heard.emplace(segment[h], segment[h - 1]);
+      fx.heard.emplace_back(segment[h], segment[h - 1]);
       if (links.hop_effects != nullptr) {
         ack_delay +=
             links.hop_effects(segment[h], segment[h - 1], attempt)
                 .delay_ticks;
       }
     }
-    result.energy_mj += ack_hops * energy.UnicastHopUj(0) / 1000.0;
+    fx.energy_terms.push_back(ack_hops * energy.UnicastHopUj(0) / 1000.0);
     if (ack_ok) {
       ack_delay = std::min(ack_delay, links.max_delay_ticks);
       if (ack_delay <= 0) {
-        apply_ack(index);
+        apply_ack(index, fx);
       } else {
         transfers[index].pending_events += 1;
         Event event;
         event.kind = Event::Kind::kAckArrive;
         event.index = index;
         event.attempt = attempt;
-        agenda[arrival_tick + ack_delay].push_back(event);
+        Fx::Op op;
+        op.tick = arrival_tick + ack_delay;
+        op.event = event;
+        fx.ops.push_back(op);
       }
     } else {
-      result.energy_mj += energy.TxUj(0) / 1000.0;
-      result.acks_lost += 1;
+      fx.energy_terms.push_back(energy.TxUj(0) / 1000.0);
+      fx.acks_lost += 1;
       if (metrics_ != nullptr) {
-        metrics_->AddNode(handles_.acks_lost, sender, 1);
+        fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                                 handles_.acks_lost, sender, kInvalidNode,
+                                 1});
       }
     }
     if (trace != nullptr) {
-      trace->Send(arrival_tick, sender, packet_recipient, message_id,
-                  attempt, payload, outcome, /*ack_lost=*/!ack_ok);
+      Fx::TraceOp op;
+      op.tick = arrival_tick;
+      op.from = sender;
+      op.to = packet_recipient;
+      op.message_id = message_id;
+      op.attempt = attempt;
+      op.payload = payload;
+      op.outcome = outcome;
+      op.ack_lost = !ack_ok;
+      fx.trace_ops.push_back(op);
     }
   };
 
-  auto process_transmit = [&](size_t index, int tick) {
+  auto process_transmit = [&](size_t index, int tick, Fx& fx) {
     const NodeId sender = transfers[index].sender;
     const int message_id = transfers[index].packet.local_message_id;
     const NodeId packet_recipient = transfers[index].packet.recipient;
@@ -435,12 +605,20 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     const int payload =
         static_cast<int>(transfers[index].packet.payload.size());
     const int attempt = ++transfers[index].attempts_made;
-    result.attempts += 1;
-    if (attempt > 1) result.retransmissions += 1;
+    fx.attempts += 1;
+    if (attempt > 1) fx.retransmissions += 1;
     if (metrics_ != nullptr) {
-      metrics_->AddNode(handles_.tx_attempts, sender, 1);
-      metrics_->AddNode(handles_.tx_bytes, sender, payload);
-      if (attempt > 1) metrics_->Add(handles_.retransmissions, 1);
+      fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                               handles_.tx_attempts, sender, kInvalidNode,
+                               1});
+      fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
+                               handles_.tx_bytes, sender, kInvalidNode,
+                               payload});
+      if (attempt > 1) {
+        fx.metric_ops.push_back({Fx::MetricOp::Kind::kAdd,
+                                 handles_.retransmissions, kInvalidNode,
+                                 kInvalidNode, 1});
+      }
     }
 
     // Data crosses the segment hop by hop; the first dead hop burns one
@@ -460,11 +638,12 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
         }
         ++hops_crossed;
         if (metrics_ != nullptr) {
-          metrics_->AddEdge(handles_.hop_transmissions, segment[h],
-                            segment[h + 1], 1);
+          fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddEdge,
+                                   handles_.hop_transmissions, segment[h],
+                                   segment[h + 1], 1});
         }
         // Heartbeat evidence: segment[h+1] heard segment[h] transmit.
-        result.heard.emplace(segment[h], segment[h + 1]);
+        fx.heard.emplace_back(segment[h], segment[h + 1]);
         if (links.hop_effects != nullptr) {
           HopEffects effects =
               links.hop_effects(segment[h], segment[h + 1], attempt);
@@ -477,16 +656,17 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
         }
       }
     }
-    result.energy_mj += hops_crossed * energy.UnicastHopUj(payload) / 1000.0;
+    fx.energy_terms.push_back(hops_crossed * energy.UnicastHopUj(payload) /
+                              1000.0);
     if (!delivered && hops_crossed + 2 <= static_cast<int>(segment.size())) {
-      result.energy_mj += energy.TxUj(payload) / 1000.0;
+      fx.energy_terms.push_back(energy.TxUj(payload) / 1000.0);
     }
 
     if (delivered) {
       data_delay = std::min(data_delay, links.max_delay_ticks);
       if (data_delay <= 0) {
         process_arrival(index, attempt, tick, corrupt, corrupt_bit,
-                        /*is_dup=*/false);
+                        /*is_dup=*/false, fx);
       } else {
         transfers[index].pending_events += 1;
         Event event;
@@ -495,7 +675,10 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
         event.attempt = attempt;
         event.corrupt = corrupt;
         event.corrupt_bit = corrupt_bit;
-        agenda[tick + data_delay].push_back(event);
+        Fx::Op op;
+        op.tick = tick + data_delay;
+        op.event = event;
+        fx.ops.push_back(op);
       }
       if (dup) {
         // The spontaneous copy trails the original by one tick.
@@ -507,18 +690,28 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
         event.corrupt = corrupt;
         event.corrupt_bit = corrupt_bit;
         event.is_dup = true;
-        agenda[tick + data_delay + 1].push_back(event);
+        Fx::Op op;
+        op.tick = tick + data_delay + 1;
+        op.event = event;
+        fx.ops.push_back(op);
       }
     } else {
       obs::SendOutcome outcome = alive(packet_recipient)
                                      ? obs::SendOutcome::kDropped
                                      : obs::SendOutcome::kDeadRecipient;
       if (trace != nullptr) {
-        trace->Send(tick, sender, packet_recipient, message_id, attempt,
-                    payload, outcome, /*ack_lost=*/false,
-                    /*drop_hop=*/outcome == obs::SendOutcome::kDropped
-                        ? hops_crossed + 1
-                        : 0);
+        Fx::TraceOp op;
+        op.tick = tick;
+        op.from = sender;
+        op.to = packet_recipient;
+        op.message_id = message_id;
+        op.attempt = attempt;
+        op.payload = payload;
+        op.outcome = outcome;
+        op.drop_hop = outcome == obs::SendOutcome::kDropped
+                          ? hops_crossed + 1
+                          : 0;
+        fx.trace_ops.push_back(op);
       }
     }
 
@@ -532,18 +725,130 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       Event event;
       event.index = index;
       event.retransmit = true;
-      agenda[tick + static_cast<int>(timeout)].push_back(event);
+      Fx::Op op;
+      op.tick = tick + static_cast<int>(timeout);
+      op.event = event;
+      fx.ops.push_back(op);
       if (metrics_ != nullptr) {
-        metrics_->Add(handles_.backoff_wait_ticks, timeout);
+        fx.metric_ops.push_back({Fx::MetricOp::Kind::kAdd,
+                                 handles_.backoff_wait_ticks, kInvalidNode,
+                                 kInvalidNode, timeout});
       }
     }
-    maybe_finalize(index, tick);
+    maybe_finalize(index, tick, fx);
   };
 
-  for (NodeRuntime& node : nodes_) {
-    if (!alive(node.id())) continue;
-    node.StartRound(readings[node.id()]);
-    collect(node, 0);
+  // Dispatches one event. All transfer-state and recipient-node mutation
+  // is inline (shard-exclusive: every kind touches only transfers[index]
+  // and nodes_[recipient], and the recipient is fixed per transfer);
+  // everything shared lands in `fx`.
+  auto process_event = [&](const Event& event, int tick, Fx& fx) {
+    switch (event.kind) {
+      case Event::Kind::kTransmit:
+        if (event.retransmit) {
+          transfers[event.index].pending_retransmits -= 1;
+          if (transfers[event.index].acked || transfers[event.index].done) {
+            maybe_finalize(event.index, tick, fx);
+            break;
+          }
+        }
+        process_transmit(event.index, tick, fx);
+        break;
+      case Event::Kind::kDeliver:
+        transfers[event.index].pending_events -= 1;
+        process_arrival(event.index, event.attempt, tick, event.corrupt,
+                        event.corrupt_bit, event.is_dup, fx);
+        maybe_finalize(event.index, tick, fx);
+        break;
+      case Event::Kind::kAckArrive:
+        transfers[event.index].pending_events -= 1;
+        apply_ack(event.index, fx);
+        maybe_finalize(event.index, tick, fx);
+        break;
+    }
+  };
+
+  // Replays one event's deferred shared-state writes, in recorded order.
+  auto apply_fx = [&](Fx& fx) {
+    result.attempts += fx.attempts;
+    result.deliveries += fx.deliveries;
+    result.duplicates += fx.duplicates;
+    result.retransmissions += fx.retransmissions;
+    result.acks_lost += fx.acks_lost;
+    result.messages_abandoned += fx.messages_abandoned;
+    result.epoch_rejected += fx.epoch_rejected;
+    result.payload_bytes += fx.payload_bytes;
+    result.corrupt_frames += fx.corrupt_frames;
+    result.spontaneous_duplicates += fx.spontaneous_duplicates;
+    result.reordered_deliveries += fx.reordered_deliveries;
+    for (double term : fx.energy_terms) result.energy_mj += term;
+    for (const auto& [from, to] : fx.heard) result.heard.emplace(from, to);
+    if (metrics_ != nullptr) {
+      for (const Fx::MetricOp& op : fx.metric_ops) {
+        switch (op.kind) {
+          case Fx::MetricOp::Kind::kAdd:
+            metrics_->Add(op.handle, op.value);
+            break;
+          case Fx::MetricOp::Kind::kAddNode:
+            metrics_->AddNode(op.handle, op.a, op.value);
+            break;
+          case Fx::MetricOp::Kind::kAddEdge:
+            metrics_->AddEdge(op.handle, op.a, op.b, op.value);
+            break;
+          case Fx::MetricOp::Kind::kObserve:
+            metrics_->Observe(op.handle, op.value);
+            break;
+        }
+      }
+    }
+    if (trace != nullptr) {
+      for (const Fx::TraceOp& op : fx.trace_ops) {
+        if (op.give_up) {
+          trace->GiveUp(op.tick, op.from, op.to, op.message_id);
+        } else {
+          trace->Send(op.tick, op.from, op.to, op.message_id, op.attempt,
+                      op.payload, op.outcome, op.ack_lost, op.drop_hop);
+        }
+      }
+    }
+    for (Fx::Op& op : fx.ops) {
+      if (op.emit) {
+        transfers.push_back(Transfer{op.emission.sender,
+                                     std::move(op.emission.packet),
+                                     op.emission.epoch});
+        Event event;
+        event.index = transfers.size() - 1;
+        agenda[op.emission.tick].push_back(event);
+      } else {
+        agenda[op.tick].push_back(op.event);
+      }
+    }
+  };
+
+  const int64_t node_count = static_cast<int64_t>(nodes_.size());
+  {
+    // Round start: per-node work shards over node-id ranges; emissions
+    // merge in node-id order, reproducing the serial transfer/agenda
+    // order.
+    std::vector<std::vector<NodeRuntime::OutgoingPacket>> drained(
+        nodes_.size());
+    ParallelFor(node_count, [&](int64_t begin, int64_t end) {
+      for (int64_t n = begin; n < end; ++n) {
+        if (!alive(static_cast<NodeId>(n))) continue;
+        nodes_[n].StartRound(readings[n]);
+        drained[n] = nodes_[n].DrainReadyPackets();
+      }
+    });
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      for (NodeRuntime::OutgoingPacket& packet : drained[n]) {
+        transfers.push_back(Transfer{static_cast<NodeId>(n),
+                                     std::move(packet),
+                                     nodes_[n].plan_epoch()});
+        Event event;
+        event.index = transfers.size() - 1;
+        agenda[0].push_back(event);
+      }
+    }
   }
 
   while (!agenda.empty()) {
@@ -556,42 +861,65 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     // stamped t is retained through processing tick t + horizon, and the
     // last possible duplicate of its message arrives at
     // t + horizon - 1 (obs_test pins the clean-channel boundary, the
-    // delayed-duplicate regression the extended one).
+    // delayed-duplicate regression the extended one). Eviction is per-node
+    // independent, so it shards over node ranges.
     if (tick > evict_horizon_ticks) {
       const int evict_before = tick - static_cast<int>(evict_horizon_ticks);
-      for (NodeRuntime& node : nodes_) {
-        node.EvictSeenPacketsBefore(evict_before);
-      }
+      ParallelFor(node_count, [&](int64_t begin, int64_t end) {
+        for (int64_t n = begin; n < end; ++n) {
+          nodes_[n].EvictSeenPacketsBefore(evict_before);
+        }
+      });
     }
-    // Entries may be appended to this tick's list while we walk it — and a
-    // processed event can push into `transfers` (reallocation) — so go
-    // through indices, never held references.
-    for (size_t i = 0; i < agenda_it->second.size(); ++i) {
-      const Event event = agenda_it->second[i];
-      switch (event.kind) {
-        case Event::Kind::kTransmit:
-          if (event.retransmit) {
-            transfers[event.index].pending_retransmits -= 1;
-            if (transfers[event.index].acked ||
-                transfers[event.index].done) {
-              maybe_finalize(event.index, tick);
-              break;
-            }
+    // Every event scheduled during processing lands at tick + 1 or later
+    // (arrivals collect at arrival + 1; channel delays and backoffs are
+    // >= 1), so one wave normally covers the whole tick; the wave loop
+    // mirrors the serial index walk in case an append ever targets the
+    // current tick. Entries may be appended to this tick's list during the
+    // merge — and a merged emission can push into `transfers`
+    // (reallocation) — so go through indices, never held references.
+    std::vector<Event>& list = agenda_it->second;
+    size_t processed = 0;
+    while (processed < list.size()) {
+      const size_t wave_end = list.size();
+      ThreadPool* pool = GlobalThreadPool();
+      const int shard_count =
+          pool == nullptr
+              ? 1
+              : static_cast<int>(
+                    std::min<int64_t>(GlobalShardCount(), node_count));
+      if (shard_count <= 1) {
+        // Serial: apply each event's effects immediately after it — the
+        // original inline behavior, byte for byte.
+        for (size_t i = processed; i < wave_end; ++i) {
+          const Event event = list[i];
+          Fx fx;
+          process_event(event, tick, fx);
+          apply_fx(fx);
+        }
+      } else {
+        // Parallel wave: events bucket by the recipient region of their
+        // transfer, keeping every per-transfer and per-node mutation in
+        // exactly one shard, in original event order. The per-event Fx
+        // records are then merged serially in event order — identical
+        // bytes to the serial walk for any shard count.
+        std::vector<std::vector<size_t>> buckets(shard_count);
+        for (size_t i = processed; i < wave_end; ++i) {
+          buckets[ShardOfNode(transfers[list[i].index].packet.recipient,
+                              shard_count, node_count)]
+              .push_back(i);
+        }
+        std::vector<Fx> fx(wave_end - processed);
+        pool->RunShards(shard_count, [&](int s) {
+          for (size_t i : buckets[s]) {
+            process_event(list[i], tick, fx[i - processed]);
           }
-          process_transmit(event.index, tick);
-          break;
-        case Event::Kind::kDeliver:
-          transfers[event.index].pending_events -= 1;
-          process_arrival(event.index, event.attempt, tick, event.corrupt,
-                          event.corrupt_bit, event.is_dup);
-          maybe_finalize(event.index, tick);
-          break;
-        case Event::Kind::kAckArrive:
-          transfers[event.index].pending_events -= 1;
-          apply_ack(event.index);
-          maybe_finalize(event.index, tick);
-          break;
+        });
+        for (size_t i = processed; i < wave_end; ++i) {
+          apply_fx(fx[i - processed]);
+        }
       }
+      processed = wave_end;
     }
     agenda.erase(agenda_it);
   }

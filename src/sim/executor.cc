@@ -8,6 +8,7 @@
 
 #include "agg/partial_record.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace m2m {
 
@@ -78,6 +79,7 @@ PlanExecutor::PlanExecutor(std::shared_ptr<const CompiledPlan> compiled,
           fold_edge_.emplace(Key(tail, d), static_cast<int>(e));
       M2M_CHECK(inserted) << "destination " << d
                           << " has two partial edges out of node " << tail;
+      agg_edges_by_dest_[d].push_back(static_cast<int>(e));
     }
   }
 }
@@ -106,84 +108,80 @@ void PlanExecutor::ChargeMessage(int edge_index, int payload_bytes,
   }
 }
 
-RoundResult PlanExecutor::RunRound(const std::vector<double>& readings,
-                                   const TransmissionOptions& options) const {
+double PlanExecutor::EvaluateTaskRound(
+    const Task& task, const std::vector<double>& readings) const {
   const GlobalPlan& plan = compiled_->plan();
   const MulticastForest& forest = plan.forest();
-  M2M_CHECK_EQ(static_cast<int>(readings.size()), forest.node_count());
-  RoundResult result;
-  result.plan_epoch = compiled_->plan_epoch();
-  result.node_energy_mj.assign(forest.node_count(), 0.0);
+  const NodeId d = task.destination;
 
-  // Reconstruct where each source's contribution folds into each
-  // destination's partial, walking every route (same traversal the compiler
-  // used to build the node tables).
-  std::map<std::pair<int, NodeId>, std::set<NodeId>> folds;  // (edge,d)->s
-  std::map<std::pair<int, NodeId>, std::set<int>> chains;  // (edge,d)->prev
-  std::map<NodeId, std::set<NodeId>> dest_folds;
-  std::map<NodeId, std::set<int>> dest_chains;
-  for (const Task& task : forest.tasks()) {
-    const NodeId d = task.destination;
-    for (NodeId s : task.sources) {
-      if (s == d) {
-        dest_folds[d].insert(s);
-        continue;
-      }
-      const std::vector<int>& route = forest.Route(SourceDestPair{s, d});
-      bool carried_raw = true;
-      for (size_t i = 0; i < route.size(); ++i) {
-        const int e = route[i];
-        const EdgePlan& edge_plan = plan.plan_for(e);
-        if (carried_raw && edge_plan.TransmitsRaw(s)) continue;
-        M2M_CHECK(edge_plan.TransmitsAggregate(d));
-        if (carried_raw) {
-          folds[{e, d}].insert(s);
-        } else {
-          chains[{e, d}].insert(route[i - 1]);
-        }
-        carried_raw = false;
-      }
+  // Reconstruct where each of this task's sources folds into d's partial,
+  // walking every route (same traversal the compiler used to build the
+  // node tables). Each (edge, destination) partial unit belongs to exactly
+  // one task — the forest holds one task per destination — so evaluating
+  // per task partitions the serial pass without changing any unit.
+  std::map<int, std::set<NodeId>> folds;   // edge -> folded sources
+  std::map<int, std::set<int>> chains;     // edge -> upstream edges
+  std::set<NodeId> dest_folds;
+  std::set<int> dest_chains;
+  for (NodeId s : task.sources) {
+    if (s == d) {
+      dest_folds.insert(s);
+      continue;
+    }
+    const std::vector<int>& route = forest.Route(SourceDestPair{s, d});
+    bool carried_raw = true;
+    for (size_t i = 0; i < route.size(); ++i) {
+      const int e = route[i];
+      const EdgePlan& edge_plan = plan.plan_for(e);
+      if (carried_raw && edge_plan.TransmitsRaw(s)) continue;
+      M2M_CHECK(edge_plan.TransmitsAggregate(d));
       if (carried_raw) {
-        dest_folds[d].insert(s);
+        folds[e].insert(s);
       } else {
-        dest_chains[d].insert(route.back());
+        chains[e].insert(route[i - 1]);
       }
+      carried_raw = false;
+    }
+    if (carried_raw) {
+      dest_folds.insert(s);
+    } else {
+      dest_chains.insert(route.back());
     }
   }
 
   // Evaluate partial-unit contents bottom-up with memoization.
-  std::map<std::pair<int, NodeId>, PartialRecord> content;
-  auto compute_content = [&](auto&& self, int e, NodeId d) -> PartialRecord {
-    auto memo = content.find({e, d});
+  const AggregateFunction& fn = functions_.Get(d);
+  std::map<int, PartialRecord> content;
+  auto compute_content = [&](auto&& self, int e) -> PartialRecord {
+    auto memo = content.find(e);
     if (memo != content.end()) return memo->second;
-    const AggregateFunction& fn = functions_.Get(d);
     std::optional<PartialRecord> acc;
     auto add = [&](const PartialRecord& r) {
       acc = acc.has_value() ? fn.Merge(*acc, r) : r;
     };
-    auto fold_it = folds.find({e, d});
+    auto fold_it = folds.find(e);
     if (fold_it != folds.end()) {
       for (NodeId s : fold_it->second) add(fn.PreAggregate(s, readings[s]));
     }
-    auto chain_it = chains.find({e, d});
+    auto chain_it = chains.find(e);
     if (chain_it != chains.end()) {
-      for (int prev : chain_it->second) add(self(self, prev, d));
+      for (int prev : chain_it->second) add(self(self, prev));
     }
     M2M_CHECK(acc.has_value())
         << "partial unit (" << e << ", " << d << ") has no contributions";
-    content[{e, d}] = *acc;
+    content[e] = *acc;
     return *acc;
   };
 
-  // Verify each partial unit equals the direct merge over its edge's pairs,
-  // then compute destination values and verify against direct evaluation.
-  for (size_t e = 0; e < forest.edges().size(); ++e) {
-    const ForestEdge& edge = forest.edges()[e];
-    const EdgePlan& edge_plan = plan.plan_for(static_cast<int>(e));
-    for (NodeId d : edge_plan.agg_destinations) {
-      PartialRecord distributed =
-          compute_content(compute_content, static_cast<int>(e), d);
-      const AggregateFunction& fn = functions_.Get(d);
+  // Verify each of d's partial units equals the direct merge over its
+  // edge's pairs — the same (edge, destination) set the serial edge sweep
+  // covered, resliced by destination.
+  auto agg_edges = agg_edges_by_dest_.find(d);
+  if (agg_edges != agg_edges_by_dest_.end()) {
+    for (int e : agg_edges->second) {
+      const ForestEdge& edge = forest.edges()[e];
+      const EdgePlan& edge_plan = plan.plan_for(e);
+      PartialRecord distributed = compute_content(compute_content, e);
       std::optional<PartialRecord> expected;
       for (const SourceDestPair& pair : edge.pairs) {
         if (pair.destination != d) continue;
@@ -205,32 +203,47 @@ RoundResult PlanExecutor::RunRound(const std::vector<double>& readings,
       }
     }
   }
-  for (const Task& task : forest.tasks()) {
-    const NodeId d = task.destination;
-    const AggregateFunction& fn = functions_.Get(d);
-    std::optional<PartialRecord> acc;
-    auto add = [&](const PartialRecord& r) {
-      acc = acc.has_value() ? fn.Merge(*acc, r) : r;
-    };
-    auto fold_it = dest_folds.find(d);
-    if (fold_it != dest_folds.end()) {
-      for (NodeId s : fold_it->second) add(fn.PreAggregate(s, readings[s]));
-    }
-    auto chain_it = dest_chains.find(d);
-    if (chain_it != dest_chains.end()) {
-      for (int prev : chain_it->second) {
-        add(compute_content(compute_content, prev, d));
-      }
-    }
-    M2M_CHECK(acc.has_value())
-        << "destination " << d << " received no contributions";
-    double value = fn.Evaluate(*acc);
-    std::unordered_map<NodeId, double> inputs;
-    for (NodeId s : task.sources) inputs[s] = readings[s];
-    M2M_CHECK(
-        ApproximatelyEqual(value, fn.Direct(inputs), kFullRoundTolerance))
-        << "destination " << d << " computed a wrong aggregate";
-    result.destination_values[d] = value;
+
+  std::optional<PartialRecord> acc;
+  auto add = [&](const PartialRecord& r) {
+    acc = acc.has_value() ? fn.Merge(*acc, r) : r;
+  };
+  for (NodeId s : dest_folds) add(fn.PreAggregate(s, readings[s]));
+  for (int prev : dest_chains) add(compute_content(compute_content, prev));
+  M2M_CHECK(acc.has_value())
+      << "destination " << d << " received no contributions";
+  double value = fn.Evaluate(*acc);
+  std::unordered_map<NodeId, double> inputs;
+  for (NodeId s : task.sources) inputs[s] = readings[s];
+  M2M_CHECK(
+      ApproximatelyEqual(value, fn.Direct(inputs), kFullRoundTolerance))
+      << "destination " << d << " computed a wrong aggregate";
+  return value;
+}
+
+RoundResult PlanExecutor::RunRound(const std::vector<double>& readings,
+                                   const TransmissionOptions& options) const {
+  const GlobalPlan& plan = compiled_->plan();
+  const MulticastForest& forest = plan.forest();
+  M2M_CHECK_EQ(static_cast<int>(readings.size()), forest.node_count());
+  RoundResult result;
+  result.plan_epoch = compiled_->plan_epoch();
+  result.node_energy_mj.assign(forest.node_count(), 0.0);
+
+  // Each task reads only its own routes and (edge, destination) lattice,
+  // so tasks shard freely; values land by task index and merge in task
+  // order, making the result byte-identical to the serial pass for any
+  // thread/shard count.
+  const std::vector<Task>& tasks = forest.tasks();
+  std::vector<double> task_values(tasks.size(), 0.0);
+  ParallelFor(static_cast<int64_t>(tasks.size()),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t t = begin; t < end; ++t) {
+                  task_values[t] = EvaluateTaskRound(tasks[t], readings);
+                }
+              });
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    result.destination_values[tasks[t].destination] = task_values[t];
   }
 
   // Charge energy: every scheduled message is transmitted in a full round.
@@ -357,6 +370,12 @@ RoundResult PlanExecutor::RunThresholdSuppressedRound(
 RoundResult PlanExecutor::RunSuppressedRoundImpl(
     const std::vector<double>& new_readings, const std::vector<bool>& changed,
     OverridePolicy policy, double epsilon, bool replicated_preagg) {
+  // Deliberately serial: override decisions are order-coupled across tasks
+  // through `raw_cross` (whether a raw value already crosses an edge feeds
+  // later decisions at other nodes), so task-sharding would change
+  // decisions, not just schedules. Suppressed rounds are bounded by the
+  // changed-source count, not the network size, so they are not on the
+  // scale path the sharded full round serves.
   M2M_CHECK(state_initialized_)
       << "call InitializeState before RunSuppressedRound";
   const GlobalPlan& plan = compiled_->plan();

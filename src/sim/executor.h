@@ -167,6 +167,12 @@ class PlanExecutor {
   int PartialUnitBytes(NodeId destination) const;
   void ChargeMessage(int edge_index, int payload_bytes,
                      RoundResult& result) const;
+  /// Reconstructs, verifies, and evaluates one task's aggregate for a full
+  /// round. Touches only the task's own (edge, destination) lattice — the
+  /// execution-level face of Theorem 1's per-edge independence — so
+  /// RunRound fans tasks out across shards (see RunRound).
+  double EvaluateTaskRound(const Task& task,
+                           const std::vector<double>& readings) const;
   RoundResult RunSuppressedRoundImpl(const std::vector<double>& new_readings,
                                      const std::vector<bool>& changed,
                                      OverridePolicy policy, double epsilon,
@@ -192,6 +198,10 @@ class PlanExecutor {
   /// Key(node, destination) -> forest edge index on which that node emits
   /// the destination's partial record (if any).
   std::unordered_map<uint64_t, int> fold_edge_;
+  /// destination -> forest edges carrying its partial record, ascending.
+  /// Lets per-task round evaluation verify exactly the (edge, destination)
+  /// partial units the serial edge sweep verified.
+  std::unordered_map<NodeId, std::vector<int>> agg_edges_by_dest_;
 
   // --- Suppression state ---
   bool state_initialized_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <unordered_map>
 
 #include "common/check.h"
 
@@ -10,12 +11,66 @@ namespace m2m {
 
 namespace {
 
+// Radio-range-sized grid over node positions: every in-range pair sits in
+// adjacent (3x3) cells, so proximity scans cost O(local density) per node
+// instead of O(n). Mirrors the bucketing in Topology's constructor.
+class CellGrid {
+ public:
+  CellGrid(const std::vector<Point>& positions, double range_m)
+      : positions_(positions), range_m_(range_m) {
+    min_x_ = positions[0].x;
+    min_y_ = positions[0].y;
+    for (const Point& p : positions) {
+      min_x_ = std::min(min_x_, p.x);
+      min_y_ = std::min(min_y_, p.y);
+    }
+    buckets_.reserve(positions.size());
+    for (int i = 0; i < static_cast<int>(positions.size()); ++i) {
+      auto [cx, cy] = CellOf(positions[i]);
+      buckets_[Key(cx, cy)].push_back(i);
+    }
+  }
+
+  // Invokes fn(v) for every node v in the 3x3 cell neighborhood of `p`
+  // (a superset of the nodes within range of p; callers distance-check).
+  template <typename Fn>
+  void ForNeighborhood(const Point& p, Fn&& fn) const {
+    auto [cx, cy] = CellOf(p);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = buckets_.find(Key(cx + dx, cy + dy));
+        if (it == buckets_.end()) continue;
+        for (int v : it->second) fn(v);
+      }
+    }
+  }
+
+ private:
+  static int64_t Key(int64_t cx, int64_t cy) {
+    return (cx << 32) ^ static_cast<uint32_t>(cy);
+  }
+  std::pair<int64_t, int64_t> CellOf(const Point& p) const {
+    return {static_cast<int64_t>((p.x - min_x_) / range_m_),
+            static_cast<int64_t>((p.y - min_y_) / range_m_)};
+  }
+
+  const std::vector<Point>& positions_;
+  double range_m_;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  std::unordered_map<int64_t, std::vector<int>> buckets_;
+};
+
 // Labels connected components of the disk graph over `positions`; returns
 // component id per node and stores the size of the largest component.
+// Component membership and ids are order-independent facts of the graph
+// (starts scan ascending node ids), so the cell-grid traversal labels
+// exactly as the all-pairs version did.
 std::vector<int> ComponentsOf(const std::vector<Point>& positions,
                               double range_m, int* largest_component) {
   const int n = static_cast<int>(positions.size());
   const double range_sq = range_m * range_m;
+  const CellGrid grid(positions, range_m);
   std::vector<int> component(n, -1);
   int next_component = 0;
   int best_size = 0;
@@ -30,13 +85,13 @@ std::vector<int> ComponentsOf(const std::vector<Point>& positions,
       int u = frontier.front();
       frontier.pop();
       ++size;
-      for (int v = 0; v < n; ++v) {
+      grid.ForNeighborhood(positions[u], [&](int v) {
         if (component[v] < 0 &&
             DistanceSquared(positions[u], positions[v]) <= range_sq) {
           component[v] = next_component;
           frontier.push(v);
         }
-      }
+      });
     }
     if (size > best_size) {
       best_size = size;

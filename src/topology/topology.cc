@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_map>
 
 #include "common/check.h"
 
 namespace m2m {
+
+namespace {
+
+int64_t CellKey(int64_t cx, int64_t cy) {
+  return (cx << 32) ^ static_cast<uint32_t>(cy);
+}
+
+}  // namespace
 
 Topology::Topology(std::vector<Point> positions, double radio_range_m)
     : positions_(std::move(positions)), radio_range_m_(radio_range_m) {
@@ -14,18 +23,48 @@ Topology::Topology(std::vector<Point> positions, double radio_range_m)
   const int n = node_count();
   adjacency_.resize(n);
   const double range_sq = radio_range_m_ * radio_range_m_;
+  // Bucket nodes into radio-range-sized grid cells: every neighbor of a
+  // node lies within its 3x3 cell neighborhood, so construction costs
+  // O(n * local density) instead of O(n^2) — the difference between
+  // milliseconds and hours at 100k nodes. Adjacency lists are sorted per
+  // node, so the result is byte-identical to the all-pairs sweep.
+  double min_x = positions_[0].x;
+  double min_y = positions_[0].y;
+  for (const Point& p : positions_) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+  }
+  auto cell_of = [&](const Point& p) {
+    return std::pair<int64_t, int64_t>(
+        static_cast<int64_t>((p.x - min_x) / radio_range_m_),
+        static_cast<int64_t>((p.y - min_y) / radio_range_m_));
+  };
+  std::unordered_map<int64_t, std::vector<NodeId>> buckets;
+  buckets.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    auto [cx, cy] = cell_of(positions_[i]);
+    buckets[CellKey(cx, cy)].push_back(i);
+  }
   for (NodeId a = 0; a < n; ++a) {
-    for (NodeId b = a + 1; b < n; ++b) {
-      if (DistanceSquared(positions_[a], positions_[b]) <= range_sq) {
-        adjacency_[a].push_back(b);
-        adjacency_[b].push_back(a);
-        ++link_count_;
+    auto [cx, cy] = cell_of(positions_[a]);
+    std::vector<NodeId>& list = adjacency_[a];
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = buckets.find(CellKey(cx + dx, cy + dy));
+        if (it == buckets.end()) continue;
+        for (NodeId b : it->second) {
+          if (b != a &&
+              DistanceSquared(positions_[a], positions_[b]) <= range_sq) {
+            list.push_back(b);
+          }
+        }
       }
     }
+    std::sort(list.begin(), list.end());
+    for (NodeId b : list) {
+      if (a < b) ++link_count_;
+    }
   }
-  // Neighbor lists come out sorted by construction order, but keep the
-  // invariant explicit for downstream deterministic iteration.
-  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
 }
 
 Topology Topology::WithFailures(
