@@ -1,5 +1,7 @@
 #include "runtime/detector.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace m2m {
@@ -10,6 +12,36 @@ FailureDetector::FailureDetector(const Topology& topology,
   M2M_CHECK_GE(options_.suspicion_threshold, 1);
   M2M_CHECK_GE(options_.probe_attempts, 1);
   M2M_CHECK_GE(options_.probation_rounds, 1);
+  M2M_CHECK_GE(options_.probation_backoff_factor, 1);
+  M2M_CHECK_GE(options_.max_probation_rounds, options_.probation_rounds);
+  M2M_CHECK_GE(options_.flap_forgiveness_rounds, 1);
+}
+
+int FailureDetector::EscalatedProbation(
+    const std::pair<NodeId, NodeId>& link, int round) {
+  if (options_.probation_backoff_factor <= 1) return options_.probation_rounds;
+  auto it = flaps_.find(link);
+  if (it != flaps_.end() && it->second.last_readmit_round >= 0 &&
+      round - it->second.last_readmit_round >
+          options_.flap_forgiveness_rounds) {
+    // The link behaved for a full forgiveness window since its last
+    // readmission: wipe the streak so this suspicion starts from the base
+    // probation again.
+    flaps_.erase(it);
+    it = flaps_.end();
+  }
+  FlapRecord& record = it == flaps_.end() ? flaps_[link] : it->second;
+  const int prior = record.resuspicions;
+  ++record.resuspicions;
+  int required = options_.probation_rounds;
+  for (int i = 0; i < prior; ++i) {
+    if (required > options_.max_probation_rounds /
+                       options_.probation_backoff_factor) {
+      return options_.max_probation_rounds;
+    }
+    required *= options_.probation_backoff_factor;
+  }
+  return std::min(required, options_.max_probation_rounds);
 }
 
 FailureDetector::RoundReport FailureDetector::ObserveRound(
@@ -63,8 +95,11 @@ FailureDetector::RoundReport FailureDetector::ObserveRound(
         if (evidence) {
           missed_[link] = 0;
           if (++suspicion_it->second.probation_progress >=
-              options_.probation_rounds) {
+              suspicion_it->second.required_probation) {
             suspected_.erase(suspicion_it);
+            if (options_.probation_backoff_factor > 1) {
+              flaps_[link].last_readmit_round = round;
+            }
             report.readmitted.push_back(
                 SuspectedLink{monitor, neighbor, round});
           }
@@ -81,7 +116,8 @@ FailureDetector::RoundReport FailureDetector::ObserveRound(
       }
       const int missed = ++missed_[link];
       if (missed >= options_.suspicion_threshold) {
-        suspected_.emplace(link, Suspicion{round, 0});
+        suspected_.emplace(
+            link, Suspicion{round, 0, EscalatedProbation(link, round)});
         report.new_suspicions.push_back(
             SuspectedLink{monitor, neighbor, round});
       }
@@ -120,6 +156,17 @@ int FailureDetector::probation_link_count() const {
 int FailureDetector::missed_rounds(NodeId monitor, NodeId neighbor) const {
   auto it = missed_.find({monitor, neighbor});
   return it == missed_.end() ? 0 : it->second;
+}
+
+int FailureDetector::required_probation(NodeId monitor,
+                                        NodeId neighbor) const {
+  auto it = suspected_.find({monitor, neighbor});
+  return it == suspected_.end() ? 0 : it->second.required_probation;
+}
+
+int FailureDetector::flap_count(NodeId monitor, NodeId neighbor) const {
+  auto it = flaps_.find({monitor, neighbor});
+  return it == flaps_.end() ? 0 : it->second.resuspicions;
 }
 
 }  // namespace m2m

@@ -30,6 +30,24 @@ struct DetectorOptions {
   /// only after `probation_rounds` consecutive proofs of life — keeps a
   /// flapping link from oscillating the plan.
   int probation_rounds = 2;
+  /// Flap damping for mobile links: each re-suspicion that follows a
+  /// recent readmission of the same link multiplies its next probation by
+  /// this factor, so a link that keeps making and breaking (a node
+  /// drifting along the range boundary) settles into a long quarantine
+  /// instead of storming the planner with suspect/readmit cycles. 1 (the
+  /// default) disables escalation and reproduces the legacy behavior
+  /// byte for byte.
+  int probation_backoff_factor = 1;
+  /// Hard cap on any link's effective probation. The cap is what makes
+  /// damping safe: suspicion may escalate but can never become sticky —
+  /// once a flapping link genuinely stabilizes, it is readmitted within
+  /// `max_probation_rounds` consecutive evidence rounds, never exiled
+  /// permanently (pinned by the oscillating-link regression).
+  int max_probation_rounds = 64;
+  /// A link whose last readmission lies more than this many rounds in the
+  /// past is forgiven: its next suspicion starts from the base probation
+  /// again rather than the escalated one.
+  int flap_forgiveness_rounds = 64;
 };
 
 /// One monitor's verdict about the directed link to a topology neighbor.
@@ -132,6 +150,14 @@ class FailureDetector {
   /// Consecutive missed rounds for a directed monitor->neighbor pair.
   int missed_rounds(NodeId monitor, NodeId neighbor) const;
 
+  /// Effective probation the current suspicion of this link must serve
+  /// (base probation escalated by flap damping); 0 if not suspected.
+  int required_probation(NodeId monitor, NodeId neighbor) const;
+
+  /// Re-suspicions of this link within the forgiveness window (its flap
+  /// score); 0 for a link with no recent flap history.
+  int flap_count(NodeId monitor, NodeId neighbor) const;
+
   const DetectorOptions& options() const { return options_; }
 
   /// First attempt index of the probe / probe-reply attempt namespaces.
@@ -145,9 +171,23 @@ class FailureDetector {
   struct Suspicion {
     int raised_round = -1;
     /// Consecutive evidence rounds while suspected; readmit at
-    /// `probation_rounds`. 0 = not in probation.
+    /// `required_probation`. 0 = not in probation.
     int probation_progress = 0;
+    /// Evidence rounds this suspicion must serve before readmission:
+    /// `probation_rounds` escalated by the link's flap score, capped at
+    /// `max_probation_rounds`.
+    int required_probation = 0;
   };
+
+  /// Flap-damping memory for one directed link.
+  struct FlapRecord {
+    int resuspicions = 0;       ///< Suspicions since the streak started.
+    int last_readmit_round = -1;
+  };
+
+  /// Effective probation for a suspicion of `link` raised at `round`,
+  /// updating (or forgiving) the link's flap record.
+  int EscalatedProbation(const std::pair<NodeId, NodeId>& link, int round);
 
   const Topology* topology_;
   DetectorOptions options_;
@@ -155,6 +195,9 @@ class FailureDetector {
   std::map<std::pair<NodeId, NodeId>, int> missed_;
   /// Active suspicions keyed (monitor, neighbor).
   std::map<std::pair<NodeId, NodeId>, Suspicion> suspected_;
+  /// Flap history keyed (monitor, neighbor); entries are dropped when the
+  /// forgiveness window elapses.
+  std::map<std::pair<NodeId, NodeId>, FlapRecord> flaps_;
 };
 
 }  // namespace m2m

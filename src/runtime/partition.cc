@@ -1,0 +1,69 @@
+#include "runtime/partition.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace m2m {
+
+std::vector<NodeId> ComponentMap::Members(int c) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < static_cast<NodeId>(component.size()); ++n) {
+    if (component[static_cast<size_t>(n)] == c) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<int> ComponentMap::Sizes() const {
+  std::vector<int> sizes(static_cast<size_t>(component_count), 0);
+  for (int c : component) {
+    if (c >= 0) ++sizes[static_cast<size_t>(c)];
+  }
+  return sizes;
+}
+
+ComponentMap BuildComponents(const Topology& topology) {
+  return BuildComponents(topology, {}, {});
+}
+
+ComponentMap BuildComponents(
+    const Topology& topology,
+    const std::vector<std::pair<NodeId, NodeId>>& down_links,
+    const std::vector<NodeId>& dead_nodes) {
+  const int n = topology.node_count();
+  std::set<std::pair<NodeId, NodeId>> down;
+  for (const auto& [a, b] : down_links) {
+    down.emplace(std::min(a, b), std::max(a, b));
+  }
+  std::vector<bool> dead(static_cast<size_t>(n), false);
+  for (NodeId d : dead_nodes) dead[static_cast<size_t>(d)] = true;
+
+  ComponentMap map;
+  map.component.assign(static_cast<size_t>(n), -1);
+  for (NodeId start = 0; start < n; ++start) {
+    if (dead[static_cast<size_t>(start)] ||
+        map.component[static_cast<size_t>(start)] >= 0) {
+      continue;
+    }
+    const int label = map.component_count++;
+    std::queue<NodeId> frontier;
+    map.component[static_cast<size_t>(start)] = label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : topology.neighbors(u)) {
+        if (dead[static_cast<size_t>(v)] ||
+            map.component[static_cast<size_t>(v)] >= 0 ||
+            down.contains({std::min(u, v), std::max(u, v)})) {
+          continue;
+        }
+        map.component[static_cast<size_t>(v)] = label;
+        frontier.push(v);
+      }
+    }
+  }
+  return map;
+}
+
+}  // namespace m2m

@@ -1,0 +1,45 @@
+#ifndef M2M_RUNTIME_PARTITION_H_
+#define M2M_RUNTIME_PARTITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "topology/topology.h"
+
+namespace m2m {
+
+/// Connected-component labeling of a (possibly failure- or
+/// mobility-masked) topology: the partition-tolerance layer's ground truth
+/// and belief substrate. Components are numbered 0.. in order of their
+/// lowest member id, so the labeling is deterministic. Dead nodes carry
+/// component -1.
+struct ComponentMap {
+  std::vector<int> component;  ///< Per node; -1 for dead nodes.
+  int component_count = 0;
+
+  int ComponentOf(NodeId n) const {
+    return component[static_cast<size_t>(n)];
+  }
+  bool SameComponent(NodeId a, NodeId b) const {
+    return ComponentOf(a) >= 0 && ComponentOf(a) == ComponentOf(b);
+  }
+  /// Members of component `c`, ascending.
+  std::vector<NodeId> Members(int c) const;
+  /// Size of each component, indexed by component id.
+  std::vector<int> Sizes() const;
+};
+
+/// Components of `topology`'s own adjacency.
+ComponentMap BuildComponents(const Topology& topology);
+
+/// Components of `topology` minus `down_links` (undirected) and every link
+/// incident to a node in `dead_nodes`. Dead nodes get component -1.
+ComponentMap BuildComponents(
+    const Topology& topology,
+    const std::vector<std::pair<NodeId, NodeId>>& down_links,
+    const std::vector<NodeId>& dead_nodes);
+
+}  // namespace m2m
+
+#endif  // M2M_RUNTIME_PARTITION_H_

@@ -6,6 +6,7 @@
 
 #include "agg/partial_record.h"
 #include "common/check.h"
+#include "runtime/partition.h"
 
 namespace m2m {
 
@@ -109,19 +110,50 @@ bool SuspicionLedger::RecordReadmission(NodeId monitor, NodeId neighbor) {
 
 void SuspicionLedger::Recompute() {
   links_.assign(reported_.begin(), reported_.end());
-  // Dead-node inference: mask only the believed links, then everything the
-  // base station can no longer reach must be dead (survivors stay
-  // connected by the deployment invariant).
-  Topology masked = Topology::WithFailures(*topology_, links_, {});
-  std::vector<int> distance = masked.HopDistancesFrom(base_);
   dead_.clear();
-  for (NodeId n = 0; n < topology_->node_count(); ++n) {
-    if (distance[n] < 0) dead_.push_back(n);
+  partitioned_.clear();
+  partition_regions_ = 0;
+  if (!partition_aware_) {
+    // Dead-node inference: mask only the believed links, then everything
+    // the base station can no longer reach must be dead (survivors stay
+    // connected by the deployment invariant).
+    Topology masked = Topology::WithFailures(*topology_, links_, {});
+    std::vector<int> distance = masked.HopDistancesFrom(base_);
+    for (NodeId n = 0; n < topology_->node_count(); ++n) {
+      if (distance[n] < 0) dead_.push_back(n);
+    }
+    return;
   }
+  // Partition-aware classification: mobility voids the survivors-stay-
+  // connected invariant, so an unreachable node may be alive. Component
+  // analysis of the belief graph separates the cases: a singleton
+  // unreachable component means every link of that node was independently
+  // reported failed — radio-silent from all sides, believed dead. A
+  // multi-node unreachable component is an island whose *internal* links
+  // nobody reported; the conservative belief is a live partition.
+  ComponentMap components = BuildComponents(*topology_, links_, {});
+  const int base_component = components.ComponentOf(base_);
+  std::vector<int> sizes = components.Sizes();
+  std::set<int> partition_components;
+  for (NodeId n = 0; n < topology_->node_count(); ++n) {
+    const int c = components.ComponentOf(n);
+    if (c == base_component) continue;
+    if (sizes[static_cast<size_t>(c)] <= 1) {
+      dead_.push_back(n);
+    } else {
+      partitioned_.push_back(n);
+      partition_components.insert(c);
+    }
+  }
+  partition_regions_ = static_cast<int>(partition_components.size());
 }
 
 Topology SuspicionLedger::BelievedTopology() const {
-  return Topology::WithFailures(*topology_, links_, dead_);
+  std::vector<NodeId> masked_nodes = dead_;
+  masked_nodes.insert(masked_nodes.end(), partitioned_.begin(),
+                      partitioned_.end());
+  std::sort(masked_nodes.begin(), masked_nodes.end());
+  return Topology::WithFailures(*topology_, links_, masked_nodes);
 }
 
 }  // namespace m2m

@@ -59,11 +59,34 @@ BaseStationRoundResult SimulateBaseStationRound(const Topology& topology,
 ///     suspected link can only be a node whose links all failed — i.e. a
 ///     dead node, since its neighbors each reported their link to it.
 ///
+/// Under *mobility* the survivors-stay-connected invariant no longer holds:
+/// a drifting cluster can carry a whole region out of range, leaving nodes
+/// unreachable yet alive. `set_partition_aware(true)` switches the
+/// unreachability inference to component analysis: an unreachable node is
+/// believed *dead* only when it is isolated even in the unmasked belief
+/// graph restricted to unreachable nodes (a singleton component — every one
+/// of its own links was reported failed, which only total radio silence or
+/// death produces). Unreachable nodes that still form a multi-node island
+/// are believed *partitioned*: alive, holding state, and expected to merge
+/// back later. The distinction is what lets the runtime (a) report degraded
+/// coverage with a partition cause instead of a stale "complete", and (b)
+/// force full-image reconciliation when the island reconnects.
+///
 /// Each change to the belief set bumps `revision`, which is the base
 /// station's trigger to re-plan and open a new plan epoch.
 class SuspicionLedger {
  public:
   SuspicionLedger(const Topology* topology, NodeId base_station);
+
+  /// Enables partition-aware unreachability classification. Off (legacy)
+  /// every unreachable node is believed dead, which is exactly right under
+  /// the static fault model and keeps pre-mobility runs byte-identical.
+  void set_partition_aware(bool aware) {
+    if (partition_aware_ == aware) return;
+    partition_aware_ = aware;
+    Recompute();
+  }
+  bool partition_aware() const { return partition_aware_; }
 
   /// Records one reported suspicion. Returns true iff it was new (its
   /// undirected link was not yet believed failed).
@@ -85,7 +108,19 @@ class SuspicionLedger {
   /// Nodes the base station believes dead, sorted by id.
   const std::vector<NodeId>& believed_dead() const { return dead_; }
 
-  /// The failure-masked topology the base station plans against.
+  /// Nodes the base station believes alive but partitioned away (always
+  /// empty unless partition-aware), sorted by id.
+  const std::vector<NodeId>& believed_partitioned() const {
+    return partitioned_;
+  }
+
+  /// Number of disconnected multi-node islands currently believed to exist
+  /// beyond the base station's region (0 when no partition is believed).
+  int partition_region_count() const { return partition_regions_; }
+
+  /// The failure-masked topology the base station plans against. Both dead
+  /// and partitioned nodes are masked out: the planner must not route
+  /// through either, whatever the cause.
   Topology BelievedTopology() const;
 
   /// Bumped on every belief change; equal revisions mean equal beliefs.
@@ -96,9 +131,12 @@ class SuspicionLedger {
 
   const Topology* topology_;
   NodeId base_;
+  bool partition_aware_ = false;
   std::set<std::pair<NodeId, NodeId>> reported_;  // Normalized (lo, hi).
   std::vector<std::pair<NodeId, NodeId>> links_;
   std::vector<NodeId> dead_;
+  std::vector<NodeId> partitioned_;
+  int partition_regions_ = 0;
   int revision_ = 0;
 };
 

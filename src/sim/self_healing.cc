@@ -60,12 +60,14 @@ SelfHealingRuntime::SelfHealingRuntime(const Topology& topology,
       network_(*compiled_, workload.functions),
       detector_(topology, options.detector),
       ledger_(&topology, base_station),
-      control_paths_(topology) {
+      control_paths_(topology),
+      deployment_paths_(topology) {
   M2M_CHECK(base_ >= 0 && base_ < topology.node_count());
   M2M_CHECK(options_.control_hop_attempts >= 1 &&
             options_.control_hop_attempts <= 16)
       << "control_hop_attempts must fit the per-hop attempt namespace";
   M2M_CHECK_GE(options_.resend_after_rounds, 1);
+  ledger_.set_partition_aware(options_.partition_aware);
   epoch_opened_round_[0] = -1;
 }
 
@@ -99,6 +101,16 @@ void SelfHealingRuntime::set_metrics(obs::MetricsRegistry* metrics) {
   handles_.probation_rounds = metrics_->Counter("readmit.probation_rounds");
   handles_.epoch_reconciliations =
       metrics_->Counter("readmit.epoch_reconciliations");
+  handles_.believed_partitioned =
+      metrics_->Gauge("partition.believed_partitioned");
+  handles_.partition_events = metrics_->Counter("partition.partition_events");
+  handles_.merge_events = metrics_->Counter("partition.merge_events");
+  handles_.merge_reconciliations =
+      metrics_->Counter("partition.merge_reconciliations");
+  handles_.epoch_divergences =
+      metrics_->Counter("partition.epoch_divergences");
+  handles_.degraded_destination_rounds =
+      metrics_->Counter("partition.degraded_destination_rounds");
 }
 
 int SelfHealingRuntime::pending_installs() const {
@@ -185,6 +197,10 @@ SelfHealingRoundResult SelfHealingRuntime::RunRound(
   // ...which gets its first advance within the same round (messages already
   // advanced this round are skipped, so nothing moves twice).
   AdvanceControlPlane(round, physical, result, trace);
+
+  if (options_.partition_aware) {
+    ComputePartitionStatus(result);
+  }
 
   result.base_epoch = epoch_;
   result.pending_installs = pending_installs();
@@ -316,10 +332,19 @@ void SelfHealingRuntime::AdvanceControlPlane(int round,
     while (in_flight_[i].holder != in_flight_[i].target) {
       const NodeId holder = in_flight_[i].holder;
       const NodeId target = in_flight_[i].target;
-      if (control_paths_.PathWeight(holder, target) == kUnreachableWeight) {
-        break;  // No believed route right now; retry after the next report.
+      // Prefer the believed topology; when it offers no route, fall back
+      // to the deployment route. The message with no believed route may be
+      // the very report that corrects the belief (a merged monitor
+      // retracting the cut it sits behind), and every hop is still gated
+      // by the physical layer below.
+      const PathSystem& paths =
+          control_paths_.PathWeight(holder, target) == kUnreachableWeight
+              ? deployment_paths_
+              : control_paths_;
+      if (paths.PathWeight(holder, target) == kUnreachableWeight) {
+        break;  // Physically severed deployment; retry next round.
       }
-      const NodeId next = control_paths_.NextHop(holder, target);
+      const NodeId next = paths.NextHop(holder, target);
       int attempt_base = 0;
       switch (in_flight_[i].kind) {
         case ControlMessage::Kind::kReport:
@@ -368,7 +393,7 @@ void SelfHealingRuntime::AdvanceControlPlane(int round,
 }
 
 void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
-                                        int round, EventTrace* trace) {
+                                        int round, EventTrace* /*trace*/) {
   switch (message.kind) {
     case ControlMessage::Kind::kReport: {
       auto report = wire::TryDecodeSuspicionReport(message.payload);
@@ -390,6 +415,14 @@ void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
       MonitorOutbox& outbox = monitor_outbox_[report->monitor];
       for (const auto& entry : report->entries) {
         outbox.pending.erase(entry);
+        // The ack proves the base recorded this suspicion. If the monitor
+        // has since readmitted the link, the acked verdict is already
+        // stale — without a fresh retraction a late-delivered report would
+        // poison the ledger for good (the monitor otherwise has nothing
+        // left queued to correct it).
+        if (!detector_.Suspects(report->monitor, entry.first)) {
+          outbox.retractions.emplace(entry.first, round);
+        }
       }
       for (const auto& entry : report->retractions) {
         outbox.retractions.erase(entry);
@@ -404,8 +437,11 @@ void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
       M2M_CHECK(image.has_value())
           << "plan image for node " << message.target
           << " failed its CRC32 frame check";
-      network_.InstallNodeImage(message.target, *image,
-                                SegmentsFor(message.target));
+      if (!network_.InstallNodeImage(message.target, *image,
+                                     SegmentsFor(message.target))) {
+        RecordEpochDivergence(message.target);
+        break;  // No ack: the install stays pending for the next epoch.
+      }
       QueueControl(ControlMessage::Kind::kAck, message.target, base_,
                    wire::EncodeInstallAck(message.target, message.epoch),
                    message.epoch);
@@ -417,8 +453,11 @@ void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
       if (*epoch != epoch_) break;  // Superseded mid-flight.
       // The bump re-stamps tables the node already holds: only 5 bytes
       // traveled, but the install path is the same as for a full image.
-      network_.InstallNodeImage(message.target, images_[message.target],
-                                SegmentsFor(message.target));
+      if (!network_.InstallNodeImage(message.target, images_[message.target],
+                                     SegmentsFor(message.target))) {
+        RecordEpochDivergence(message.target);
+        break;
+      }
       QueueControl(ControlMessage::Kind::kAck, message.target, base_,
                    wire::EncodeInstallAck(message.target, *epoch), *epoch);
       break;
@@ -437,28 +476,77 @@ void SelfHealingRuntime::DeliverControl(const ControlMessage& message,
   }
 }
 
+void SelfHealingRuntime::RecordEpochDivergence(NodeId node) {
+  foreign_epoch_max_ =
+      std::max(foreign_epoch_max_, network_.plan_epoch(node));
+  epoch_divergence_pending_ = true;
+  diverged_nodes_.insert(node);
+  if (metrics_ != nullptr) {
+    metrics_->AddNode(handles_.epoch_divergences, node, 1);
+  }
+}
+
+void SelfHealingRuntime::RebuildBelievedWorkload() {
+  workload_ = original_workload_;
+  if (!options_.partition_aware) {
+    // Believed-dead nodes stop being sources (paper section 3: membership
+    // changes shrink the workload, then the plan is patched locally). The
+    // believed workload is recomputed from the original on every belief
+    // change, so a readmitted node resumes as a source.
+    for (NodeId dead : ledger_.believed_dead()) {
+      for (const Task& task : std::vector<Task>(workload_.tasks)) {
+        if (Contains(task.sources, dead)) {
+          workload_ = WithSourceRemoved(workload_, dead, task.destination);
+        }
+      }
+    }
+    return;
+  }
+  // Partition-aware: unreachable is dead OR partitioned, and a partition
+  // can swallow a task whole — its destination, or its every source —
+  // which WithSourceRemoved cannot express (it forbids emptying a task).
+  // Filter the tasks directly: drop tasks with an unreachable destination,
+  // strip unreachable sources, drop tasks left without sources. The
+  // dropped tasks are not forgotten — they live on in original_workload_
+  // and in the round result's partition-status overlay, and come back
+  // verbatim when the island merges.
+  std::set<NodeId> unreachable(ledger_.believed_dead().begin(),
+                               ledger_.believed_dead().end());
+  unreachable.insert(ledger_.believed_partitioned().begin(),
+                     ledger_.believed_partitioned().end());
+  if (unreachable.empty()) return;
+  Workload pruned;
+  for (size_t i = 0; i < workload_.tasks.size(); ++i) {
+    Task task = workload_.tasks[i];
+    FunctionSpec spec = workload_.specs[i];
+    if (unreachable.contains(task.destination)) continue;
+    std::erase_if(task.sources, [&unreachable](NodeId s) {
+      return unreachable.contains(s);
+    });
+    std::erase_if(spec.weights, [&unreachable](const auto& entry) {
+      return unreachable.contains(entry.first);
+    });
+    if (task.sources.empty()) continue;
+    pruned.tasks.push_back(std::move(task));
+    pruned.specs.push_back(std::move(spec));
+  }
+  pruned.RebuildFunctions();
+  workload_ = std::move(pruned);
+}
+
 void SelfHealingRuntime::MaybeReplan(int round,
                                      SelfHealingRoundResult& result,
                                      EventTrace* trace) {
   if (ledger_.revision() == ledger_revision_applied_ &&
-      workload_revision_ == workload_revision_applied_) {
+      workload_revision_ == workload_revision_applied_ &&
+      !epoch_divergence_pending_) {
     return;
   }
   ledger_revision_applied_ = ledger_.revision();
   workload_revision_applied_ = workload_revision_;
+  epoch_divergence_pending_ = false;
 
-  // Believed-dead nodes stop being sources (paper section 3: membership
-  // changes shrink the workload, then the plan is patched locally). The
-  // believed workload is recomputed from the original on every belief
-  // change, so a readmitted node resumes as a source.
-  workload_ = original_workload_;
-  for (NodeId dead : ledger_.believed_dead()) {
-    for (const Task& task : std::vector<Task>(workload_.tasks)) {
-      if (Contains(task.sources, dead)) {
-        workload_ = WithSourceRemoved(workload_, dead, task.destination);
-      }
-    }
-  }
+  RebuildBelievedWorkload();
   // Nodes leaving the believed-dead set rebooted with whatever epoch they
   // last installed; their actual tables are unknown to the image diff
   // below, so they are forced a full image (lineage reconciliation:
@@ -470,13 +558,35 @@ void SelfHealingRuntime::MaybeReplan(int round,
     }
   }
   believed_dead_applied_ = ledger_.believed_dead();
+  // Nodes leaving the believed-partitioned set merged back after running
+  // (possibly many) rounds on their own — a rejoin in all but name. Each
+  // gets the same treatment as a readmitted rebooter: a forced full
+  // CRC-framed image, counted as a merge reconciliation.
+  std::vector<NodeId> merged_nodes;
+  for (NodeId node : believed_partitioned_applied_) {
+    if (!Contains(ledger_.believed_partitioned(), node) &&
+        !Contains(ledger_.believed_dead(), node)) {
+      merged_nodes.push_back(node);
+    }
+  }
+  believed_partitioned_applied_ = ledger_.believed_partitioned();
+  // Nodes that rejected an install with a higher epoch (the far side of a
+  // split replanned independently) are likewise forced a full image under
+  // the reconciling epoch below.
+  std::vector<NodeId> diverged_nodes(diverged_nodes_.begin(),
+                                     diverged_nodes_.end());
+  diverged_nodes_.clear();
 
   PathSystem believed_paths(ledger_.BelievedTopology());
   UpdateStats stats;
   GlobalPlan patched = ReplanForTopology(plan_, believed_paths,
                                          workload_.tasks,
                                          workload_.functions, &stats);
-  const uint32_t new_epoch = epoch_ + 1;
+  // The reconciling epoch must supersede every lineage it has seen —
+  // including epochs a partitioned island opened while split. Higher epoch
+  // wins at every node, so opening above max(ours, theirs) converges both
+  // sides onto this plan.
+  const uint32_t new_epoch = std::max(epoch_, foreign_epoch_max_) + 1;
   auto new_compiled = std::make_shared<CompiledPlan>(CompiledPlan::Compile(
       patched, workload_.functions, MergePolicy::kGreedyMergePerEdge,
       new_epoch));
@@ -499,16 +609,22 @@ void SelfHealingRuntime::MaybeReplan(int round,
 
   int images_queued = 0;
   int bumps_queued = 0;
+  auto unreachable_now = [this](NodeId node) {
+    return Contains(ledger_.believed_dead(), node) ||
+           Contains(ledger_.believed_partitioned(), node);
+  };
   for (const NodeImageDelta& delta : deltas) {
-    if (Contains(ledger_.believed_dead(), delta.node)) {
-      continue;  // Nothing can be installed at a dead node.
+    if (unreachable_now(delta.node)) {
+      continue;  // Nothing can be installed at a dead or cut-off node.
     }
     if (delta.node == base_) {
       // The base station installs its own image locally, for free.
       network_.InstallNodeImage(base_, images_[base_], SegmentsFor(base_));
       continue;
     }
-    const bool force_image = Contains(readmitted_nodes, delta.node);
+    const bool force_image = Contains(readmitted_nodes, delta.node) ||
+                             Contains(merged_nodes, delta.node) ||
+                             Contains(diverged_nodes, delta.node);
     PendingInstall pending;
     pending.is_bump = !delta.ship_image && !force_image;
     pending_installs_.emplace(delta.node, pending);
@@ -519,11 +635,12 @@ void SelfHealingRuntime::MaybeReplan(int round,
     }
   }
   // The diff only covers nodes whose image content changed or is non-empty,
-  // but a rejoiner's actual tables are unknown regardless — it may hold no
-  // delta entry yet still carry stale pre-death state. Every readmitted
-  // node gets a full framed image, diff or not.
-  for (NodeId node : readmitted_nodes) {
-    if (node == base_ || Contains(ledger_.believed_dead(), node)) continue;
+  // but a rejoiner's (or merger's, or diverged node's) actual tables are
+  // unknown regardless — it may hold no delta entry yet still carry stale
+  // or foreign-lineage state. Every such node gets a full framed image,
+  // diff or not.
+  auto force_full_image = [&](NodeId node, obs::MetricHandle counter) {
+    if (node == base_ || unreachable_now(node)) return;
     auto [it, inserted] = pending_installs_.emplace(node, PendingInstall{});
     if (inserted) {
       it->second.is_bump = false;
@@ -534,8 +651,20 @@ void SelfHealingRuntime::MaybeReplan(int round,
       ++images_queued;
     }
     if (metrics_ != nullptr) {
-      metrics_->AddNode(handles_.epoch_reconciliations, node, 1);
+      metrics_->AddNode(counter, node, 1);
     }
+  };
+  for (NodeId node : readmitted_nodes) {
+    force_full_image(node, handles_.epoch_reconciliations);
+  }
+  for (NodeId node : merged_nodes) {
+    force_full_image(node, handles_.merge_reconciliations);
+  }
+  for (NodeId node : diverged_nodes) {
+    if (Contains(readmitted_nodes, node) || Contains(merged_nodes, node)) {
+      continue;  // Already forced (and counted) above.
+    }
+    force_full_image(node, handles_.epoch_reconciliations);
   }
 
   result.replanned = true;
@@ -553,6 +682,62 @@ void SelfHealingRuntime::MaybeReplan(int round,
                   images_queued, bumps_queued, stats.edges_reused,
                   stats.edges_reoptimized);
   }
+}
+
+void SelfHealingRuntime::ComputePartitionStatus(
+    SelfHealingRoundResult& result) {
+  const std::vector<NodeId>& dead = ledger_.believed_dead();
+  const std::vector<NodeId>& parted = ledger_.believed_partitioned();
+  result.believed_partitioned = parted;
+
+  int degraded_destinations = 0;
+  for (size_t i = 0; i < original_workload_.tasks.size(); ++i) {
+    const Task& task = original_workload_.tasks[i];
+    DestinationPartitionStatus status;
+    status.destination_reachable = !Contains(dead, task.destination) &&
+                                   !Contains(parted, task.destination);
+    status.expected_original = static_cast<int>(task.sources.size());
+    for (NodeId source : task.sources) {
+      if (Contains(dead, source)) {
+        status.dead_sources.push_back(source);
+      } else if (Contains(parted, source)) {
+        status.partitioned_sources.push_back(source);
+      } else {
+        ++status.believed_covered;
+      }
+    }
+    status.original_coverage =
+        status.expected_original == 0
+            ? 1.0
+            : static_cast<double>(status.believed_covered) /
+                  status.expected_original;
+    status.degraded = !status.destination_reachable ||
+                      !status.dead_sources.empty() ||
+                      !status.partitioned_sources.empty();
+    status.degraded_by_partition =
+        Contains(parted, task.destination) ||
+        !status.partitioned_sources.empty();
+    if (status.degraded) ++degraded_destinations;
+    result.partition_status[task.destination] = std::move(status);
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->Set(handles_.believed_partitioned,
+                  static_cast<int64_t>(parted.size()));
+    for (NodeId node : parted) {
+      if (!Contains(believed_partitioned_last_, node)) {
+        metrics_->AddNode(handles_.partition_events, node, 1);
+      }
+    }
+    for (NodeId node : believed_partitioned_last_) {
+      if (!Contains(parted, node)) {
+        metrics_->AddNode(handles_.merge_events, node, 1);
+      }
+    }
+    metrics_->Add(handles_.degraded_destination_rounds,
+                  degraded_destinations);
+  }
+  believed_partitioned_last_ = parted;
 }
 
 }  // namespace m2m

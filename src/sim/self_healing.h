@@ -33,6 +33,43 @@ struct SelfHealingOptions {
   /// Rounds a sender waits for an end-to-end acknowledgment before
   /// re-emitting a control message (covers holders dying mid-route).
   int resend_after_rounds = 3;
+  /// Partition tolerance for mobile deployments. When on, the ledger
+  /// classifies unreachable regions by component analysis (alive island vs
+  /// dead node, see SuspicionLedger), the per-round result carries a
+  /// partition-status overlay for every original destination (partitioned
+  /// destinations report *degraded with a partition cause*, never a stale
+  /// "complete"), and nodes returning from a believed partition are forced
+  /// a full CRC-framed image on merge (both sides may have bumped epochs
+  /// independently while split). Off (default) reproduces the legacy
+  /// fail-stop behavior byte for byte.
+  bool partition_aware = false;
+};
+
+/// The base station's verdict on one *original-workload* destination under
+/// partition awareness: what the configured query expects vs what the
+/// current beliefs say is deliverable. This is the "never stale complete"
+/// surface — a destination cut off from some sources is reported degraded
+/// with its cause, even in rounds where the shrunken believed plan
+/// completed perfectly.
+struct DestinationPartitionStatus {
+  /// False iff the destination itself is believed dead or partitioned away
+  /// from the base station's region.
+  bool destination_reachable = true;
+  /// Sources the original workload configures for this destination.
+  int expected_original = 0;
+  /// Of those, sources believed reachable (not dead, not partitioned).
+  int believed_covered = 0;
+  /// believed_covered / max(expected_original, 1).
+  double original_coverage = 1.0;
+  /// Original sources currently believed alive but partitioned away.
+  std::vector<NodeId> partitioned_sources;
+  /// Original sources currently believed dead.
+  std::vector<NodeId> dead_sources;
+  /// True iff any original source (or the destination) is cut off.
+  bool degraded = false;
+  /// True iff the degradation involves a believed partition (as opposed to
+  /// believed deaths only).
+  bool degraded_by_partition = false;
 };
 
 /// Outcome of one self-healed round.
@@ -58,6 +95,11 @@ struct SelfHealingRoundResult {
   uint32_t base_epoch = 0;
   /// Dissemination targets whose install the base has not yet seen acked.
   int pending_installs = 0;
+  /// Partition-status overlay, keyed by original-workload destination.
+  /// Populated only when `partition_aware` is on.
+  std::map<NodeId, DestinationPartitionStatus> partition_status;
+  /// Nodes the base station currently believes partitioned (sorted).
+  std::vector<NodeId> believed_partitioned;
 };
 
 /// The tentpole self-healing loop: aggregation rounds run over lossy links
@@ -137,6 +179,14 @@ class SelfHealingRuntime {
   const SuspicionLedger& ledger() const { return ledger_; }
   const FailureDetector& detector() const { return detector_; }
   const RuntimeNetwork& network() const { return network_; }
+  /// Mutable network access for split-brain experiments: tests drive two
+  /// runtimes over the two sides of a partition and cross-install the far
+  /// side's images to model the island's independent epoch progress.
+  RuntimeNetwork& mutable_network() { return network_; }
+  /// Highest foreign plan epoch observed during installs (a node reporting
+  /// a newer epoch than this base station ever opened — evidence the other
+  /// side of a healed partition replanned independently). 0 if none.
+  uint32_t foreign_epoch_max() const { return foreign_epoch_max_; }
   /// Dissemination targets not yet known-installed for the current epoch.
   int pending_installs() const;
   /// Round at which each epoch was opened (epoch -> round); epoch 0 maps
@@ -169,6 +219,19 @@ class SelfHealingRuntime {
                    EventTrace* trace);
   void RefreshControlPaths();
   std::vector<std::vector<NodeId>> SegmentsFor(NodeId node) const;
+  /// Rebuilds the believed workload from the original under the current
+  /// beliefs. Legacy mode removes believed-dead sources via
+  /// WithSourceRemoved; partition-aware mode additionally drops tasks whose
+  /// destination is unreachable and tasks left without any reachable source
+  /// (a partition may swallow a task whole, which the legacy path cannot
+  /// express).
+  void RebuildBelievedWorkload();
+  /// Fills `result`'s partition-status overlay and partition.* metrics.
+  void ComputePartitionStatus(SelfHealingRoundResult& result);
+  /// Records an install bouncing off a node holding a higher epoch (the
+  /// far side of a healed split replanned on its own): remembers the
+  /// foreign epoch and schedules a reconciliation replan.
+  void RecordEpochDivergence(NodeId node);
 
   /// Pre-resolved metric handles (see RuntimeNetwork::MetricHandles).
   struct MetricHandles {
@@ -189,6 +252,12 @@ class SelfHealingRuntime {
     obs::MetricHandle readmissions;
     obs::MetricHandle probation_rounds;
     obs::MetricHandle epoch_reconciliations;
+    obs::MetricHandle believed_partitioned;
+    obs::MetricHandle partition_events;
+    obs::MetricHandle merge_events;
+    obs::MetricHandle merge_reconciliations;
+    obs::MetricHandle epoch_divergences;
+    obs::MetricHandle degraded_destination_rounds;
   };
 
   const Topology* topology_;
@@ -218,6 +287,14 @@ class SelfHealingRuntime {
   /// report escape a region whose primary path just failed).
   PathSystem control_paths_;
   std::set<std::pair<NodeId, NodeId>> control_paths_suspected_;
+  /// Fallback routes over the full deployment graph, for messages whose
+  /// believed route does not exist: a monitor sitting behind a healed cut
+  /// is the only messenger that can correct the belief, and the believed
+  /// topology routes around the very link its retraction would clear.
+  /// Hops stay attempt-gated by the physical layer, so the fallback can
+  /// only unstick wrongly-routed messages — a genuinely dead link still
+  /// stalls them exactly as before.
+  PathSystem deployment_paths_;
 
   std::vector<ControlMessage> in_flight_;
   int next_seq_ = 0;
@@ -247,6 +324,25 @@ class SelfHealingRuntime {
   /// believed_dead() as of the last applied replan; a node leaving this set
   /// is a readmission and is forced a full image (not a bump).
   std::vector<NodeId> believed_dead_applied_;
+  /// believed_partitioned() as of the last applied replan; a node leaving
+  /// this set is a partition *merge* and is forced a full CRC-framed image
+  /// — its island may have run any number of rounds (and epochs) on its
+  /// own, so nothing short of full reconciliation is sound.
+  std::vector<NodeId> believed_partitioned_applied_;
+  /// believed_partitioned() as of the last round, for partition/merge event
+  /// metrics (tracked per round, not per replan).
+  std::vector<NodeId> believed_partitioned_last_;
+  /// Highest plan epoch seen from a node this base station did not issue —
+  /// the healed far side of a split that replanned independently. A replan
+  /// triggered while this exceeds `epoch_` opens max(ours, theirs) + 1, so
+  /// the reconciling epoch supersedes both lineages.
+  uint32_t foreign_epoch_max_ = 0;
+  /// Set when an install bounced off a higher-epoch node (InstallNodeImage
+  /// returned false); forces a reconciliation replan next round.
+  bool epoch_divergence_pending_ = false;
+  /// Nodes whose installs bounced since the last replan; each is forced a
+  /// full image under the reconciling epoch.
+  std::set<NodeId> diverged_nodes_;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   MetricHandles handles_;
