@@ -134,6 +134,8 @@ struct FunctionSpec {
   std::vector<std::pair<NodeId, double>> weights;
   /// Used by kCountAbove.
   double threshold = 0.0;
+
+  friend bool operator==(const FunctionSpec&, const FunctionSpec&) = default;
 };
 
 /// Builds a function instance from its spec.

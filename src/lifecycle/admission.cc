@@ -33,6 +33,12 @@ std::string ToString(AdmissionReason reason) {
       return "tdma_capacity";
     case AdmissionReason::kEnergyBudget:
       return "energy_budget";
+    case AdmissionReason::kTenantUnknown:
+      return "tenant_unknown";
+    case AdmissionReason::kTenantQuota:
+      return "tenant_quota";
+    case AdmissionReason::kSharedQuery:
+      return "shared_query";
   }
   return "unknown";
 }

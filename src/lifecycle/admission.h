@@ -30,6 +30,10 @@ enum class AdmissionReason : uint8_t {
   kStateBound,    ///< Theorem 3: total table entries over the state bound.
   kTdmaCapacity,  ///< Round schedule would exceed the TDMA slot budget.
   kEnergyBudget,  ///< Some node's per-round radio energy over budget.
+  // --- Tenant policy (multi-tenant frontend, lifecycle/tenant.h) --------
+  kTenantUnknown,  ///< Request from a tenant that was never registered.
+  kTenantQuota,    ///< A per-tenant QoS quota would be exceeded.
+  kSharedQuery,    ///< Source mutation on a query other tenants still hold.
 };
 
 std::string ToString(AdmissionReason reason);

@@ -16,6 +16,16 @@ void SortWeights(FunctionSpec& spec) {
 
 }  // namespace
 
+FunctionSpec CanonicalizeSpec(const FunctionSpec& spec) {
+  FunctionSpec canonical = spec;
+  SortWeights(canonical);
+  return canonical;
+}
+
+bool SpecsEquivalent(const FunctionSpec& a, const FunctionSpec& b) {
+  return CanonicalizeSpec(a) == CanonicalizeSpec(b);
+}
+
 std::vector<NodeId> QueryDefinition::Sources() const {
   std::vector<NodeId> sources;
   sources.reserve(spec.weights.size());
@@ -62,6 +72,7 @@ void QueryCatalog::Admit(const QueryDefinition& query) {
   M2M_CHECK(!query.spec.weights.empty())
       << "query for destination " << query.destination << " has no sources";
   QueryDefinition stored = query;
+  stored.refcount = 1;
   SortWeights(stored.spec);
   for (size_t i = 0; i < stored.spec.weights.size(); ++i) {
     M2M_CHECK(stored.spec.weights[i].first != stored.destination)
@@ -75,10 +86,44 @@ void QueryCatalog::Admit(const QueryDefinition& query) {
   ++version_;
 }
 
+int64_t QueryCatalog::LogicalSize() const {
+  int64_t logical = 0;
+  for (const auto& [destination, query] : queries_) {
+    logical += query.refcount;
+  }
+  return logical;
+}
+
+int QueryCatalog::RefCount(NodeId destination) const {
+  auto it = queries_.find(destination);
+  return it == queries_.end() ? 0 : it->second.refcount;
+}
+
+int QueryCatalog::Acquire(NodeId destination) {
+  auto it = queries_.find(destination);
+  M2M_CHECK(it != queries_.end())
+      << "no query for destination " << destination;
+  return ++it->second.refcount;
+}
+
+int QueryCatalog::Release(NodeId destination) {
+  auto it = queries_.find(destination);
+  M2M_CHECK(it != queries_.end())
+      << "no query for destination " << destination;
+  M2M_CHECK_GE(it->second.refcount, 2)
+      << "releasing the last hold of destination " << destination
+      << " must go through Retire";
+  return --it->second.refcount;
+}
+
 QueryDefinition QueryCatalog::Retire(NodeId destination) {
   auto it = queries_.find(destination);
   M2M_CHECK(it != queries_.end())
       << "no query for destination " << destination;
+  M2M_CHECK_EQ(it->second.refcount, 1)
+      << "retiring destination " << destination
+      << " while other holders remain (refcount " << it->second.refcount
+      << ")";
   QueryDefinition retired = std::move(it->second);
   queries_.erase(it);
   ++version_;

@@ -11,17 +11,36 @@
 
 namespace m2m {
 
+/// Returns `spec` with its weights sorted ascending by source id — the
+/// canonical form under which two query submissions are *the same query*:
+/// equal (destination, canonical spec) pairs plan identically whatever
+/// order their weights arrived in.
+FunctionSpec CanonicalizeSpec(const FunctionSpec& spec);
+
+/// True iff the two specs are byte-identical queries once canonicalized:
+/// same aggregate kind, same threshold, same (source, weight) pairs.
+bool SpecsEquivalent(const FunctionSpec& a, const FunctionSpec& b);
+
 /// One registered query: a destination plus its declarative function spec.
 /// The source set is the spec's weight keys; the catalog keeps the weights
 /// sorted by source id, so every view derived from catalog *content* is
 /// independent of the order in which mutations arrived.
+///
+/// `refcount` counts how many logical admissions (e.g. tenants of the
+/// multi-tenant frontend) currently hold this physical query. It is
+/// bookkeeping *about* the content, not content itself: materialized
+/// workloads, plans, and wire images are refcount-independent.
 struct QueryDefinition {
   NodeId destination = kInvalidNode;
   FunctionSpec spec;
+  int refcount = 1;
 
   /// The query's sources, ascending.
   std::vector<NodeId> Sources() const;
   bool HasSource(NodeId source) const;
+
+  friend bool operator==(const QueryDefinition&,
+                         const QueryDefinition&) = default;
 };
 
 /// The base station's versioned query catalog: the authoritative record of
@@ -29,29 +48,53 @@ struct QueryDefinition {
 /// CHECKed structural preconditions — the lifecycle manager's admission
 /// layer validates (and rejects with a typed reason) *before* mutating, so
 /// a catalog mutation never fails at runtime. `version` bumps on every
-/// successful mutation; equal versions mean equal content.
+/// successful *material* mutation (one that changes the content a plan is
+/// derived from); equal versions mean equal material content. Refcount
+/// traffic (Acquire / Release) never bumps the version — it provably
+/// changes no plan-relevant state.
 class QueryCatalog {
  public:
   QueryCatalog() = default;
 
-  /// Seeds a catalog from a configured workload (one query per task).
+  /// Seeds a catalog from a configured workload (one query per task,
+  /// refcount 1 each).
   static QueryCatalog FromWorkload(const Workload& workload);
 
   bool Contains(NodeId destination) const;
   /// Requires Contains(destination).
   const QueryDefinition& Get(NodeId destination) const;
+  /// Physical queries resident (each counted once however many holders).
   int size() const { return static_cast<int>(queries_.size()); }
+  /// Logical queries resident: the sum of refcounts — what N tenants
+  /// sharing deduped queries would count as their total admissions.
+  int64_t LogicalSize() const;
+  /// Refcount of `destination`'s query; 0 when absent.
+  int RefCount(NodeId destination) const;
   int64_t version() const { return version_; }
   /// All queries, ascending by destination.
   const std::map<NodeId, QueryDefinition>& queries() const {
     return queries_;
   }
 
-  /// Registers a new query. Requires: destination not present, at least
-  /// one source, sources unique, destination not among its own sources.
+  /// Registers a new query at refcount 1. Requires: destination not
+  /// present, at least one source, sources unique, destination not among
+  /// its own sources.
   void Admit(const QueryDefinition& query);
 
-  /// Removes and returns the query. Requires Contains(destination).
+  /// Bumps the refcount of an existing query (an exact resubmission — the
+  /// same canonical (destination, source-set, function) key — from another
+  /// logical holder). No version bump: nothing material changed. Returns
+  /// the new refcount. Requires Contains(destination).
+  int Acquire(NodeId destination);
+
+  /// Drops one logical hold of a query other holders still reference. No
+  /// version bump. Returns the new refcount. Requires Contains(destination)
+  /// and refcount >= 2 — the last hold must go through Retire.
+  int Release(NodeId destination);
+
+  /// Removes and returns the query. Requires Contains(destination) and
+  /// refcount == 1 (callers Release instead while other holders remain, so
+  /// a retire never retracts a query someone still holds).
   QueryDefinition Retire(NodeId destination);
 
   /// Adds `source` to an existing query. Requires the query to exist and
@@ -66,7 +109,11 @@ class QueryCatalog {
   /// destination, sources ascending, functions rebuilt. Deterministic in
   /// catalog content — any mutation history reaching the same content
   /// yields the same workload, and therefore the same plan bytes.
+  /// Refcount-independent: the deduped physical catalog and the logical
+  /// N-tenant view materialize identically.
   Workload ToWorkload() const;
+
+  friend bool operator==(const QueryCatalog&, const QueryCatalog&) = default;
 
  private:
   std::map<NodeId, QueryDefinition> queries_;

@@ -95,8 +95,9 @@ ChurnSchedule ChurnSchedule::Generate(
         break;
       }
       case ChurnType::kRetire: {
-        // The manager refuses to empty the catalog; keep two live queries
-        // so a subsequent retirement still has a target.
+        // Draining to zero is legal at the manager, but keep two live
+        // queries so a subsequent retirement slot still has a target (and
+        // the steady-state experiments keep traffic to measure).
         if (membership.size() <= 2) continue;
         std::vector<NodeId> candidates;
         for (const auto& [destination, sources] : membership) {
@@ -211,6 +212,31 @@ MutationResult ApplyChurnEvent(QueryLifecycleManager& manager,
       return manager.RemoveSource(event.destination, event.source);
   }
   M2M_CHECK(false) << "unreachable churn type";
+}
+
+MutationRequest ToMutationRequest(const ChurnEvent& event) {
+  switch (event.type) {
+    case ChurnType::kAdmit:
+      return MutationRequest::Admit(event.destination, event.spec);
+    case ChurnType::kRetire:
+      return MutationRequest::Retire(event.destination);
+    case ChurnType::kAddSource:
+      return MutationRequest::AddSource(event.destination, event.source,
+                                        event.weight);
+    case ChurnType::kRemoveSource:
+      return MutationRequest::RemoveSource(event.destination, event.source);
+  }
+  M2M_CHECK(false) << "unreachable churn type";
+}
+
+BatchResult ApplyChurnEventsBatched(QueryLifecycleManager& manager,
+                                    const std::vector<ChurnEvent>& events) {
+  std::vector<MutationRequest> requests;
+  requests.reserve(events.size());
+  for (const ChurnEvent& event : events) {
+    requests.push_back(ToMutationRequest(event));
+  }
+  return manager.ApplyBatch(requests);
 }
 
 }  // namespace m2m

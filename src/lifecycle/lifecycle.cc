@@ -30,9 +30,100 @@ constexpr AdmissionReason kAllReasons[] = {
     AdmissionReason::kStateBound,
     AdmissionReason::kTdmaCapacity,
     AdmissionReason::kEnergyBudget,
+    AdmissionReason::kTenantUnknown,
+    AdmissionReason::kTenantQuota,
+    AdmissionReason::kSharedQuery,
 };
 
+MutationOutcome RejectOutcome(AdmissionReason reason, std::string detail) {
+  MutationOutcome outcome;
+  outcome.decision = AdmissionDecision::Reject(reason, std::move(detail));
+  return outcome;
+}
+
 }  // namespace
+
+std::string ToString(MutationType type) {
+  switch (type) {
+    case MutationType::kAdmit:
+      return "admit";
+    case MutationType::kRetire:
+      return "retire";
+    case MutationType::kAddSource:
+      return "add_source";
+    case MutationType::kRemoveSource:
+      return "remove_source";
+  }
+  return "unknown";
+}
+
+MutationRequest MutationRequest::Admit(NodeId destination, FunctionSpec spec) {
+  MutationRequest request;
+  request.type = MutationType::kAdmit;
+  request.destination = destination;
+  request.spec = std::move(spec);
+  return request;
+}
+
+MutationRequest MutationRequest::Retire(NodeId destination) {
+  MutationRequest request;
+  request.type = MutationType::kRetire;
+  request.destination = destination;
+  return request;
+}
+
+MutationRequest MutationRequest::AddSource(NodeId destination, NodeId source,
+                                           double weight) {
+  MutationRequest request;
+  request.type = MutationType::kAddSource;
+  request.destination = destination;
+  request.source = source;
+  request.weight = weight;
+  return request;
+}
+
+MutationRequest MutationRequest::RemoveSource(NodeId destination,
+                                              NodeId source) {
+  MutationRequest request;
+  request.type = MutationType::kRemoveSource;
+  request.destination = destination;
+  request.source = source;
+  return request;
+}
+
+MutationBatch::MutationBatch(QueryLifecycleManager* manager)
+    : manager_(manager) {
+  M2M_CHECK(manager_ != nullptr);
+}
+
+MutationBatch& MutationBatch::Admit(NodeId destination, FunctionSpec spec) {
+  return Push(MutationRequest::Admit(destination, std::move(spec)));
+}
+
+MutationBatch& MutationBatch::Retire(NodeId destination) {
+  return Push(MutationRequest::Retire(destination));
+}
+
+MutationBatch& MutationBatch::AddSource(NodeId destination, NodeId source,
+                                        double weight) {
+  return Push(MutationRequest::AddSource(destination, source, weight));
+}
+
+MutationBatch& MutationBatch::RemoveSource(NodeId destination,
+                                           NodeId source) {
+  return Push(MutationRequest::RemoveSource(destination, source));
+}
+
+MutationBatch& MutationBatch::Push(MutationRequest request) {
+  requests_.push_back(std::move(request));
+  return *this;
+}
+
+BatchResult MutationBatch::Commit() {
+  BatchResult result = manager_->ApplyBatch(requests_);
+  requests_.clear();
+  return result;
+}
 
 QueryLifecycleManager::QueryLifecycleManager(const Topology& topology,
                                              const Workload& initial,
@@ -67,6 +158,7 @@ void QueryLifecycleManager::set_metrics(obs::MetricsRegistry* metrics) {
     handles_.rejections_by_reason.push_back(
         metrics_->Counter("qlm.rejections." + ToString(reason)));
   }
+  handles_.replans = metrics_->Counter("qlm.replans");
   handles_.edges_reused = metrics_->Counter("qlm.replan_edges_reused");
   handles_.edges_reoptimized =
       metrics_->Counter("qlm.replan_edges_reoptimized");
@@ -74,9 +166,15 @@ void QueryLifecycleManager::set_metrics(obs::MetricsRegistry* metrics) {
   handles_.bumps_shipped = metrics_->Counter("qlm.bumps_shipped");
   handles_.delta_state_bytes = metrics_->Counter("qlm.delta_state_bytes");
   handles_.catalog_size = metrics_->Gauge("qlm.catalog_size");
+  handles_.catalog_logical_size = metrics_->Gauge("qlm.catalog_logical_size");
   handles_.catalog_version = metrics_->Gauge("qlm.catalog_version");
-  metrics_->Set(handles_.catalog_size, catalog_.size());
-  metrics_->Set(handles_.catalog_version, catalog_.version());
+  handles_.batch_batches = metrics_->Counter("qlm.batch.batches");
+  handles_.batch_requests = metrics_->Counter("qlm.batch.requests");
+  handles_.batch_commits = metrics_->Counter("qlm.batch.commits");
+  handles_.batch_fallbacks = metrics_->Counter("qlm.batch.fallbacks");
+  handles_.dedup_hits = metrics_->Counter("qlm.dedup.hits");
+  handles_.dedup_releases = metrics_->Counter("qlm.dedup.releases");
+  RefreshCatalogGauges();
 }
 
 bool QueryLifecycleManager::BelievedDead(NodeId node) const {
@@ -84,154 +182,365 @@ bool QueryLifecycleManager::BelievedDead(NodeId node) const {
          Contains(runtime_->ledger().believed_dead(), node);
 }
 
-MutationResult QueryLifecycleManager::Reject(AdmissionReason reason,
-                                             std::string detail) {
-  MutationResult result;
-  result.decision = AdmissionDecision::Reject(reason, std::move(detail));
-  result.catalog_version = catalog_.version();
-  if (metrics_ != nullptr) {
-    metrics_->Add(handles_.rejections, 1);
-    metrics_->Add(
-        handles_.rejections_by_reason[static_cast<size_t>(reason)], 1);
+void QueryLifecycleManager::RecordRejection(AdmissionReason reason) {
+  if (metrics_ == nullptr) return;
+  metrics_->Add(handles_.rejections, 1);
+  metrics_->Add(handles_.rejections_by_reason[static_cast<size_t>(reason)],
+                1);
+}
+
+void QueryLifecycleManager::RefreshCatalogGauges() {
+  if (metrics_ == nullptr) return;
+  metrics_->Set(handles_.catalog_size, catalog_.size());
+  metrics_->Set(handles_.catalog_logical_size, catalog_.LogicalSize());
+  metrics_->Set(handles_.catalog_version, catalog_.version());
+}
+
+MutationOutcome QueryLifecycleManager::ValidateAndApply(
+    QueryCatalog& catalog, const MutationRequest& request) const {
+  const NodeId destination = request.destination;
+  switch (request.type) {
+    case MutationType::kAdmit: {
+      if (destination < 0 || destination >= topology_->node_count()) {
+        std::ostringstream detail;
+        detail << "destination " << destination << " outside the deployment";
+        return RejectOutcome(AdmissionReason::kInvalidNode, detail.str());
+      }
+      if (catalog.Contains(destination)) {
+        // Cross-tenant dedup: resubmitting the exact canonical
+        // (destination, source-set, function) key is an idempotent
+        // refcount acquire; only a *conflicting* spec is a duplicate.
+        if (SpecsEquivalent(catalog.Get(destination).spec, request.spec)) {
+          MutationOutcome outcome;
+          outcome.decision = AdmissionDecision::Admit();
+          outcome.deduplicated = true;
+          outcome.refcount = catalog.Acquire(destination);
+          return outcome;
+        }
+        std::ostringstream detail;
+        detail << "destination " << destination << " already has a query";
+        return RejectOutcome(AdmissionReason::kDuplicateDestination,
+                             detail.str());
+      }
+      if (request.spec.weights.empty()) {
+        return RejectOutcome(AdmissionReason::kEmptySourceSet,
+                             "admission requires at least one source");
+      }
+      std::set<NodeId> seen;
+      for (const auto& [source, weight] : request.spec.weights) {
+        if (source < 0 || source >= topology_->node_count() ||
+            source == destination) {
+          std::ostringstream detail;
+          detail << "source " << source << " invalid for destination "
+                 << destination;
+          return RejectOutcome(AdmissionReason::kInvalidNode, detail.str());
+        }
+        if (!seen.insert(source).second) {
+          std::ostringstream detail;
+          detail << "source " << source << " listed twice";
+          return RejectOutcome(AdmissionReason::kDuplicateSource,
+                               detail.str());
+        }
+      }
+      if (BelievedDead(destination)) {
+        std::ostringstream detail;
+        detail << "destination " << destination << " is believed dead";
+        return RejectOutcome(AdmissionReason::kInvalidNode, detail.str());
+      }
+      // An attached runtime prunes believed-dead sources before planning;
+      // a query left with zero believed-alive sources would be unservable
+      // (and trip the runtime's no-empty-task invariant).
+      if (runtime_ != nullptr) {
+        bool any_alive = false;
+        for (const auto& [source, weight] : request.spec.weights) {
+          any_alive = any_alive || !BelievedDead(source);
+        }
+        if (!any_alive) {
+          std::ostringstream detail;
+          detail << "every source of destination " << destination
+                 << " is believed dead";
+          return RejectOutcome(AdmissionReason::kNoAliveSources,
+                               detail.str());
+        }
+      }
+      QueryDefinition query;
+      query.destination = destination;
+      query.spec = request.spec;
+      catalog.Admit(query);
+      MutationOutcome outcome;
+      outcome.decision = AdmissionDecision::Admit();
+      outcome.refcount = 1;
+      return outcome;
+    }
+    case MutationType::kRetire: {
+      if (!catalog.Contains(destination)) {
+        std::ostringstream detail;
+        detail << "no query for destination " << destination;
+        return RejectOutcome(AdmissionReason::kUnknownDestination,
+                             detail.str());
+      }
+      if (catalog.RefCount(destination) > 1) {
+        // Other holders remain: drop one hold, keep the physical query
+        // (and its trees, tables, and wire images) untouched.
+        MutationOutcome outcome;
+        outcome.decision = AdmissionDecision::Admit();
+        outcome.deduplicated = true;
+        outcome.refcount = catalog.Release(destination);
+        return outcome;
+      }
+      // Last hold: physical retirement. Retiring the final resident query
+      // is legal — the catalog drains to zero and the empty plan
+      // disseminates as retraction images.
+      catalog.Retire(destination);
+      MutationOutcome outcome;
+      outcome.decision = AdmissionDecision::Admit();
+      outcome.refcount = 0;
+      return outcome;
+    }
+    case MutationType::kAddSource: {
+      if (!catalog.Contains(destination)) {
+        std::ostringstream detail;
+        detail << "no query for destination " << destination;
+        return RejectOutcome(AdmissionReason::kUnknownDestination,
+                             detail.str());
+      }
+      const NodeId source = request.source;
+      if (source < 0 || source >= topology_->node_count() ||
+          source == destination) {
+        std::ostringstream detail;
+        detail << "source " << source << " invalid for destination "
+               << destination;
+        return RejectOutcome(AdmissionReason::kInvalidNode, detail.str());
+      }
+      if (catalog.Get(destination).HasSource(source)) {
+        std::ostringstream detail;
+        detail << "source " << source << " already feeds destination "
+               << destination;
+        return RejectOutcome(AdmissionReason::kDuplicateSource,
+                             detail.str());
+      }
+      catalog.AddSource(destination, source, request.weight);
+      MutationOutcome outcome;
+      outcome.decision = AdmissionDecision::Admit();
+      outcome.refcount = catalog.RefCount(destination);
+      return outcome;
+    }
+    case MutationType::kRemoveSource: {
+      if (!catalog.Contains(destination)) {
+        std::ostringstream detail;
+        detail << "no query for destination " << destination;
+        return RejectOutcome(AdmissionReason::kUnknownDestination,
+                             detail.str());
+      }
+      const NodeId source = request.source;
+      const QueryDefinition& query = catalog.Get(destination);
+      if (!query.HasSource(source)) {
+        std::ostringstream detail;
+        detail << "source " << source << " does not feed destination "
+               << destination;
+        return RejectOutcome(AdmissionReason::kUnknownSource, detail.str());
+      }
+      if (query.spec.weights.size() == 1) {
+        std::ostringstream detail;
+        detail << "source " << source << " is destination " << destination
+               << "'s last source";
+        return RejectOutcome(AdmissionReason::kEmptySourceSet, detail.str());
+      }
+      if (runtime_ != nullptr) {
+        bool any_alive = false;
+        for (const auto& [s, weight] : query.spec.weights) {
+          any_alive = any_alive || (s != source && !BelievedDead(s));
+        }
+        if (!any_alive) {
+          std::ostringstream detail;
+          detail << "every source of destination " << destination
+                 << " is believed dead";
+          return RejectOutcome(AdmissionReason::kNoAliveSources,
+                               detail.str());
+        }
+      }
+      catalog.RemoveSource(destination, source);
+      MutationOutcome outcome;
+      outcome.decision = AdmissionDecision::Admit();
+      outcome.refcount = catalog.RefCount(destination);
+      return outcome;
+    }
   }
+  return RejectOutcome(AdmissionReason::kInvalidNode,
+                       "unknown mutation type");
+}
+
+MutationResult QueryLifecycleManager::ApplySingle(
+    const MutationRequest& request) {
+  QueryCatalog candidate = catalog_;
+  MutationOutcome outcome = ValidateAndApply(candidate, request);
+  if (!outcome.decision.admitted) {
+    MutationResult result;
+    result.decision = outcome.decision;
+    result.catalog_version = catalog_.version();
+    RecordRejection(result.decision.reason);
+    return result;
+  }
+  if (outcome.deduplicated) {
+    MutationResult result = CommitRefcountOnly(std::move(candidate), outcome);
+    if (metrics_ != nullptr) {
+      metrics_->Add(request.type == MutationType::kAdmit
+                        ? handles_.dedup_hits
+                        : handles_.dedup_releases,
+                    1);
+    }
+    return result;
+  }
+  MutationResult result = Commit(std::move(candidate));
+  if (!result.decision.admitted) {
+    RecordRejection(result.decision.reason);
+    return result;
+  }
+  result.refcount = outcome.refcount;
+  if (metrics_ != nullptr) metrics_->Add(handles_.admissions, 1);
   return result;
 }
 
 MutationResult QueryLifecycleManager::AdmitQuery(NodeId destination,
                                                  const FunctionSpec& spec) {
-  if (destination < 0 || destination >= topology_->node_count()) {
-    std::ostringstream detail;
-    detail << "destination " << destination << " outside the deployment";
-    return Reject(AdmissionReason::kInvalidNode, detail.str());
-  }
-  if (catalog_.Contains(destination)) {
-    std::ostringstream detail;
-    detail << "destination " << destination << " already has a query";
-    return Reject(AdmissionReason::kDuplicateDestination, detail.str());
-  }
-  if (spec.weights.empty()) {
-    return Reject(AdmissionReason::kEmptySourceSet,
-                  "admission requires at least one source");
-  }
-  std::set<NodeId> seen;
-  for (const auto& [source, weight] : spec.weights) {
-    if (source < 0 || source >= topology_->node_count() ||
-        source == destination) {
-      std::ostringstream detail;
-      detail << "source " << source << " invalid for destination "
-             << destination;
-      return Reject(AdmissionReason::kInvalidNode, detail.str());
-    }
-    if (!seen.insert(source).second) {
-      std::ostringstream detail;
-      detail << "source " << source << " listed twice";
-      return Reject(AdmissionReason::kDuplicateSource, detail.str());
-    }
-  }
-  if (BelievedDead(destination)) {
-    std::ostringstream detail;
-    detail << "destination " << destination << " is believed dead";
-    return Reject(AdmissionReason::kInvalidNode, detail.str());
-  }
-  QueryCatalog candidate = catalog_;
-  QueryDefinition query;
-  query.destination = destination;
-  query.spec = spec;
-  candidate.Admit(query);
-  return Commit(std::move(candidate), destination);
+  return ApplySingle(MutationRequest::Admit(destination, spec));
 }
 
 MutationResult QueryLifecycleManager::RetireQuery(NodeId destination) {
-  if (!catalog_.Contains(destination)) {
-    std::ostringstream detail;
-    detail << "no query for destination " << destination;
-    return Reject(AdmissionReason::kUnknownDestination, detail.str());
-  }
-  if (catalog_.size() == 1) {
-    return Reject(AdmissionReason::kEmptySourceSet,
-                  "retiring the last query would empty the catalog");
-  }
-  QueryCatalog candidate = catalog_;
-  candidate.Retire(destination);
-  return Commit(std::move(candidate), kInvalidNode);
+  return ApplySingle(MutationRequest::Retire(destination));
 }
 
 MutationResult QueryLifecycleManager::AddSource(NodeId destination,
                                                 NodeId source,
                                                 double weight) {
-  if (!catalog_.Contains(destination)) {
-    std::ostringstream detail;
-    detail << "no query for destination " << destination;
-    return Reject(AdmissionReason::kUnknownDestination, detail.str());
-  }
-  if (source < 0 || source >= topology_->node_count() ||
-      source == destination) {
-    std::ostringstream detail;
-    detail << "source " << source << " invalid for destination "
-           << destination;
-    return Reject(AdmissionReason::kInvalidNode, detail.str());
-  }
-  if (catalog_.Get(destination).HasSource(source)) {
-    std::ostringstream detail;
-    detail << "source " << source << " already feeds destination "
-           << destination;
-    return Reject(AdmissionReason::kDuplicateSource, detail.str());
-  }
-  QueryCatalog candidate = catalog_;
-  candidate.AddSource(destination, source, weight);
-  return Commit(std::move(candidate), destination);
+  return ApplySingle(MutationRequest::AddSource(destination, source, weight));
 }
 
 MutationResult QueryLifecycleManager::RemoveSource(NodeId destination,
                                                    NodeId source) {
-  if (!catalog_.Contains(destination)) {
-    std::ostringstream detail;
-    detail << "no query for destination " << destination;
-    return Reject(AdmissionReason::kUnknownDestination, detail.str());
-  }
-  const QueryDefinition& query = catalog_.Get(destination);
-  if (!query.HasSource(source)) {
-    std::ostringstream detail;
-    detail << "source " << source << " does not feed destination "
-           << destination;
-    return Reject(AdmissionReason::kUnknownSource, detail.str());
-  }
-  if (query.spec.weights.size() == 1) {
-    std::ostringstream detail;
-    detail << "source " << source << " is destination " << destination
-           << "'s last source";
-    return Reject(AdmissionReason::kEmptySourceSet, detail.str());
-  }
-  QueryCatalog candidate = catalog_;
-  candidate.RemoveSource(destination, source);
-  return Commit(std::move(candidate), destination);
+  return ApplySingle(MutationRequest::RemoveSource(destination, source));
 }
 
-MutationResult QueryLifecycleManager::Commit(QueryCatalog candidate,
-                                             NodeId affected) {
-  Workload candidate_workload = candidate.ToWorkload();
-
-  // An attached runtime prunes believed-dead sources before planning; a
-  // query left with zero believed-alive sources would be unservable (and
-  // trip the runtime's no-empty-task invariant), so it never commits.
-  if (runtime_ != nullptr && affected != kInvalidNode) {
-    for (const Task& task : candidate_workload.tasks) {
-      if (task.destination != affected) continue;
-      bool any_alive = false;
-      for (NodeId source : task.sources) {
-        any_alive = any_alive || !BelievedDead(source);
-      }
-      if (!any_alive) {
-        std::ostringstream detail;
-        detail << "every source of destination " << affected
-               << " is believed dead";
-        return Reject(AdmissionReason::kNoAliveSources, detail.str());
-      }
-    }
+BatchResult QueryLifecycleManager::ApplyBatch(
+    const std::vector<MutationRequest>& requests) {
+  if (metrics_ != nullptr) {
+    metrics_->Add(handles_.batch_batches, 1);
+    metrics_->Add(handles_.batch_requests,
+                  static_cast<int64_t>(requests.size()));
+  }
+  BatchResult batch;
+  if (requests.empty()) {
+    batch.commit.catalog_version = catalog_.version();
+    return batch;
   }
 
+  // Validate every request, in order, against the evolving candidate — a
+  // batch behaves exactly like its own sequential replay, and a rejected
+  // request contributes nothing to what commits.
+  const int64_t base_version = catalog_.version();
+  QueryCatalog candidate = catalog_;
+  for (const MutationRequest& request : requests) {
+    batch.outcomes.push_back(ValidateAndApply(candidate, request));
+  }
+
+  const bool material = candidate.version() != base_version;
+  if (material) {
+    // ONE replan + ONE consistency validation + ONE epoch bump for the
+    // whole accepted set. The candidate's version already advanced once
+    // per accepted material request (matching sequential replay), and the
+    // single commit compiles at the FINAL version, so the resulting wire
+    // images are byte-identical to the sequential end state.
+    MutationResult commit = Commit(std::move(candidate));
+    if (!commit.decision.admitted) {
+      // The *combined* candidate tripped an admission budget. Individual
+      // requests may still fit: degrade to exact sequential application so
+      // batched and unbatched replay always agree on the final state.
+      if (metrics_ != nullptr) metrics_->Add(handles_.batch_fallbacks, 1);
+      return SequentialFallback(requests);
+    }
+    batch.committed = true;
+    batch.commit = std::move(commit);
+    if (metrics_ != nullptr) metrics_->Add(handles_.batch_commits, 1);
+  } else {
+    // Refcount-only (or all-rejected) batch: adopt the candidate's
+    // bookkeeping without replanning or opening an epoch.
+    catalog_ = std::move(candidate);
+    batch.commit.decision = AdmissionDecision::Admit();
+    batch.commit.deduplicated = true;
+    batch.commit.catalog_version = catalog_.version();
+    RefreshCatalogGauges();
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const MutationOutcome& outcome = batch.outcomes[i];
+    if (outcome.decision.admitted) {
+      ++batch.accepted;
+      if (metrics_ != nullptr) {
+        metrics_->Add(handles_.admissions, 1);
+        if (outcome.deduplicated) {
+          metrics_->Add(requests[i].type == MutationType::kAdmit
+                            ? handles_.dedup_hits
+                            : handles_.dedup_releases,
+                        1);
+        }
+      }
+    } else {
+      ++batch.rejected;
+      RecordRejection(outcome.decision.reason);
+    }
+  }
+  return batch;
+}
+
+BatchResult QueryLifecycleManager::SequentialFallback(
+    const std::vector<MutationRequest>& requests) {
+  BatchResult batch;
+  batch.sequential_fallback = true;
+  batch.commit.decision = AdmissionDecision::Admit();
+  for (const MutationRequest& request : requests) {
+    MutationResult result = ApplySingle(request);
+    MutationOutcome outcome;
+    outcome.decision = result.decision;
+    outcome.deduplicated = result.deduplicated;
+    outcome.refcount = result.refcount;
+    if (result.decision.admitted) {
+      ++batch.accepted;
+      batch.commit.replan.edges_reused += result.replan.edges_reused;
+      batch.commit.replan.edges_reoptimized +=
+          result.replan.edges_reoptimized;
+      batch.commit.images_shipped += result.images_shipped;
+      batch.commit.bumps_shipped += result.bumps_shipped;
+      batch.commit.delta_state_bytes += result.delta_state_bytes;
+    } else {
+      ++batch.rejected;
+    }
+    batch.outcomes.push_back(std::move(outcome));
+  }
+  batch.commit.catalog_version = catalog_.version();
+  return batch;
+}
+
+MutationResult QueryLifecycleManager::CommitRefcountOnly(
+    QueryCatalog candidate, const MutationOutcome& outcome) {
+  catalog_ = std::move(candidate);
+  MutationResult result;
+  result.decision = outcome.decision;
+  result.deduplicated = true;
+  result.refcount = outcome.refcount;
+  result.catalog_version = catalog_.version();
+  if (metrics_ != nullptr) {
+    metrics_->Add(handles_.admissions, 1);
+    RefreshCatalogGauges();
+  }
+  return result;
+}
+
+MutationResult QueryLifecycleManager::Commit(QueryCatalog candidate) {
+  Workload candidate_workload = candidate.ToWorkload();
+
   // Incremental Corollary 1 replan of the candidate workload over the
-  // deployment routing trees.
+  // deployment routing trees. Draining to an empty workload replans to the
+  // empty forest; re-admission replans back out of it.
   UpdateStats stats;
   GlobalPlan candidate_plan =
       ReplanForWorkload(plan_, paths_, candidate_workload.tasks,
@@ -266,12 +575,6 @@ MutationResult QueryLifecycleManager::Commit(QueryCatalog candidate,
     MutationResult result;
     result.decision = budgets;
     result.catalog_version = catalog_.version();
-    if (metrics_ != nullptr) {
-      metrics_->Add(handles_.rejections, 1);
-      metrics_->Add(handles_.rejections_by_reason[static_cast<size_t>(
-                        budgets.reason)],
-                    1);
-    }
     return result;
   }
 
@@ -306,15 +609,14 @@ MutationResult QueryLifecycleManager::Commit(QueryCatalog candidate,
     runtime_->SubmitWorkload(workload_);
   }
   if (metrics_ != nullptr) {
-    metrics_->Add(handles_.admissions, 1);
+    metrics_->Add(handles_.replans, 1);
     metrics_->Add(handles_.edges_reused, result.replan.edges_reused);
     metrics_->Add(handles_.edges_reoptimized,
                   result.replan.edges_reoptimized);
     metrics_->Add(handles_.images_shipped, result.images_shipped);
     metrics_->Add(handles_.bumps_shipped, result.bumps_shipped);
     metrics_->Add(handles_.delta_state_bytes, result.delta_state_bytes);
-    metrics_->Set(handles_.catalog_size, catalog_.size());
-    metrics_->Set(handles_.catalog_version, catalog_.version());
+    RefreshCatalogGauges();
   }
   return result;
 }

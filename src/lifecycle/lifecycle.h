@@ -2,6 +2,7 @@
 #define M2M_LIFECYCLE_LIFECYCLE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "agg/aggregate_function.h"
@@ -30,8 +31,16 @@ struct LifecycleOptions {
 /// catalog, plan, and images are exactly what they were before the call.
 struct MutationResult {
   AdmissionDecision decision;
-  /// Catalog version after the call (unchanged on rejection).
+  /// Catalog version after the call (unchanged on rejection — and on
+  /// deduplicated refcount traffic, which is immaterial by definition).
   int64_t catalog_version = 0;
+  /// True when the request resolved to pure refcount bookkeeping: an exact
+  /// resubmission acquired an existing query, or a retire released a hold
+  /// other holders still reference. No plan state mutated; `replan`,
+  /// `images_shipped`, and `delta_state_bytes` are all zero.
+  bool deduplicated = false;
+  /// Refcount of the touched query after the call (0 once retired).
+  int refcount = 0;
   /// Incremental replan bookkeeping (zeros on rejection).
   UpdateStats replan;
   /// Corollary 1 accounting for admitted mutations: the predicted
@@ -46,18 +55,109 @@ struct MutationResult {
   int64_t delta_state_bytes = 0;
 };
 
+/// Kind of one batched lifecycle request.
+enum class MutationType : uint8_t {
+  kAdmit,
+  kRetire,
+  kAddSource,
+  kRemoveSource,
+};
+
+std::string ToString(MutationType type);
+
+/// One request inside a MutationBatch (or a standalone mutation). `spec`
+/// is read for kAdmit; `source` and `weight` for the source mutations.
+struct MutationRequest {
+  MutationType type = MutationType::kAdmit;
+  NodeId destination = kInvalidNode;
+  NodeId source = kInvalidNode;
+  double weight = 1.0;
+  FunctionSpec spec;
+
+  static MutationRequest Admit(NodeId destination, FunctionSpec spec);
+  static MutationRequest Retire(NodeId destination);
+  static MutationRequest AddSource(NodeId destination, NodeId source,
+                                   double weight);
+  static MutationRequest RemoveSource(NodeId destination, NodeId source);
+};
+
+/// Typed per-request outcome inside a batch. Rejection purity holds
+/// mid-batch exactly as it does standalone: a rejected request contributed
+/// nothing to the committed candidate, and later requests in the same
+/// batch were validated as if it never arrived.
+struct MutationOutcome {
+  AdmissionDecision decision;
+  /// Pure refcount bookkeeping (see MutationResult::deduplicated).
+  bool deduplicated = false;
+  /// Refcount of the touched query after the batch applies (0 = retired).
+  int refcount = 0;
+};
+
+/// Outcome of one committed batch.
+struct BatchResult {
+  /// One outcome per request, in request order.
+  std::vector<MutationOutcome> outcomes;
+  int accepted = 0;
+  int rejected = 0;
+  /// True iff the batch materially changed the catalog and committed
+  /// through ONE replan + ONE consistency validation + ONE epoch bump
+  /// (refcount-only batches commit without any of the three).
+  bool committed = false;
+  /// True when the combined candidate tripped a budget gate and the batch
+  /// degraded to per-request sequential application (identical semantics
+  /// to unbatched replay; the amortization is lost, correctness is not).
+  bool sequential_fallback = false;
+  /// Aggregate replan / Corollary 1 / dissemination accounting for the
+  /// whole batch (the single commit on the fast path; summed per-request
+  /// accounting under sequential fallback).
+  MutationResult commit;
+};
+
+class QueryLifecycleManager;
+
+/// Accumulates admit / retire / add-source / remove-source requests and
+/// commits them as one atomic catalog delta: one ReplanForWorkload, one
+/// Theorem 1 + Corollary 1 validation, one admission-budget evaluation,
+/// and one epoch bump — however many requests the batch carries. This is
+/// the frontend's unit of amortization for production arrival rates:
+/// per-query replans are the single-query cost the source paper's
+/// many-to-many formulation exists to avoid paying N times.
+class MutationBatch {
+ public:
+  explicit MutationBatch(QueryLifecycleManager* manager);
+
+  MutationBatch& Admit(NodeId destination, FunctionSpec spec);
+  MutationBatch& Retire(NodeId destination);
+  MutationBatch& AddSource(NodeId destination, NodeId source, double weight);
+  MutationBatch& RemoveSource(NodeId destination, NodeId source);
+  MutationBatch& Push(MutationRequest request);
+
+  int size() const { return static_cast<int>(requests_.size()); }
+  bool empty() const { return requests_.empty(); }
+  const std::vector<MutationRequest>& requests() const { return requests_; }
+
+  /// Commits everything accumulated and clears the batch.
+  BatchResult Commit();
+
+ private:
+  QueryLifecycleManager* manager_;
+  std::vector<MutationRequest> requests_;
+};
+
 /// The query lifecycle manager (QLM): owns the versioned query catalog at
 /// the base station and serves runtime workload churn — AdmitQuery,
-/// RetireQuery, AddSource / RemoveSource — with incremental Corollary 1
-/// re-planning and typed admission control.
+/// RetireQuery, AddSource / RemoveSource, and batched ApplyBatch — with
+/// incremental Corollary 1 re-planning and typed admission control.
 ///
-/// Every mutation runs one pipeline:
+/// Every mutation (and every batch) runs one pipeline:
 ///   1. Structural validation against the current catalog (typed rejection,
-///      nothing mutated).
+///      nothing mutated). Within a batch, requests validate against the
+///      evolving candidate, so a batch behaves exactly like its sequential
+///      replay; a rejected request is skipped and poisons nothing.
 ///   2. Candidate build: the mutated catalog is materialized as a workload
 ///      and incrementally re-planned with ReplanForWorkload — routing trees
 ///      and per-edge solutions are reused wherever the mutation's bipartite
-///      neighborhoods are untouched.
+///      neighborhoods are untouched. One replan per batch, not per request.
 ///   3. Validation: the candidate must pass the Theorem 1 consistency
 ///      checker, and its divergence from the live plan must lie inside the
 ///      Corollary 1 predicted perturbation set (both CHECKed — a violation
@@ -65,13 +165,26 @@ struct MutationResult {
 ///   4. Admission control: the candidate plan is evaluated against the
 ///      Theorem 3 state bound, the TDMA slot budget, and the per-node
 ///      energy budget; violations reject with a typed reason and leave the
-///      catalog and plan untouched.
+///      catalog and plan untouched. A multi-request batch whose combined
+///      candidate trips a budget degrades to sequential per-request
+///      application, so batched and unbatched replay of the same requests
+///      always land on byte-identical state.
 ///   5. Commit: the catalog versions forward, the candidate becomes the
-///      live plan (compiled at plan epoch = catalog version), the
-///      per-node image diff is the dissemination delta, and — when a
-///      self-healing runtime is attached — the new workload is submitted
-///      so the delta rides the epoch-versioned control plane and churn
-///      composes with failures, loss, and rejoin.
+///      live plan (compiled at plan epoch = catalog version — a batch
+///      advances the version once per accepted material request but opens
+///      only the FINAL version as an epoch), the per-node image diff is the
+///      dissemination delta, and — when a self-healing runtime is attached
+///      — the new workload is submitted once per commit so the delta rides
+///      the epoch-versioned control plane.
+///
+/// Cross-tenant dedup rides the same pipeline: queries are keyed by their
+/// canonical (destination, source-set, function) form, an exact
+/// resubmission is an idempotent refcount acquire (no replan, no epoch, no
+/// version bump — provably zero plan-state mutation), and a retire only
+/// drops the physical query once the last hold releases. One refcounted
+/// tree serving N holders amortizes both the Theorem 3 state bound and the
+/// dissemination traffic, which is the sharing the paper's many-to-many
+/// formulation exists to exploit.
 ///
 /// The QLM plans against the *deployment* topology: admission budgets are
 /// capacity questions, answered against configured capacity rather than
@@ -80,6 +193,11 @@ struct MutationResult {
 /// only belief the QLM consults is the alive-source check (admitting a
 /// query every source of which is believed dead would hand the runtime an
 /// unservable task).
+///
+/// The catalog may drain to zero resident queries: retiring the last query
+/// replans to the empty plan, disseminates retraction images to every node
+/// that held state, and leaves an empty forest the executor and runtime
+/// handle like any other epoch; a later admission replans from empty.
 class QueryLifecycleManager {
  public:
   QueryLifecycleManager(const Topology& topology, const Workload& initial,
@@ -88,10 +206,16 @@ class QueryLifecycleManager {
 
   /// Registers a new query for `destination` aggregating `spec`'s weight
   /// keys. The spec's weights need not be sorted; the catalog canonicalizes.
+  /// Resubmitting a byte-identical (destination, source-set, function) spec
+  /// is idempotent: the existing query's refcount bumps and no plan state
+  /// mutates. A conflicting spec for a served destination still rejects
+  /// with kDuplicateDestination.
   MutationResult AdmitQuery(NodeId destination, const FunctionSpec& spec);
 
-  /// Unregisters `destination`'s query. The last query cannot be retired
-  /// (an empty catalog has no plan to disseminate).
+  /// Drops one hold of `destination`'s query: a refcount release while
+  /// other holders remain, the physical retirement (replan, retraction
+  /// dissemination) once the last hold goes. Retiring the last resident
+  /// query is legal and leaves an empty catalog.
   MutationResult RetireQuery(NodeId destination);
 
   /// Adds `source` to `destination`'s query.
@@ -102,13 +226,20 @@ class QueryLifecycleManager {
   /// believed-alive source).
   MutationResult RemoveSource(NodeId destination, NodeId source);
 
+  /// Applies a batch of requests as one catalog delta: requests validate
+  /// in order against the evolving candidate (typed per-request outcomes;
+  /// rejections poison nothing), then the accepted set commits with one
+  /// replan + one epoch bump. See MutationBatch.
+  BatchResult ApplyBatch(const std::vector<MutationRequest>& requests);
+
   /// Attaches the self-healing runtime that should receive admitted
   /// workloads (SubmitWorkload on every commit). Pass nullptr to detach.
   void AttachRuntime(SelfHealingRuntime* runtime) { runtime_ = runtime; }
 
   /// Attaches a metrics registry; mutations then record qlm.* counters
-  /// (admissions, rejections by reason, replan edge reuse, dissemination
-  /// bytes per delta) and catalog gauges. Pass nullptr to detach.
+  /// (admissions, rejections by reason, replans, batch amortization,
+  /// dedup refcount traffic, replan edge reuse, dissemination bytes per
+  /// delta) and catalog gauges. Pass nullptr to detach.
   void set_metrics(obs::MetricsRegistry* metrics);
 
   const QueryCatalog& catalog() const { return catalog_; }
@@ -127,20 +258,40 @@ class QueryLifecycleManager {
     obs::MetricHandle rejections;
     /// One per AdmissionReason rejection slug.
     std::vector<obs::MetricHandle> rejections_by_reason;
+    obs::MetricHandle replans;
     obs::MetricHandle edges_reused;
     obs::MetricHandle edges_reoptimized;
     obs::MetricHandle images_shipped;
     obs::MetricHandle bumps_shipped;
     obs::MetricHandle delta_state_bytes;
     obs::MetricHandle catalog_size;
+    obs::MetricHandle catalog_logical_size;
     obs::MetricHandle catalog_version;
+    obs::MetricHandle batch_batches;
+    obs::MetricHandle batch_requests;
+    obs::MetricHandle batch_commits;
+    obs::MetricHandle batch_fallbacks;
+    obs::MetricHandle dedup_hits;
+    obs::MetricHandle dedup_releases;
   };
 
-  MutationResult Reject(AdmissionReason reason, std::string detail);
+  /// Validates `request` against `catalog` and, on acceptance, applies it.
+  /// Holds ALL structural gates (including the believed-alive-source
+  /// check), so batch and standalone mutations share one rulebook.
+  MutationOutcome ValidateAndApply(QueryCatalog& catalog,
+                                   const MutationRequest& request) const;
+  /// Single-request pipeline (the public mutation methods).
+  MutationResult ApplySingle(const MutationRequest& request);
+  /// Commits a refcount-only candidate: no replan, no epoch, no version.
+  MutationResult CommitRefcountOnly(QueryCatalog candidate,
+                                    const MutationOutcome& outcome);
   /// Steps 2-5 of the pipeline for a structurally valid candidate.
-  /// `affected` is the mutated destination (alive-source check scope).
-  MutationResult Commit(QueryCatalog candidate, NodeId affected);
+  MutationResult Commit(QueryCatalog candidate);
+  /// Budget-contended batch path: per-request sequential application.
+  BatchResult SequentialFallback(const std::vector<MutationRequest>& requests);
   bool BelievedDead(NodeId node) const;
+  void RecordRejection(AdmissionReason reason);
+  void RefreshCatalogGauges();
 
   const Topology* topology_;
   NodeId base_;

@@ -466,9 +466,10 @@ TEST_F(AdmissionControlTest, StructuralRejectionsAreTypedAndPure) {
                 AdmissionReason::kUnknownDestination);
 }
 
-TEST_F(AdmissionControlTest, LastSourceAndLastQueryAreProtected) {
+TEST_F(AdmissionControlTest, LastSourceIsProtectedAndCatalogDrainsToZero) {
   // Two small queries; drain one down to a single source, then hit the
-  // floors: the last source and the last query must survive.
+  // floor: the last SOURCE of a live query must survive. The last QUERY
+  // must not — draining the catalog to zero is legal.
   Workload small;
   small.tasks = {Task{5, {0, 1}}, Task{6, {2, 3}}};
   FunctionSpec spec_a = SpecOver({0, 1});
@@ -482,11 +483,95 @@ TEST_F(AdmissionControlTest, LastSourceAndLastQueryAreProtected) {
   EXPECT_FALSE(last_source.decision.admitted);
   EXPECT_EQ(last_source.decision.reason, AdmissionReason::kEmptySourceSet);
 
+  // Regression: retiring the last resident query used to reject with a
+  // bogus kEmptySourceSet. It must retire cleanly: empty catalog, empty
+  // workload, and retraction images disseminated to every node that held
+  // plan state.
   EXPECT_TRUE(manager.RetireQuery(5).decision.admitted);
   MutationResult last_query = manager.RetireQuery(6);
-  EXPECT_FALSE(last_query.decision.admitted);
-  EXPECT_EQ(last_query.decision.reason, AdmissionReason::kEmptySourceSet);
-  EXPECT_TRUE(manager.catalog().Contains(6));
+  EXPECT_TRUE(last_query.decision.admitted);
+  EXPECT_EQ(last_query.refcount, 0);
+  EXPECT_EQ(manager.catalog().size(), 0);
+  EXPECT_TRUE(manager.workload().tasks.empty());
+  EXPECT_GT(last_query.images_shipped, 0);
+
+  // The empty state is a first-class epoch: live images equal a
+  // from-scratch encode of the empty catalog, and a later admission
+  // replans back out of it.
+  std::vector<std::vector<uint8_t>> oracle =
+      FromScratchImages(manager.paths(), manager.catalog(), nullptr);
+  EXPECT_EQ(manager.images(), oracle);
+  MutationResult readmit = manager.AdmitQuery(5, spec_a);
+  EXPECT_TRUE(readmit.decision.admitted);
+  EXPECT_EQ(manager.catalog().size(), 1);
+  oracle = FromScratchImages(manager.paths(), manager.catalog(), nullptr);
+  EXPECT_EQ(manager.images(), oracle);
+}
+
+TEST_F(AdmissionControlTest, DrainToZeroThenReadmitConvergesWithRuntime) {
+  // Satellite regression: drain the catalog to zero with a live runtime
+  // attached, run data rounds over the empty forest, then readmit. The
+  // retraction must disseminate, the executor must handle the empty
+  // forest, and the readmission must replan from empty and converge.
+  Workload small;
+  small.tasks = {Task{5, {0, 1}}, Task{6, {2, 3}}};
+  small.specs = {SpecOver({0, 1}), SpecOver({2, 3})};
+  small.RebuildFunctions();
+  SelfHealingRuntime runtime(topology_, small, base_, SelfHealingOptions{});
+  QueryLifecycleManager manager(topology_, small, base_);
+  manager.AttachRuntime(&runtime);
+
+  auto run_rounds_until_drained = [&](int first_round) {
+    SelfHealingRoundResult result;
+    int round = first_round;
+    for (; round < first_round + 10; ++round) {
+      ReadingGenerator readings(topology_.node_count(),
+                                900 + static_cast<uint64_t>(round));
+      LossyLinkModel physical;  // Perfect network.
+      physical.attempt_delivers = [](NodeId, NodeId, int) { return true; };
+      physical.node_alive = [](NodeId) { return true; };
+      result = runtime.RunRound(round, readings.values(), physical, nullptr);
+      if (result.pending_installs == 0) break;
+    }
+    EXPECT_EQ(result.pending_installs, 0);
+    EXPECT_TRUE(result.data.incomplete_destinations.empty());
+    return round + 1;
+  };
+
+  int next_round = run_rounds_until_drained(0);
+  uint32_t max_epoch_before = 0;
+  for (NodeId n = 0; n < topology_.node_count(); ++n) {
+    max_epoch_before =
+        std::max(max_epoch_before, runtime.network().plan_epoch(n));
+  }
+
+  ASSERT_TRUE(manager.RetireQuery(5).decision.admitted);
+  ASSERT_TRUE(manager.RetireQuery(6).decision.admitted);
+  EXPECT_EQ(manager.catalog().size(), 0);
+
+  // The runtime picks the submitted (empty) workload up on its next round
+  // and keeps running the empty forest without tripping any invariant.
+  next_round = run_rounds_until_drained(next_round);
+  EXPECT_TRUE(runtime.current_workload().tasks.empty());
+  uint32_t max_epoch_after = 0;
+  for (NodeId n = 0; n < topology_.node_count(); ++n) {
+    max_epoch_after =
+        std::max(max_epoch_after, runtime.network().plan_epoch(n));
+  }
+  EXPECT_GT(max_epoch_after, max_epoch_before)
+      << "retraction never reached the network";
+
+  // Readmit from empty and converge to the from-scratch plan.
+  ASSERT_TRUE(manager.AdmitQuery(5, SpecOver({0, 1})).decision.admitted);
+  run_rounds_until_drained(next_round);
+  ASSERT_EQ(runtime.current_workload().tasks.size(), 1u);
+  Workload expected = runtime.current_workload();
+  GlobalPlan oracle = BuildPlan(
+      std::make_shared<MulticastForest>(manager.paths(), expected.tasks),
+      expected.functions);
+  std::vector<std::string> divergence =
+      FindPlanDivergence(runtime.plan(), oracle);
+  EXPECT_TRUE(divergence.empty()) << divergence.front();
 }
 
 TEST_F(AdmissionControlTest, MetricsRecordMutationOutcomes) {
@@ -509,6 +594,9 @@ TEST_F(AdmissionControlTest, MetricsRecordMutationOutcomes) {
   EXPECT_EQ(metrics.Total("qlm.rejections"), 1);
   EXPECT_EQ(metrics.Total("qlm.rejections.duplicate_source"), 1);
   EXPECT_EQ(metrics.Total("qlm.catalog_version"), 1);
+  EXPECT_EQ(metrics.Total("qlm.replans"), 1);
+  EXPECT_EQ(metrics.Total("qlm.catalog_logical_size"),
+            static_cast<int64_t>(initial_.tasks.size()));
   EXPECT_GT(metrics.Total("qlm.replan_edges_reused"), 0);
   EXPECT_GT(metrics.Total("qlm.delta_state_bytes"), 0);
 }
@@ -556,6 +644,155 @@ TEST(ChurnOrderIndependenceTest, SameContentSamePlanBytes) {
   ASSERT_TRUE(c.AdmitQuery(new_destination, reversed).decision.admitted);
   EXPECT_EQ(b.images(), c.images());
 }
+
+// --- Idempotent resubmission (bugfix satellite): a byte-identical
+// AdmitQuery resubmission is a pure refcount bump — no replan, no version
+// bump, no image delta — and releasing the duplicate hold is equally pure.
+// 20-seed replay regression over churned catalogs.
+class DedupReplay : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DedupReplay, ByteIdenticalResubmissionIsIdempotent) {
+  const uint64_t seed = GetParam();
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload initial = InitialWorkload(topology, seed * 19 + 5);
+  NodeId base = PickBaseStation(topology);
+
+  QueryLifecycleManager manager(topology, initial, base);
+  ChurnScheduleOptions churn_options;
+  churn_options.seed = seed;
+  ChurnSchedule schedule =
+      ChurnSchedule::Generate(topology, initial, {base}, churn_options);
+  for (const ChurnEvent& event : schedule.events()) {
+    ApplyChurnEvent(manager, event);
+  }
+
+  // Copy first: a resubmission replaces the catalog object (refcount
+  // bookkeeping), so references into it do not survive.
+  std::vector<std::pair<NodeId, FunctionSpec>> live;
+  for (const auto& [destination, query] : manager.catalog().queries()) {
+    live.emplace_back(destination, query.spec);
+  }
+  ASSERT_FALSE(live.empty());
+  ManagerSnapshot before = Capture(manager);
+
+  bool reverse = false;
+  for (const auto& [destination, spec] : live) {
+    // Alternate submission order of the weights: dedup keys on the
+    // CANONICAL (destination, source-set, function) form.
+    FunctionSpec submitted = spec;
+    if (reverse) {
+      std::reverse(submitted.weights.begin(), submitted.weights.end());
+    }
+    reverse = !reverse;
+    MutationResult result = manager.AdmitQuery(destination, submitted);
+    EXPECT_TRUE(result.decision.admitted) << "seed " << seed;
+    EXPECT_TRUE(result.deduplicated) << "seed " << seed;
+    EXPECT_EQ(result.refcount, 2) << "seed " << seed;
+    EXPECT_EQ(result.catalog_version, before.catalog_version);
+    EXPECT_EQ(result.replan.edges_reoptimized, 0);
+    EXPECT_EQ(result.images_shipped + result.bumps_shipped, 0);
+    EXPECT_EQ(manager.catalog().RefCount(destination), 2);
+    ExpectUnchanged(before, manager);
+  }
+
+  // Releasing the duplicate holds is refcount traffic too: the physical
+  // query — and all plan state — survives until the LAST hold goes.
+  for (const auto& [destination, spec] : live) {
+    MutationResult result = manager.RetireQuery(destination);
+    EXPECT_TRUE(result.decision.admitted) << "seed " << seed;
+    EXPECT_TRUE(result.deduplicated) << "seed " << seed;
+    EXPECT_EQ(result.refcount, 1) << "seed " << seed;
+    EXPECT_TRUE(manager.catalog().Contains(destination));
+    ExpectUnchanged(before, manager);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, DedupReplay,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Batched replay purity (bugfix satellite): replaying a ChurnSchedule
+// as per-round batches — or as ONE batch — lands on byte-identical final
+// catalogs, plans, and wire images as sequential replay, with identical
+// per-request outcomes, while paying ONE replan per material batch.
+// 20 seeds.
+class BatchedChurnReplay : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchedChurnReplay, BatchedEqualsSequentialByteIdentical) {
+  const uint64_t seed = GetParam();
+  Topology topology = MakeGreatDuckIslandLike();
+  Workload initial = InitialWorkload(topology, seed * 17 + 3);
+  NodeId base = PickBaseStation(topology);
+
+  ChurnScheduleOptions churn_options;
+  churn_options.rounds = 10;
+  churn_options.admissions = 3;
+  churn_options.retirements = 2;
+  churn_options.source_adds = 3;
+  churn_options.source_removes = 2;
+  churn_options.seed = seed;
+  ChurnSchedule schedule =
+      ChurnSchedule::Generate(topology, initial, {base}, churn_options);
+
+  QueryLifecycleManager sequential(topology, initial, base);
+  std::vector<AdmissionReason> sequential_outcomes;
+  for (const ChurnEvent& event : schedule.events()) {
+    MutationResult result = ApplyChurnEvent(sequential, event);
+    sequential_outcomes.push_back(result.decision.admitted
+                                      ? AdmissionReason::kAdmitted
+                                      : result.decision.reason);
+  }
+
+  obs::MetricsRegistry metrics;
+  QueryLifecycleManager batched(topology, initial, base);
+  batched.set_metrics(&metrics);
+  std::vector<AdmissionReason> batched_outcomes;
+  int material_batches = 0;
+  for (int round = 0; round < churn_options.rounds; ++round) {
+    std::vector<ChurnEvent> events = schedule.EventsAt(round);
+    if (events.empty()) continue;
+    BatchResult batch = ApplyChurnEventsBatched(batched, events);
+    ASSERT_EQ(batch.outcomes.size(), events.size());
+    EXPECT_FALSE(batch.sequential_fallback) << "seed " << seed;
+    if (batch.committed) ++material_batches;
+    for (const MutationOutcome& outcome : batch.outcomes) {
+      batched_outcomes.push_back(outcome.decision.admitted
+                                     ? AdmissionReason::kAdmitted
+                                     : outcome.decision.reason);
+    }
+  }
+
+  // Identical per-request outcomes, byte-identical final state.
+  EXPECT_EQ(sequential_outcomes, batched_outcomes) << "seed " << seed;
+  EXPECT_EQ(sequential.catalog(), batched.catalog()) << "seed " << seed;
+  EXPECT_EQ(sequential.catalog().version(), batched.catalog().version());
+  EXPECT_EQ(sequential.images(), batched.images()) << "seed " << seed;
+  EXPECT_TRUE(
+      FindPlanDivergence(sequential.plan(), batched.plan()).empty())
+      << "seed " << seed;
+
+  // Amortization: exactly one replan per material batch, not per event.
+  EXPECT_EQ(metrics.Total("qlm.replans"), material_batches);
+  EXPECT_EQ(metrics.Total("qlm.batch.commits"), material_batches);
+  EXPECT_EQ(metrics.Total("qlm.batch.fallbacks"), 0);
+
+  // Order-of-batching independence: the WHOLE schedule as one batch lands
+  // on the same bytes again.
+  QueryLifecycleManager one_shot(topology, initial, base);
+  BatchResult whole = ApplyChurnEventsBatched(one_shot, schedule.events());
+  ASSERT_EQ(whole.outcomes.size(), schedule.events().size());
+  for (size_t i = 0; i < whole.outcomes.size(); ++i) {
+    EXPECT_EQ(whole.outcomes[i].decision.admitted
+                  ? AdmissionReason::kAdmitted
+                  : whole.outcomes[i].decision.reason,
+              sequential_outcomes[i])
+        << "seed " << seed << " request " << i;
+  }
+  EXPECT_EQ(one_shot.catalog(), sequential.catalog()) << "seed " << seed;
+  EXPECT_EQ(one_shot.images(), sequential.images()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, BatchedChurnReplay,
+                         ::testing::Range<uint64_t>(1, 21));
 
 // --- ChurnSchedule: deterministic, bounded, and respectful of the
 // forbidden set.
