@@ -33,6 +33,8 @@ std::string ToString(AdmissionReason reason) {
       return "tdma_capacity";
     case AdmissionReason::kEnergyBudget:
       return "energy_budget";
+    case AdmissionReason::kBatteryLifetime:
+      return "battery_lifetime";
     case AdmissionReason::kTenantUnknown:
       return "tenant_unknown";
     case AdmissionReason::kTenantQuota:
@@ -132,6 +134,32 @@ AdmissionDecision CheckPlanBudgets(const CompiledPlan& compiled,
         decision.offending_node = node;
         decision.observed = node_mj[node];
         decision.limit = limits.max_node_energy_mj;
+        return decision;
+      }
+    }
+  }
+  if (limits.lifetime_budget_rounds > 0) {
+    M2M_CHECK_EQ(static_cast<int>(limits.node_residual_mj.size()),
+                 compiled.node_count())
+        << "the battery lifetime gate needs a residual for every node";
+    const std::vector<double> node_mj =
+        PerNodeRoundEnergyMj(compiled, functions, limits.energy);
+    for (NodeId node = 0; node < static_cast<NodeId>(node_mj.size());
+         ++node) {
+      const double drain_mj = node_mj[node] + limits.idle_mj_per_round;
+      if (drain_mj <= 0.0) continue;  // Never drains: infinite lifetime.
+      const double survivable_rounds =
+          limits.node_residual_mj[node] / drain_mj;
+      if (survivable_rounds < limits.lifetime_budget_rounds) {
+        std::ostringstream detail;
+        detail << "node " << node << " survives " << survivable_rounds
+               << " rounds at " << drain_mj << " mJ/round < lifetime budget "
+               << limits.lifetime_budget_rounds << " rounds";
+        AdmissionDecision decision = AdmissionDecision::Reject(
+            AdmissionReason::kBatteryLifetime, detail.str());
+        decision.offending_node = node;
+        decision.observed = survivable_rounds;
+        decision.limit = limits.lifetime_budget_rounds;
         return decision;
       }
     }

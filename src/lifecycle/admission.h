@@ -30,6 +30,10 @@ enum class AdmissionReason : uint8_t {
   kStateBound,    ///< Theorem 3: total table entries over the state bound.
   kTdmaCapacity,  ///< Round schedule would exceed the TDMA slot budget.
   kEnergyBudget,  ///< Some node's per-round radio energy over budget.
+  /// Battery-aware lifetime gate: under the candidate plan's steady-state
+  /// drain, some node's residual battery dies before the deployment's
+  /// declared lifetime budget.
+  kBatteryLifetime,
   // --- Tenant policy (multi-tenant frontend, lifecycle/tenant.h) --------
   kTenantUnknown,  ///< Request from a tenant that was never registered.
   kTenantQuota,    ///< A per-tenant QoS quota would be exceeded.
@@ -52,6 +56,18 @@ struct AdmissionLimits {
   int max_tdma_slots = 0;
   /// Maximum per-node radio energy per round, in millijoules.
   double max_node_energy_mj = 0.0;
+  /// Battery-aware lifetime gate (0 disables): minimum number of rounds
+  /// every node's residual charge must survive under the candidate plan's
+  /// steady-state per-round drain (plus `idle_mj_per_round`). Requires
+  /// `node_residual_mj`.
+  int lifetime_budget_rounds = 0;
+  /// Residual battery per node in millijoules, indexed by node id (the
+  /// base station's in-band prediction, not the physical ledger). Must
+  /// cover every node when the lifetime gate is enabled.
+  std::vector<double> node_residual_mj;
+  /// Flat non-radio drain added to every node's per-round drain when
+  /// evaluating the lifetime gate.
+  double idle_mj_per_round = 0.0;
   EnergyModel energy;
 };
 
@@ -83,9 +99,9 @@ std::vector<double> PerNodeRoundEnergyMj(const CompiledPlan& compiled,
                                          const EnergyModel& energy);
 
 /// Evaluates a candidate compiled plan against the configured budgets:
-/// Theorem 3 state bound, TDMA slot capacity, per-node round energy — in
-/// that order, reporting the first violation. Read-only: callers decide
-/// whether to commit or discard the candidate.
+/// Theorem 3 state bound, TDMA slot capacity, per-node round energy,
+/// battery lifetime — in that order, reporting the first violation.
+/// Read-only: callers decide whether to commit or discard the candidate.
 AdmissionDecision CheckPlanBudgets(const CompiledPlan& compiled,
                                    const FunctionSet& functions,
                                    const Topology& topology,

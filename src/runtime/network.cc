@@ -263,6 +263,9 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     return links.node_alive == nullptr || links.node_alive(n);
   };
   LossyResult result;
+  if (track_node_energy_) {
+    result.node_energy_mj.assign(nodes_.size(), 0.0);
+  }
 
   // One in-flight message instance per emitted packet; retransmissions
   // reuse the instance with a bumped attempt counter.
@@ -326,6 +329,10 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     /// addition does not commute; the order is part of the byte-identity
     /// contract).
     std::vector<double> energy_terms;
+    /// Per-node energy attribution (mJ terms), recorded only when
+    /// track_node_energy_ is on. Kept separate from `energy_terms` so the
+    /// legacy total's accumulation order is untouched.
+    std::vector<std::pair<NodeId, double>> node_energy_terms;
     std::vector<std::pair<NodeId, NodeId>> heard;
     struct MetricOp {
       enum class Kind : uint8_t { kAdd, kAddNode, kAddEdge, kObserve };
@@ -558,6 +565,17 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       }
     }
     fx.energy_terms.push_back(ack_hops * energy.UnicastHopUj(0) / 1000.0);
+    if (track_node_energy_) {
+      // Replay the crossed ack hops for attribution: segment[h] transmitted
+      // the header-only ack, segment[h - 1] received it.
+      for (int crossed = 0; crossed < ack_hops; ++crossed) {
+        const size_t h = segment.size() - 1 - crossed;
+        fx.node_energy_terms.emplace_back(segment[h],
+                                          energy.TxUj(0) / 1000.0);
+        fx.node_energy_terms.emplace_back(segment[h - 1],
+                                          energy.RxUj(0) / 1000.0);
+      }
+    }
     if (ack_ok) {
       ack_delay = std::min(ack_delay, links.max_delay_ticks);
       if (ack_delay <= 0) {
@@ -575,6 +593,12 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       }
     } else {
       fx.energy_terms.push_back(energy.TxUj(0) / 1000.0);
+      if (track_node_energy_) {
+        // The failed ack attempt burned one header-only TX at the node the
+        // reverse walk stalled at.
+        fx.node_energy_terms.emplace_back(
+            segment[segment.size() - 1 - ack_hops], energy.TxUj(0) / 1000.0);
+      }
       fx.acks_lost += 1;
       if (metrics_ != nullptr) {
         fx.metric_ops.push_back({Fx::MetricOp::Kind::kAddNode,
@@ -658,8 +682,22 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     }
     fx.energy_terms.push_back(hops_crossed * energy.UnicastHopUj(payload) /
                               1000.0);
+    if (track_node_energy_) {
+      for (int h = 0; h < hops_crossed; ++h) {
+        fx.node_energy_terms.emplace_back(segment[h],
+                                          energy.TxUj(payload) / 1000.0);
+        fx.node_energy_terms.emplace_back(segment[h + 1],
+                                          energy.RxUj(payload) / 1000.0);
+      }
+    }
     if (!delivered && hops_crossed + 2 <= static_cast<int>(segment.size())) {
       fx.energy_terms.push_back(energy.TxUj(payload) / 1000.0);
+      if (track_node_energy_) {
+        // The failed (or dead-recipient) attempt burned one TX at the node
+        // the forward walk stalled at.
+        fx.node_energy_terms.emplace_back(segment[hops_crossed],
+                                          energy.TxUj(payload) / 1000.0);
+      }
     }
 
     if (delivered) {
@@ -782,6 +820,9 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     result.spontaneous_duplicates += fx.spontaneous_duplicates;
     result.reordered_deliveries += fx.reordered_deliveries;
     for (double term : fx.energy_terms) result.energy_mj += term;
+    for (const auto& [node, term] : fx.node_energy_terms) {
+      result.node_energy_mj[node] += term;
+    }
     for (const auto& [from, to] : fx.heard) result.heard.emplace(from, to);
     if (metrics_ != nullptr) {
       for (const Fx::MetricOp& op : fx.metric_ops) {

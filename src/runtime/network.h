@@ -181,6 +181,16 @@ class RuntimeNetwork {
     /// partially merged record (what a degraded readout would report).
     /// Absent when nothing contributed.
     std::unordered_map<NodeId, double> degraded_values;
+
+    // --- Battery accounting ---
+    /// Per-node radio energy (mJ), indexed by node id — populated only when
+    /// `set_track_node_energy(true)` was called, else empty. Attribution:
+    /// each crossed data hop pays TX at its transmitter and RX at its
+    /// receiver; a failed or dead-recipient transmit burns TX at the
+    /// stalling node; ack hops pay header-only TX/RX the same way. The sum
+    /// over nodes equals `energy_mj` up to floating-point grouping (the
+    /// total keeps its legacy term order untouched — byte-identity).
+    std::vector<double> node_energy_mj;
   };
 
   /// Runs one round under `links` with stop-and-wait ack/retry per message
@@ -202,6 +212,14 @@ class RuntimeNetwork {
   /// Pass nullptr to detach. The registry must outlive the network.
   void set_metrics(obs::MetricsRegistry* metrics);
   obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Enables per-node energy attribution in RunRoundLossy results (the
+  /// battery ledger's input). Off (default) leaves
+  /// LossyResult::node_energy_mj empty and the round byte-identical to the
+  /// legacy path: the per-node terms are recorded alongside the existing
+  /// total-energy terms, never replacing them.
+  void set_track_node_energy(bool track) { track_node_energy_ = track; }
+  bool track_node_energy() const { return track_node_energy_; }
 
   /// Total bytes of all installed node images (the dissemination payload).
   int64_t installed_image_bytes() const { return installed_image_bytes_; }
@@ -256,6 +274,7 @@ class RuntimeNetwork {
   /// Physical segment (tail..head inclusive) per (node, local message id).
   std::vector<std::vector<std::vector<NodeId>>> message_segments_;
   int64_t installed_image_bytes_ = 0;
+  bool track_node_energy_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;
   MetricHandles handles_;
 };

@@ -108,6 +108,27 @@ class SuspicionLedger {
   /// Nodes the base station believes dead, sorted by id.
   const std::vector<NodeId>& believed_dead() const { return dead_; }
 
+  /// Declares which nodes the base station's in-band energy prediction
+  /// considers exhaustion candidates (predicted residual at or below the
+  /// classification threshold). Pure annotation: beliefs, topology masking
+  /// and `revision()` are untouched — classification refines the *cause*
+  /// of a believed death, never the death itself.
+  void SetEnergyExhaustionCandidates(std::set<NodeId> candidates) {
+    energy_candidates_ = std::move(candidates);
+  }
+
+  /// Believed-dead nodes classified as energy-exhausted (the intersection
+  /// of `believed_dead()` with the declared candidates), sorted by id.
+  /// Distinct from crash deaths (dead, not a candidate) and partitions
+  /// (believed alive but unreachable).
+  std::vector<NodeId> believed_energy_dead() const {
+    std::vector<NodeId> result;
+    for (NodeId node : dead_) {
+      if (energy_candidates_.contains(node)) result.push_back(node);
+    }
+    return result;
+  }
+
   /// Nodes the base station believes alive but partitioned away (always
   /// empty unless partition-aware), sorted by id.
   const std::vector<NodeId>& believed_partitioned() const {
@@ -133,6 +154,7 @@ class SuspicionLedger {
   NodeId base_;
   bool partition_aware_ = false;
   std::set<std::pair<NodeId, NodeId>> reported_;  // Normalized (lo, hi).
+  std::set<NodeId> energy_candidates_;
   std::vector<std::pair<NodeId, NodeId>> links_;
   std::vector<NodeId> dead_;
   std::vector<NodeId> partitioned_;

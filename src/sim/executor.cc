@@ -89,7 +89,8 @@ int PlanExecutor::PartialUnitBytes(NodeId destination) const {
 }
 
 void PlanExecutor::ChargeMessage(int edge_index, int payload_bytes,
-                                 RoundResult& result) const {
+                                 RoundResult& result,
+                                 std::vector<double>* battery_uj) const {
   const ForestEdge& edge =
       compiled_->plan().forest().edges()[edge_index];
   result.messages += 1;
@@ -105,6 +106,10 @@ void PlanExecutor::ChargeMessage(int edge_index, int payload_bytes,
     result.node_energy_mj[edge.segment[i + 1]] += rx_mj;
     result.energy_mj += tx_mj + rx_mj;
     result.physical_transmissions += 1;
+    if (battery_uj != nullptr) {
+      (*battery_uj)[edge.segment[i]] += energy_.TxUj(payload_bytes);
+      (*battery_uj)[edge.segment[i + 1]] += energy_.RxUj(payload_bytes);
+    }
   }
 }
 
@@ -248,6 +253,17 @@ RoundResult PlanExecutor::RunRound(const std::vector<double>& readings,
 
   // Charge energy: every scheduled message is transmitted in a full round.
   const MessageSchedule& schedule = compiled_->schedule();
+  std::vector<double> battery_uj;
+  std::vector<double>* uj = nullptr;
+  if (battery_ != nullptr) {
+    battery_uj.assign(forest.node_count(), 0.0);
+    uj = &battery_uj;
+  }
+  auto charge_battery = [&] {
+    if (battery_ == nullptr) return;
+    for (double& u : battery_uj) u /= 1000.0;
+    battery_->ChargeRound(battery_uj);
+  };
   if (!options.use_broadcast) {
     for (const MessageSchedule::Message& message : schedule.messages()) {
       int payload = 0;
@@ -255,8 +271,9 @@ RoundResult PlanExecutor::RunRound(const std::vector<double>& readings,
         payload += schedule.units()[u].unit_bytes;
       }
       result.units += static_cast<int64_t>(message.unit_ids.size());
-      ChargeMessage(message.edge_index, payload, result);
+      ChargeMessage(message.edge_index, payload, result, uj);
     }
+    charge_battery();
     return result;
   }
 
@@ -307,7 +324,7 @@ RoundResult PlanExecutor::RunRound(const std::vector<double>& readings,
     }
     if (units == 0) continue;  // Everything moved to the broadcast.
     result.units += units;
-    ChargeMessage(message.edge_index, payload, result);
+    ChargeMessage(message.edge_index, payload, result, uj);
   }
   for (const auto& [node, broadcast] : broadcasts) {
     result.messages += 1;
@@ -316,12 +333,15 @@ RoundResult PlanExecutor::RunRound(const std::vector<double>& readings,
     double tx_mj = energy_.TxUj(broadcast.payload) / 1000.0;
     result.node_energy_mj[node] += tx_mj;
     result.energy_mj += tx_mj;
+    if (uj != nullptr) (*uj)[node] += energy_.TxUj(broadcast.payload);
     for (NodeId receiver : broadcast.receivers) {
       double rx_mj = energy_.RxUj(broadcast.payload) / 1000.0;
       result.node_energy_mj[receiver] += rx_mj;
       result.energy_mj += rx_mj;
+      if (uj != nullptr) (*uj)[receiver] += energy_.RxUj(broadcast.payload);
     }
   }
+  charge_battery();
   return result;
 }
 
@@ -530,6 +550,12 @@ RoundResult PlanExecutor::RunSuppressedRoundImpl(
   // cycle — possible only in adversarial topologies, see
   // message_cycle_test — this undercounts by one header per extra
   // message.)
+  std::vector<double> battery_uj;
+  std::vector<double>* uj = nullptr;
+  if (battery_ != nullptr) {
+    battery_uj.assign(forest.node_count(), 0.0);
+    uj = &battery_uj;
+  }
   for (int e = 0; e < edge_count; ++e) {
     int payload = 0;
     int units = 0;
@@ -548,8 +574,12 @@ RoundResult PlanExecutor::RunSuppressedRoundImpl(
     }
     if (units > 0) {
       result.units += units;
-      ChargeMessage(e, payload, result);
+      ChargeMessage(e, payload, result, uj);
     }
+  }
+  if (battery_ != nullptr) {
+    for (double& u : battery_uj) u /= 1000.0;
+    battery_->ChargeRound(battery_uj);
   }
 
   // Apply deltas at destinations and verify maintained aggregates.

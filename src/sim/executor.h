@@ -11,6 +11,7 @@
 #include "agg/aggregate_function.h"
 #include "obs/metrics.h"
 #include "plan/node_tables.h"
+#include "sim/battery.h"
 #include "sim/energy_model.h"
 
 namespace m2m {
@@ -100,6 +101,16 @@ class PlanExecutor {
     free_link_ = std::move(free_link);
   }
 
+  /// Attaches a battery ledger: every executed round (full, broadcast,
+  /// suppressed) then charges each node its radio drain. The per-round
+  /// charge is accumulated in microjoules in schedule order and divided
+  /// once — on a lossless full round it equals the admission layer's
+  /// `PerNodeRoundEnergyMj` bit-for-bit (the predicted-vs-executed
+  /// reconciliation contract). Pass nullptr to detach. The ledger must
+  /// outlive the executor.
+  void set_battery(BatteryLedger* battery) { battery_ = battery; }
+  BatteryLedger* battery() const { return battery_; }
+
   PlanExecutor(const PlanExecutor&) = default;
   PlanExecutor& operator=(const PlanExecutor&) = default;
 
@@ -165,8 +176,11 @@ class PlanExecutor {
   }
 
   int PartialUnitBytes(NodeId destination) const;
-  void ChargeMessage(int edge_index, int payload_bytes,
-                     RoundResult& result) const;
+  /// `battery_uj`, when non-null, additionally accumulates the message's
+  /// per-node drain in microjoules (divided once per round before charging
+  /// the ledger — matching PerNodeRoundEnergyMj's operation order exactly).
+  void ChargeMessage(int edge_index, int payload_bytes, RoundResult& result,
+                     std::vector<double>* battery_uj = nullptr) const;
   /// Reconstructs, verifies, and evaluates one task's aggregate for a full
   /// round. Touches only the task's own (edge, destination) lattice — the
   /// execution-level face of Theorem 1's per-edge independence — so
@@ -192,6 +206,7 @@ class PlanExecutor {
   FunctionSet functions_;
   EnergyModel energy_;
   FreeLinkFn free_link_;
+  BatteryLedger* battery_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   MetricHandles handles_;
 

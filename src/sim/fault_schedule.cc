@@ -75,6 +75,8 @@ std::string ToString(FaultType type) {
       return "link-heal";
     case FaultType::kNodeRecover:
       return "node-recover";
+    case FaultType::kEnergyExhaustion:
+      return "energy-exhaustion";
   }
   return "unknown";
 }

@@ -1,14 +1,18 @@
 #include "sim/self_healing.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 #include "common/crc32.h"
 #include "plan/dissemination.h"
 #include "plan/serialization.h"
+#include "routing/lifetime_forest.h"
 #include "routing/multicast.h"
 #include "runtime/wire_functions.h"
+#include "sim/fault_schedule.h"
 
 namespace m2m {
 
@@ -69,6 +73,21 @@ SelfHealingRuntime::SelfHealingRuntime(const Topology& topology,
   M2M_CHECK_GE(options_.resend_after_rounds, 1);
   ledger_.set_partition_aware(options_.partition_aware);
   epoch_opened_round_[0] = -1;
+  if (options_.energy.battery_aware) {
+    // The base station is wall-powered: a base whose battery could die
+    // would take the whole control loop with it, which is a deployment
+    // error, not a fault to heal.
+    BatteryOptions battery_options = options_.energy.battery;
+    if (!Contains(battery_options.immortal_nodes, base_)) {
+      battery_options.immortal_nodes.push_back(base_);
+    }
+    battery_ = BatteryLedger(topology.node_count(), battery_options);
+    predicted_ = BatteryLedger(topology.node_count(), battery_options);
+    network_.set_track_node_energy(true);
+    predicted_drain_mj_ =
+        CompiledRoundEnergyMj(*compiled_, options_.energy.model);
+    rotation_trigger_level_ = options_.energy.rotation_threshold;
+  }
 }
 
 void SelfHealingRuntime::SubmitWorkload(const Workload& workload) {
@@ -111,6 +130,19 @@ void SelfHealingRuntime::set_metrics(obs::MetricsRegistry* metrics) {
       metrics_->Counter("partition.epoch_divergences");
   handles_.degraded_destination_rounds =
       metrics_->Counter("partition.degraded_destination_rounds");
+  // Registered only in battery mode: legacy runs keep their metrics JSON
+  // byte-identical (no zero-valued energy.* entries appear).
+  if (options_.energy.battery_aware) {
+    handles_.energy_rounds = metrics_->Gauge("energy.rounds_charged");
+    handles_.energy_drain = metrics_->Gauge("energy.total_drain_uj");
+    handles_.energy_depleted = metrics_->Gauge("energy.depleted_nodes");
+    handles_.energy_dead = metrics_->Gauge("energy.believed_energy_dead");
+    handles_.energy_rotations = metrics_->Counter("energy.rotations");
+    handles_.energy_min_residual =
+        metrics_->Gauge("energy.min_residual_permille");
+    handles_.energy_exhaustions =
+        metrics_->Counter("energy.exhaustion_deaths");
+  }
 }
 
 int SelfHealingRuntime::pending_installs() const {
@@ -137,15 +169,53 @@ SelfHealingRoundResult SelfHealingRuntime::RunRound(
   M2M_CHECK(physical.attempt_delivers != nullptr);
   SelfHealingRoundResult result;
 
+  // Battery mode: gate the physical layer on battery state as of *round
+  // start* (a node depleting mid-round still finishes the round it paid
+  // for). A depleted node neither transmits nor receives and runs nothing,
+  // so — through the unchanged detector/ledger machinery below — energy
+  // exhaustion presents exactly like a crash: neighbors see silence,
+  // suspect, report, and the base replans around the corpse. The snapshot
+  // is value-captured: ChargeBatteries below mutates the ledger without
+  // affecting this round's oracle.
+  LossyLinkModel gated;
+  const LossyLinkModel* model = &physical;
+  if (options_.energy.battery_aware) {
+    std::vector<bool> depleted(static_cast<size_t>(battery_.node_count()));
+    for (NodeId n = 0; n < battery_.node_count(); ++n) {
+      depleted[n] = battery_.depleted(n);
+    }
+    gated = physical;
+    gated.attempt_delivers = [depleted,
+                              inner = physical.attempt_delivers](
+                                 NodeId from, NodeId to, int attempt) {
+      if (depleted[from] || depleted[to]) return false;
+      return inner(from, to, attempt);
+    };
+    if (physical.node_alive != nullptr) {
+      gated.node_alive = [depleted,
+                          inner = physical.node_alive](NodeId node) {
+        return !depleted[node] && inner(node);
+      };
+    } else {
+      gated.node_alive = [depleted](NodeId node) {
+        return !depleted[node];
+      };
+    }
+    model = &gated;
+  }
+
   // 1. Data round over the installed (possibly mixed-epoch) images.
-  result.data = network_.RunRoundLossy(readings, physical, options_.retry,
+  result.data = network_.RunRoundLossy(readings, *model, options_.retry,
                                        {}, trace);
+  if (options_.energy.battery_aware) {
+    ChargeBatteries(round, result, trace);
+  }
 
   // 2. In-band failure detection: heartbeats from the round's traffic,
   // probes for silent neighbors.
   FailureDetector::RoundReport detection = detector_.ObserveRound(
-      round, result.data.heard, physical.attempt_delivers,
-      physical.node_alive);
+      round, result.data.heard, model->attempt_delivers,
+      model->node_alive);
   result.probe_transmissions = detection.probe_transmissions;
   result.probe_confirmations = detection.probe_confirmations;
   result.new_suspicions = static_cast<int>(detection.new_suspicions.size());
@@ -191,12 +261,18 @@ SelfHealingRoundResult SelfHealingRuntime::RunRound(
 
   // 3. Control plane: reports toward the base station, plan images / epoch
   // bumps / install acks the other way.
-  AdvanceControlPlane(round, physical, result, trace);
+  AdvanceControlPlane(round, *model, result, trace);
+  // 3b. Battery mode: refresh the base station's in-band energy beliefs
+  // (exhaustion classification, proactive-rotation trigger) before the
+  // replan decision they may feed.
+  if (options_.energy.battery_aware) {
+    UpdateEnergyBeliefs(round, result, trace);
+  }
   // 4. Any ledger change opens a new epoch and queues its dissemination...
   MaybeReplan(round, result, trace);
   // ...which gets its first advance within the same round (messages already
   // advanced this round are skipped, so nothing moves twice).
-  AdvanceControlPlane(round, physical, result, trace);
+  AdvanceControlPlane(round, *model, result, trace);
 
   if (options_.partition_aware) {
     ComputePartitionStatus(result);
@@ -539,12 +615,14 @@ void SelfHealingRuntime::MaybeReplan(int round,
                                      EventTrace* trace) {
   if (ledger_.revision() == ledger_revision_applied_ &&
       workload_revision_ == workload_revision_applied_ &&
-      !epoch_divergence_pending_) {
+      !epoch_divergence_pending_ && !energy_rotation_pending_) {
     return;
   }
   ledger_revision_applied_ = ledger_.revision();
   workload_revision_applied_ = workload_revision_;
   epoch_divergence_pending_ = false;
+  const bool energy_rotation = energy_rotation_pending_;
+  energy_rotation_pending_ = false;
 
   RebuildBelievedWorkload();
   // Nodes leaving the believed-dead set rebooted with whatever epoch they
@@ -577,7 +655,18 @@ void SelfHealingRuntime::MaybeReplan(int round,
                                      diverged_nodes_.end());
   diverged_nodes_.clear();
 
-  PathSystem believed_paths(ledger_.BelievedTopology());
+  // Battery mode routes every replan over residual-energy link costs: paths
+  // (and therefore the patched forest) bend away from drained relays. With
+  // full batteries the cost is exactly 1.0 per link, which produces weights
+  // bit-identical to the legacy hop-count metric — battery-aware replans
+  // only diverge from legacy ones once some battery has actually drained.
+  PathSystem believed_paths =
+      options_.energy.battery_aware
+          ? PathSystem(ledger_.BelievedTopology(), 0x5eed,
+                       ResidualEnergyLinkCost(
+                           PredictedResidualFractions(),
+                           options_.energy.residual_cost_penalty))
+          : PathSystem(ledger_.BelievedTopology());
   UpdateStats stats;
   GlobalPlan patched = ReplanForTopology(plan_, believed_paths,
                                          workload_.tasks,
@@ -606,6 +695,13 @@ void SelfHealingRuntime::MaybeReplan(int round,
   compiled_ = std::move(new_compiled);
   images_ = std::move(new_images);
   epoch_opened_round_[new_epoch] = round;
+  if (options_.energy.battery_aware) {
+    // The base predicts future drain from the plan it just installed — the
+    // rotation trigger and exhaustion classifier track the new load shape
+    // from the next round on.
+    predicted_drain_mj_ =
+        CompiledRoundEnergyMj(*compiled_, options_.energy.model);
+  }
 
   int images_queued = 0;
   int bumps_queued = 0;
@@ -668,7 +764,9 @@ void SelfHealingRuntime::MaybeReplan(int round,
   }
 
   result.replanned = true;
+  result.energy_rotation = energy_rotation;
   if (metrics_ != nullptr) {
+    if (energy_rotation) metrics_->Add(handles_.energy_rotations, 1);
     metrics_->Add(handles_.replans, 1);
     metrics_->Add(handles_.images_queued, images_queued);
     metrics_->Add(handles_.bumps_queued, bumps_queued);
@@ -738,6 +836,111 @@ void SelfHealingRuntime::ComputePartitionStatus(
                   degraded_destinations);
   }
   believed_partitioned_last_ = parted;
+}
+
+void SelfHealingRuntime::ChargeBatteries(
+    int round, const SelfHealingRoundResult& result, EventTrace* trace) {
+  M2M_CHECK_EQ(static_cast<int>(result.data.node_energy_mj.size()),
+               battery_.node_count())
+      << "battery mode needs per-node energy tracking on the network";
+  const std::vector<NodeId> depleted_before = battery_.depleted_nodes();
+  // Physical ledger drains what the round actually transmitted; the
+  // predicted ledger drains what the installed plan *should* cost per
+  // round (CompiledRoundEnergyMj). The base station only ever reads the
+  // latter — its energy decisions stay in-band.
+  battery_.ChargeRound(result.data.node_energy_mj);
+  predicted_.ChargeRound(predicted_drain_mj_);
+  for (NodeId node : battery_.depleted_nodes()) {
+    if (Contains(depleted_before, node)) continue;
+    if (trace != nullptr) {
+      trace->Text("round " + std::to_string(round) + ": node " +
+                  std::to_string(node) + " " +
+                  ToString(FaultType::kEnergyExhaustion));
+    }
+    if (metrics_ != nullptr) {
+      metrics_->AddNode(handles_.energy_exhaustions, node, 1);
+    }
+  }
+}
+
+void SelfHealingRuntime::UpdateEnergyBeliefs(int round,
+                                             SelfHealingRoundResult& result,
+                                             EventTrace* trace) {
+  result.battery_depleted = battery_.depleted_nodes();
+  double min_fraction = 1.0;
+  for (NodeId n = 0; n < battery_.node_count(); ++n) {
+    if (battery_.immortal(n)) continue;
+    min_fraction = std::min(min_fraction, battery_.residual_fraction(n));
+  }
+  result.min_residual_fraction = min_fraction;
+
+  // In-band exhaustion classification: a believed-dead node whose
+  // *predicted* residual is at or below the classify fraction died of its
+  // battery, not a crash. Pure annotation on the ledger — the death itself
+  // was detected by the ordinary suspicion machinery.
+  const std::vector<double> fractions = PredictedResidualFractions();
+  std::set<NodeId> candidates;
+  for (NodeId n = 0; n < predicted_.node_count(); ++n) {
+    if (predicted_.immortal(n)) continue;
+    if (fractions[n] <= options_.energy.exhaustion_classify_fraction) {
+      candidates.insert(n);
+    }
+  }
+  ledger_.SetEnergyExhaustionCandidates(std::move(candidates));
+  result.believed_energy_dead = ledger_.believed_energy_dead();
+
+  // Proactive rotation watches the minimum predicted residual over nodes
+  // the current plan actually loads (unloaded nodes cannot be rotated off
+  // anything). The trigger level only ever descends — threshold first,
+  // then at least `rotation_hysteresis` lower after every rotation — and
+  // batteries only drain, so the trigger cannot flap; the cooldown bounds
+  // rotation frequency even while the minimum keeps falling.
+  double predicted_min = 1.0;
+  for (NodeId n = 0; n < predicted_.node_count(); ++n) {
+    if (predicted_.immortal(n)) continue;
+    if (predicted_drain_mj_[n] <= 0.0) continue;
+    predicted_min = std::min(predicted_min, fractions[n]);
+  }
+  result.predicted_min_residual_fraction = predicted_min;
+
+  if (options_.energy.proactive_rotation &&
+      predicted_min <= rotation_trigger_level_ &&
+      round - last_rotation_round_ >=
+          options_.energy.rotation_cooldown_rounds) {
+    energy_rotation_pending_ = true;
+    last_rotation_round_ = round;
+    rotation_trigger_level_ = std::min(
+        rotation_trigger_level_ - options_.energy.rotation_hysteresis,
+        predicted_min - options_.energy.rotation_hysteresis);
+    if (trace != nullptr) {
+      trace->Text(
+          "round " + std::to_string(round) +
+          ": energy rotation trigger, predicted min residual " +
+          std::to_string(std::llround(predicted_min * 1000.0)) +
+          " permille");
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->Set(handles_.energy_rounds, battery_.rounds_charged());
+    metrics_->Set(handles_.energy_drain,
+                  std::llround(battery_.total_drain_mj() * 1000.0));
+    metrics_->Set(handles_.energy_depleted,
+                  static_cast<int64_t>(result.battery_depleted.size()));
+    metrics_->Set(
+        handles_.energy_dead,
+        static_cast<int64_t>(result.believed_energy_dead.size()));
+    metrics_->Set(handles_.energy_min_residual,
+                  std::llround(min_fraction * 1000.0));
+  }
+}
+
+std::vector<double> SelfHealingRuntime::PredictedResidualFractions() const {
+  std::vector<double> fractions(predicted_.node_count(), 1.0);
+  for (NodeId n = 0; n < predicted_.node_count(); ++n) {
+    fractions[n] = predicted_.residual_fraction(n);
+  }
+  return fractions;
 }
 
 }  // namespace m2m

@@ -15,10 +15,53 @@
 #include "runtime/detector.h"
 #include "runtime/network.h"
 #include "sim/base_station.h"
+#include "sim/battery.h"
+#include "sim/energy_model.h"
 #include "topology/topology.h"
 #include "workload/workload.h"
 
 namespace m2m {
+
+/// Battery-aware runtime knobs (ROADMAP item 4). Off by default: every
+/// default below leaves the control loop byte-identical to the legacy
+/// battery-less runtime.
+struct EnergyAwareOptions {
+  /// Master switch. When on, the deployment runs on finite batteries: the
+  /// physical link model is additionally gated on battery state (a
+  /// depleted node neither transmits nor receives — energy exhaustion
+  /// kills through the same in-band detection/suspicion/replan machinery
+  /// as a crash), the base station predicts residuals from its own
+  /// installed plans, replans route around depleted relays via
+  /// residual-energy link costs, and rotation replans fire before
+  /// bottleneck relays die.
+  bool battery_aware = false;
+  /// Initial charges / idle drain of the physical batteries. The base
+  /// station node is always treated as wall-powered (immortal).
+  BatteryOptions battery;
+  /// Energy model batteries drain under (data-plane radio energy on actual
+  /// encoded packet sizes).
+  EnergyModel model;
+  /// Penalty for ResidualEnergyLinkCost on battery-aware replans: how hard
+  /// routes avoid depleted relays. With full batteries everywhere the cost
+  /// is exactly 1.0 — identical paths to the legacy hop-count metric.
+  double residual_cost_penalty = 8.0;
+  /// Proactive relay rotation: when the minimum *predicted* residual
+  /// fraction over plan-loaded mortal nodes crosses `rotation_threshold`,
+  /// the base opens a rotation replan (residual costs shift load off the
+  /// bottleneck) without waiting for the node to die. After each rotation
+  /// the trigger re-arms `rotation_hysteresis` lower — batteries only
+  /// drain, so a monotonically descending trigger cannot flap — and never
+  /// refires within `rotation_cooldown_rounds` of the last rotation.
+  bool proactive_rotation = true;
+  double rotation_threshold = 0.35;
+  double rotation_hysteresis = 0.10;
+  int rotation_cooldown_rounds = 4;
+  /// A believed-dead node whose *predicted* residual fraction is at or
+  /// below this is classified energy-dead (vs crash/partition). In-band:
+  /// the verdict uses only the base station's own drain predictions, never
+  /// the physical ledger.
+  double exhaustion_classify_fraction = 0.10;
+};
 
 /// Knobs for the self-healing control loop.
 struct SelfHealingOptions {
@@ -43,6 +86,10 @@ struct SelfHealingOptions {
   /// independently while split). Off (default) reproduces the legacy
   /// fail-stop behavior byte for byte.
   bool partition_aware = false;
+  /// Battery-aware runtime (finite energy, exhaustion faults, residual-
+  /// aware replans, proactive rotation). Off (default) reproduces the
+  /// legacy infinite-energy behavior byte for byte.
+  EnergyAwareOptions energy;
 };
 
 /// The base station's verdict on one *original-workload* destination under
@@ -100,6 +147,22 @@ struct SelfHealingRoundResult {
   std::map<NodeId, DestinationPartitionStatus> partition_status;
   /// Nodes the base station currently believes partitioned (sorted).
   std::vector<NodeId> believed_partitioned;
+
+  // --- Battery accounting (populated only when battery_aware) ---
+  /// Physically depleted nodes after this round's drain (sorted). Ground
+  /// truth — tests compare it against the base station's beliefs below.
+  std::vector<NodeId> battery_depleted;
+  /// Believed-dead nodes the base station classifies as energy-exhausted
+  /// from its in-band residual predictions (sorted).
+  std::vector<NodeId> believed_energy_dead;
+  /// True iff this round's replan was opened (at least in part) by the
+  /// proactive rotation trigger rather than a belief/workload change.
+  bool energy_rotation = false;
+  /// Minimum actual residual fraction over mortal nodes after this round.
+  double min_residual_fraction = 1.0;
+  /// Minimum *predicted* residual fraction over plan-loaded mortal nodes
+  /// (what the rotation trigger watches).
+  double predicted_min_residual_fraction = 1.0;
 };
 
 /// The tentpole self-healing loop: aggregation rounds run over lossy links
@@ -179,6 +242,13 @@ class SelfHealingRuntime {
   const SuspicionLedger& ledger() const { return ledger_; }
   const FailureDetector& detector() const { return detector_; }
   const RuntimeNetwork& network() const { return network_; }
+  /// Physical battery state (battery-aware mode; empty ledger otherwise).
+  const BatteryLedger& battery() const { return battery_; }
+  /// The base station's in-band residual prediction: an identically
+  /// configured ledger charged with the analytic drain of each installed
+  /// plan instead of executed packets. This — never `battery()` — is what
+  /// classification, rotation, and residual-aware replans read.
+  const BatteryLedger& predicted_battery() const { return predicted_; }
   /// Mutable network access for split-brain experiments: tests drive two
   /// runtimes over the two sides of a partition and cross-install the far
   /// side's images to model the island's independent epoch progress.
@@ -232,6 +302,17 @@ class SelfHealingRuntime {
   /// far side of a healed split replanned on its own): remembers the
   /// foreign epoch and schedules a reconciliation replan.
   void RecordEpochDivergence(NodeId node);
+  /// Battery mode: drains the physical ledger with the round's executed
+  /// per-node energy and the predicted ledger with the installed plan's
+  /// analytic drain; traces/counts newly depleted nodes.
+  void ChargeBatteries(int round, const SelfHealingRoundResult& result,
+                       EventTrace* trace);
+  /// Battery mode: refreshes the ledger's energy-exhaustion candidate set
+  /// from predicted residuals and arms the proactive-rotation trigger.
+  void UpdateEnergyBeliefs(int round, SelfHealingRoundResult& result,
+                           EventTrace* trace);
+  /// Predicted residual fractions per node (1.0 for immortal nodes).
+  std::vector<double> PredictedResidualFractions() const;
 
   /// Pre-resolved metric handles (see RuntimeNetwork::MetricHandles).
   struct MetricHandles {
@@ -258,6 +339,13 @@ class SelfHealingRuntime {
     obs::MetricHandle merge_reconciliations;
     obs::MetricHandle epoch_divergences;
     obs::MetricHandle degraded_destination_rounds;
+    obs::MetricHandle energy_rounds;
+    obs::MetricHandle energy_drain;
+    obs::MetricHandle energy_depleted;
+    obs::MetricHandle energy_dead;
+    obs::MetricHandle energy_rotations;
+    obs::MetricHandle energy_min_residual;
+    obs::MetricHandle energy_exhaustions;
   };
 
   const Topology* topology_;
@@ -343,6 +431,25 @@ class SelfHealingRuntime {
   /// Nodes whose installs bounced since the last replan; each is forced a
   /// full image under the reconciling epoch.
   std::set<NodeId> diverged_nodes_;
+
+  // --- Battery-aware state (battery_aware mode only) ---
+  /// Physical batteries, drained by executed data rounds. Gates the link
+  /// model; never read by the base station's decisions.
+  BatteryLedger battery_;
+  /// The base station's in-band twin: same initial charges, drained by the
+  /// analytic per-round energy of whatever plan the base has installed.
+  BatteryLedger predicted_;
+  /// Analytic per-node drain (mJ/round) of the current believed plan;
+  /// recomputed on every replan (CompiledRoundEnergyMj).
+  std::vector<double> predicted_drain_mj_;
+  /// Rotation trigger state: fires when the minimum predicted residual
+  /// fraction of a plan-loaded mortal node crosses the descending trigger
+  /// level (threshold, then hysteresis lower after each rotation).
+  double rotation_trigger_level_ = 0.0;
+  /// Finite sentinel (not INT_MIN: `round - last_rotation_round_` must not
+  /// overflow) far enough back that the first trigger is never cooled down.
+  int last_rotation_round_ = -1000000;
+  bool energy_rotation_pending_ = false;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   MetricHandles handles_;
