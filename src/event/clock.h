@@ -1,0 +1,65 @@
+#ifndef M2M_EVENT_CLOCK_H_
+#define M2M_EVENT_CLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace m2m::event {
+
+/// One node's crystal, relative to the simulation's global tick line:
+///
+///   local(g) = offset_ticks + g + floor(g * skew_ppm / 1e6)
+///
+/// `skew_ppm` models rate drift (a +500 ppm crystal gains one local tick
+/// every 2000 global ticks), `offset_ticks` models boot-time phase error.
+/// All arithmetic is exact int64 fixed-point — no doubles — so clock
+/// conversions are bit-identical across platforms and replays, which keeps
+/// drifted schedules inside the determinism contract.
+///
+/// The zero spec (offset 0, skew 0) is the identity map; the byte-identity
+/// anchor against the round runtime runs entirely on identity clocks.
+struct ClockSpec {
+  int64_t offset_ticks = 0;
+  int32_t skew_ppm = 0;
+
+  bool is_identity() const { return offset_ticks == 0 && skew_ppm == 0; }
+};
+
+/// Conversions for one node's clock. Monotone in both directions for any
+/// |skew_ppm| < 1e6 (rates stay positive).
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(const ClockSpec& spec);
+
+  const ClockSpec& spec() const { return spec_; }
+
+  /// Local reading at global tick `global` (global >= 0).
+  int64_t LocalAt(int64_t global) const;
+
+  /// Earliest global tick whose local reading is >= `local`: the instant a
+  /// local-time timer for `local` fires on the global event line. Exact
+  /// inverse: LocalAt(GlobalFor(L)) >= L and LocalAt(GlobalFor(L) - 1) < L.
+  int64_t GlobalFor(int64_t local) const;
+
+ private:
+  ClockSpec spec_;
+};
+
+/// Seeded drift regime: every node draws an independent skew in
+/// [-max_skew_ppm, +max_skew_ppm] and an offset in [0, max_offset_ticks],
+/// as pure hashes of (seed, node) — no RNG state, so clock assignment
+/// commutes with everything else. max_skew_ppm = 0 and
+/// max_offset_ticks = 0 yield identity clocks for every node.
+struct DriftOptions {
+  int32_t max_skew_ppm = 0;
+  int64_t max_offset_ticks = 0;
+  uint64_t seed = 1;
+};
+
+std::vector<ClockSpec> BuildDriftClocks(int node_count,
+                                        const DriftOptions& options);
+
+}  // namespace m2m::event
+
+#endif  // M2M_EVENT_CLOCK_H_

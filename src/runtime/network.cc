@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "event/event_queue.h"
 #include "plan/serialization.h"
 #include "runtime/wire_functions.h"
 
@@ -134,6 +135,17 @@ uint32_t RuntimeNetwork::plan_epoch(NodeId node) const {
 const NodeRuntime& RuntimeNetwork::node_runtime(NodeId node) const {
   M2M_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
   return nodes_[node];
+}
+
+NodeRuntime& RuntimeNetwork::mutable_node_runtime(NodeId node) {
+  M2M_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
+  return nodes_[node];
+}
+
+const std::vector<std::vector<NodeId>>& RuntimeNetwork::node_message_segments(
+    NodeId node) const {
+  M2M_CHECK(node >= 0 && node < static_cast<NodeId>(nodes_.size()));
+  return message_segments_[node];
 }
 
 RuntimeNetwork::Result RuntimeNetwork::RunRound(
@@ -291,7 +303,10 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
   // The agenda holds every future action: (re)transmissions, plus — under
   // an adversarial channel — delayed packet arrivals and delayed acks.
   // With a clean channel only kTransmit events exist and the schedule is
-  // tick-for-tick the legacy stop-and-wait behavior.
+  // tick-for-tick the legacy stop-and-wait behavior. The queue pops in
+  // (tick, schedule-seq) order, which is exactly the tick-ascending,
+  // append-ordered walk the original per-tick vectors performed — the
+  // round barrier is a special case of the discrete-event engine.
   struct Event {
     enum class Kind : uint8_t { kTransmit, kDeliver, kAckArrive };
     Kind kind = Kind::kTransmit;
@@ -302,7 +317,7 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     uint32_t corrupt_bit = 0;
     bool is_dup = false;  ///< Channel-duplicated copy, not a retry.
   };
-  std::map<int, std::vector<Event>> agenda;
+  event::EventQueue<Event> agenda;
 
   // Deferred-effects execution: when the tick loop below runs sharded,
   // each event mutates only its own transfer and its recipient node's
@@ -859,9 +874,9 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
                                      op.emission.epoch});
         Event event;
         event.index = transfers.size() - 1;
-        agenda[op.emission.tick].push_back(event);
+        agenda.Schedule(op.emission.tick, event);
       } else {
-        agenda[op.tick].push_back(op.event);
+        agenda.Schedule(op.tick, op.event);
       }
     }
   };
@@ -887,14 +902,13 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
                                      nodes_[n].plan_epoch()});
         Event event;
         event.index = transfers.size() - 1;
-        agenda[0].push_back(event);
+        agenda.Schedule(0, event);
       }
     }
   }
 
   while (!agenda.empty()) {
-    auto agenda_it = agenda.begin();
-    const int tick = agenda_it->first;
+    const int tick = static_cast<int>(*agenda.NextTime());
     result.final_tick = tick;
     // Dedup entries older than the (delay-extended) retry horizon can
     // never be duplicated again; drop them so the table stays
@@ -915,13 +929,18 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
     // Every event scheduled during processing lands at tick + 1 or later
     // (arrivals collect at arrival + 1; channel delays and backoffs are
     // >= 1), so one wave normally covers the whole tick; the wave loop
-    // mirrors the serial index walk in case an append ever targets the
-    // current tick. Entries may be appended to this tick's list during the
+    // mirrors the serial index walk in case a schedule ever targets the
+    // current tick (the queue's seq tie-break keeps any such stragglers in
+    // append order). Entries may be added to this tick's list during the
     // merge — and a merged emission can push into `transfers`
     // (reallocation) — so go through indices, never held references.
-    std::vector<Event>& list = agenda_it->second;
+    std::vector<Event> list;
     size_t processed = 0;
-    while (processed < list.size()) {
+    while (true) {
+      while (!agenda.empty() && agenda.NextTime() == tick) {
+        list.push_back(std::move(agenda.Pop()->payload));
+      }
+      if (processed >= list.size()) break;
       const size_t wave_end = list.size();
       ThreadPool* pool = GlobalThreadPool();
       const int shard_count =
@@ -962,7 +981,6 @@ RuntimeNetwork::LossyResult RuntimeNetwork::RunRoundLossy(
       }
       processed = wave_end;
     }
-    agenda.erase(agenda_it);
   }
   if (metrics_ != nullptr) {
     metrics_->Observe(handles_.round_ticks, result.final_tick);
